@@ -1,0 +1,42 @@
+#pragma once
+// Shared plumbing for the experiment harness binaries: a uniform banner
+// tying each table back to the paper claim it regenerates, and --csv output
+// for machine consumption (EXPERIMENTS.md is produced from these tables).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace flip::bench {
+
+struct Options {
+  bool csv = false;
+};
+
+inline Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) options.csv = true;
+  }
+  return options;
+}
+
+inline void banner(const Options& options, const std::string& id,
+                   const std::string& claim) {
+  if (options.csv) return;
+  std::cout << "=== " << id << " ===\n" << claim << "\n\n";
+}
+
+inline void emit(const Options& options, const TextTable& table,
+                 const std::string& note = {}) {
+  if (options.csv) {
+    std::cout << table.csv();
+  } else {
+    std::cout << table << '\n';
+    if (!note.empty()) std::cout << note << "\n\n";
+  }
+}
+
+}  // namespace flip::bench

@@ -1,0 +1,104 @@
+// E13 — simulator engineering throughput (google-benchmark).
+//
+// Not a paper claim: measures the substrate so experiment runtimes are
+// interpretable — messages/second through the push-gossip fabric, channel
+// draws/second, and full protocol rounds/second at several n.
+
+#include <benchmark/benchmark.h>
+
+#include "core/breathe.hpp"
+#include "net/channel.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+
+namespace {
+
+void BM_MailboxPush(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  flip::Mailbox mailbox(n);
+  flip::Xoshiro256 rng(1);
+  std::uint64_t pushed = 0;
+  for (auto _ : state) {
+    mailbox.reset();
+    for (flip::AgentId a = 0; a < n; ++a) {
+      mailbox.push(flip::Message{a, flip::Opinion::kOne}, rng);
+    }
+    pushed += n;
+    benchmark::DoNotOptimize(mailbox.recipients().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pushed));
+}
+BENCHMARK(BM_MailboxPush)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_BscTransmit(benchmark::State& state) {
+  flip::BinarySymmetricChannel channel(0.2);
+  flip::Xoshiro256 rng(2);
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.transmit(flip::Opinion::kOne, rng));
+    ++count;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_BscTransmit);
+
+void BM_AllSendRound(benchmark::State& state) {
+  // One full engine round with every agent sending: the Stage II workload.
+  const auto n = static_cast<std::size_t>(state.range(0));
+
+  class AllSend final : public flip::Protocol {
+   public:
+    explicit AllSend(std::size_t n) : n_(n) {}
+    void collect_sends(flip::Round, std::vector<flip::Message>& out) override {
+      for (flip::AgentId a = 0; a < n_; ++a) {
+        out.push_back(flip::Message{a, flip::Opinion::kOne});
+      }
+    }
+    void deliver(flip::AgentId, flip::Opinion, flip::Round) override {}
+    void end_round(flip::Round) override {}
+    [[nodiscard]] bool done(flip::Round) const override { return false; }
+    [[nodiscard]] std::string name() const override { return "all-send"; }
+    [[nodiscard]] double current_bias() const override { return 0.0; }
+    [[nodiscard]] std::size_t current_opinionated() const override {
+      return 0;
+    }
+
+   private:
+    std::size_t n_;
+  };
+
+  flip::BinarySymmetricChannel channel(0.2);
+  flip::Xoshiro256 rng(3);
+  flip::Engine engine(n, channel, rng);
+  AllSend protocol(n);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const flip::Metrics m = engine.run(protocol, 1);
+    messages += m.messages_sent;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_AllSendRound)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_FullBroadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double eps = 0.3;
+  const flip::Params params = flip::Params::calibrated(n, eps);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    flip::Xoshiro256 engine_rng = flip::make_stream(seed, 0);
+    flip::Xoshiro256 protocol_rng = flip::make_stream(seed, 1);
+    ++seed;
+    flip::BinarySymmetricChannel channel(eps);
+    flip::Engine engine(n, channel, engine_rng);
+    flip::BreatheProtocol protocol(params, flip::broadcast_config(),
+                                   protocol_rng);
+    const flip::Metrics m = engine.run(protocol, protocol.total_rounds());
+    benchmark::DoNotOptimize(m.rounds);
+  }
+}
+BENCHMARK(BM_FullBroadcast)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Ant recruitment: the paper's motivating biology (compare Razin, Eckmann,
+// Feinerman 2013, "Desert ants achieve reliable recruitment across noisy
+// interactions" — ref [55]).
+//
+// One scout has found food at one of two sites (site "1"). It recruits the
+// colony through pairwise antennation contacts whose content is badly
+// distorted: a nestmate reading a contact gets the wrong site with
+// probability 1/2 - eps. The example watches the colony converge and prints
+// the recruitment trajectory, contrasting "breathe" with the naive
+// forward-immediately behaviour.
+
+#include <iostream>
+
+#include "baselines/forward.hpp"
+#include "core/breathe.hpp"
+#include "net/channel.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  const std::size_t colony = 8192;  // workers
+  const double eps = 0.15;          // heavily distorted antennation
+  const std::uint64_t seed = 7;
+
+  std::cout << "Colony of " << colony << " ants; one scout knows the food "
+            << "site; contacts are wrong with probability " << (0.5 - eps)
+            << ".\n\n";
+
+  // --- Breathe-before-speaking recruitment --------------------------
+  const flip::Params params = flip::Params::calibrated(colony, eps);
+  flip::Xoshiro256 engine_rng = flip::make_stream(seed, 0);
+  flip::Xoshiro256 protocol_rng = flip::make_stream(seed, 1);
+  flip::BinarySymmetricChannel channel(eps);
+  flip::EngineOptions options;
+  options.probe_every = params.total_rounds() / 16;
+  flip::Engine engine(colony, channel, engine_rng, options);
+  flip::BreatheProtocol protocol(params, flip::broadcast_config(),
+                                 protocol_rng);
+  const flip::Metrics metrics = engine.run(protocol, protocol.total_rounds());
+
+  flip::TextTable trajectory({"round", "recruited", "bias to true site"});
+  for (std::size_t i = 0; i < metrics.bias_series.size(); ++i) {
+    trajectory.row()
+        .cell(std::size_t{metrics.bias_series[i].round})
+        .cell(std::size_t{
+            static_cast<std::size_t>(metrics.activated_series[i].value)})
+        .cell(metrics.bias_series[i].value, 4);
+  }
+  std::cout << "Breathe-before-speaking recruitment trajectory:\n"
+            << trajectory << "\n";
+  std::cout << "Outcome: "
+            << protocol.population().correct_fraction(flip::Opinion::kOne) *
+                   100.0
+            << "% of the colony heads to the true site after "
+            << metrics.rounds << " contact rounds.\n\n";
+
+  // --- Naive recruitment (forward immediately) ----------------------
+  flip::Xoshiro256 naive_rng = flip::make_stream(seed, 2);
+  flip::Engine naive_engine(colony, channel, naive_rng);
+  flip::ForwardConfig naive_config;
+  naive_config.initial = {flip::Seed{0, flip::Opinion::kOne}};
+  naive_config.stop_when_all_informed = true;
+  flip::ForwardGossipProtocol naive(colony, naive_config);
+  const flip::Metrics naive_metrics = naive_engine.run(naive, 100000);
+  std::cout << "Naive forwarding for comparison: everyone 'recruited' after "
+            << naive_metrics.rounds << " rounds, but only "
+            << naive.population().correct_fraction(flip::Opinion::kOne) *
+                   100.0
+            << "% head to the true site (rumor depth destroys the signal).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Flock alert without a global clock (Section 3): a vigilant bird spots a
+// predator and the escape direction must spread through a flock whose
+// members are not synchronized — each wakes into the protocol at its own
+// time. The Section 3.2 pre-phase first bounds the clock skew to O(log n),
+// then the modified schedule (one extra D-round "breath" per phase) runs
+// the usual two stages.
+
+#include <iostream>
+
+#include "core/theory.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  const std::size_t flock = 4096;
+  const double eps = 0.25;
+
+  std::cout << "Flock of " << flock
+            << " birds; alert calls are misheard with probability "
+            << (0.5 - eps) << "; no shared clock.\n\n";
+
+  flip::TextTable table({"clock skew D", "attribution", "runs", "success",
+                         "mean rounds", "overhead rounds"});
+
+  auto add_row = [&](flip::Round skew, flip::Attribution attribution,
+                     bool clock_sync, const char* label) {
+    flip::DesyncScenario scenario;
+    scenario.n = flock;
+    scenario.eps = eps;
+    scenario.max_skew = skew;
+    scenario.attribution = attribution;
+    scenario.use_clock_sync = clock_sync;
+    flip::TrialOptions options;
+    options.trials = 8;
+    options.master_seed = 314;
+    const flip::TrialSummary summary =
+        flip::run_trials(flip::desync_trial_fn(scenario), options);
+    // Overhead: mean rounds above the synchronous schedule.
+    const flip::Params p = flip::Params::calibrated(flock, eps);
+    const double overhead =
+        summary.rounds.mean() - static_cast<double>(p.total_rounds());
+    table.row()
+        .cell(label)
+        .cell(attribution == flip::Attribution::kOracle ? "oracle" : "local")
+        .cell(summary.trials)
+        .cell(summary.success.to_string())
+        .cell(summary.rounds.mean(), 0)
+        .cell(overhead, 0);
+  };
+
+  add_row(0, flip::Attribution::kLocalWindow, false, "0 (synchronous)");
+  add_row(12, flip::Attribution::kLocalWindow, false, "12 (~log n)");
+  add_row(24, flip::Attribution::kLocalWindow, false, "24 (~2 log n)");
+  add_row(24, flip::Attribution::kOracle, false, "24 (~2 log n)");
+  add_row(0, flip::Attribution::kLocalWindow, true, "clock-sync pre-phase");
+
+  std::cout << table
+            << "\nDesynchronization costs only an additive O(D log n) rounds "
+               "(Theorem 3.1);\nthe escape direction still reaches the whole "
+               "flock.\n";
+  return 0;
+}

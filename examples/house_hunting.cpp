@@ -1,0 +1,55 @@
+// House hunting: majority-consensus in the style of Temnothorax ants
+// choosing between two candidate nests (Franks et al. 2002 — ref [31] in
+// the paper), or fish following the larger group of leaders (ref [58]).
+//
+// A subset A of scouts has inspected the nests and formed opinions; a
+// slight majority favours the better nest. The colony must converge on the
+// scouts' MAJORITY opinion although every exchanged signal is noisy and
+// most individuals start with no opinion at all. Corollary 2.18: this
+// works whenever |A| = Omega(log n / eps^2) and the majority-bias is
+// Omega(sqrt(log n / |A|)).
+
+#include <iostream>
+
+#include "core/theory.hpp"
+#include "util/table.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  const std::size_t colony = 4096;
+  const double eps = 0.2;
+
+  flip::MajorityScenario scenario;
+  scenario.n = colony;
+  scenario.eps = eps;
+  scenario.initial_set = 512;       // scouts
+  scenario.majority_bias = 0.125;   // 320 vs 192 scouts
+
+  const double min_bias =
+      flip::theory::majority_min_bias(colony, scenario.initial_set);
+  std::cout << "Colony " << colony << ", " << scenario.initial_set
+            << " scouts, majority-bias " << scenario.majority_bias
+            << " (threshold ~sqrt(log n/|A|) = " << min_bias << ").\n\n";
+
+  flip::TextTable table(
+      {"scout bias", "runs", "consensus on majority", "mean rounds"});
+  for (const double bias : {0.25, 0.125, 0.0625, 0.02}) {
+    flip::MajorityScenario sweep = scenario;
+    sweep.majority_bias = bias;
+    flip::TrialOptions options;
+    options.trials = 10;
+    options.master_seed = 2718;
+    const flip::TrialSummary summary =
+        flip::run_trials(flip::majority_trial_fn(sweep), options);
+    table.row()
+        .cell(bias, 4)
+        .cell(summary.trials)
+        .cell(summary.success.to_string())
+        .cell(summary.rounds.mean(), 0);
+  }
+  std::cout << table
+            << "\nAbove the threshold the colony reliably adopts the scouts' "
+               "majority;\nnear a one-scout majority the guarantee "
+               "disappears, as the theory predicts.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "baselines/forward.hpp"
+
+#include <stdexcept>
+
+namespace flip {
+
+ForwardGossipProtocol::ForwardGossipProtocol(std::size_t n,
+                                             ForwardConfig config)
+    : config_(std::move(config)), pop_(n) {
+  if (config_.initial.empty()) {
+    throw std::invalid_argument("ForwardGossipProtocol: empty initial set");
+  }
+  if (config_.duration == 0 && !config_.stop_when_all_informed) {
+    throw std::invalid_argument(
+        "ForwardGossipProtocol: need a duration or stop_when_all_informed");
+  }
+  senders_.reserve(n);
+  fresh_.reserve(n);
+  for (const Seed& seed : config_.initial) {
+    pop_.set_opinion(seed.agent, seed.opinion);
+    senders_.push_back(seed.agent);
+  }
+}
+
+void ForwardGossipProtocol::collect_sends(Round, std::vector<Message>& out) {
+  for (const AgentId a : senders_) {
+    out.push_back(Message{a, pop_.opinion(a)});
+  }
+}
+
+void ForwardGossipProtocol::deliver(AgentId to, Opinion bit, Round) {
+  if (pop_.has_opinion(to)) return;  // first heard bit wins, then frozen
+  pop_.set_opinion(to, bit);
+  fresh_.push_back(to);
+}
+
+void ForwardGossipProtocol::end_round(Round r) {
+  senders_.insert(senders_.end(), fresh_.begin(), fresh_.end());
+  fresh_.clear();
+  if (informed_round_ == 0 && all_informed()) informed_round_ = r + 1;
+}
+
+bool ForwardGossipProtocol::done(Round r) const {
+  if (config_.stop_when_all_informed && all_informed()) return true;
+  return config_.duration != 0 && r + 1 >= config_.duration;
+}
+
+double ForwardGossipProtocol::current_bias() const {
+  return pop_.bias(config_.correct);
+}
+
+std::size_t ForwardGossipProtocol::current_opinionated() const {
+  return pop_.opinionated();
+}
+
+bool ForwardGossipProtocol::all_informed() const noexcept {
+  return pop_.opinionated() == pop_.size();
+}
+
+}  // namespace flip

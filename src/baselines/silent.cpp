@@ -1,0 +1,52 @@
+#include "baselines/silent.hpp"
+
+#include <stdexcept>
+
+namespace flip {
+
+SilentListeningProtocol::SilentListeningProtocol(std::size_t n,
+                                                 SilentConfig config)
+    : config_(std::move(config)),
+      pop_(n),
+      samples_(n, 0),
+      ones_(n, 0) {
+  if (config_.samples_needed == 0 || config_.samples_needed % 2 == 0) {
+    throw std::invalid_argument(
+        "SilentListeningProtocol: samples_needed must be positive and odd");
+  }
+  pop_.set_opinion(config_.source, config_.correct);
+}
+
+void SilentListeningProtocol::collect_sends(Round, std::vector<Message>& out) {
+  // The source is the only speaker, ever.
+  out.push_back(Message{config_.source, config_.correct});
+}
+
+void SilentListeningProtocol::deliver(AgentId to, Opinion bit, Round) {
+  if (to == config_.source) return;
+  if (samples_[to] >= config_.samples_needed) return;  // already decided
+  ++samples_[to];
+  if (bit == Opinion::kOne) ++ones_[to];
+  if (samples_[to] == config_.samples_needed) {
+    const bool majority_one = 2 * ones_[to] > config_.samples_needed;
+    pop_.set_opinion(to, majority_one ? Opinion::kOne : Opinion::kZero);
+    ++decided_;
+  }
+}
+
+void SilentListeningProtocol::end_round(Round) {}
+
+bool SilentListeningProtocol::done(Round r) const {
+  if (all_decided()) return true;
+  return config_.max_rounds != 0 && r + 1 >= config_.max_rounds;
+}
+
+double SilentListeningProtocol::current_bias() const {
+  return pop_.bias(config_.correct);
+}
+
+std::size_t SilentListeningProtocol::current_opinionated() const {
+  return pop_.opinionated();
+}
+
+}  // namespace flip

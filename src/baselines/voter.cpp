@@ -1,0 +1,53 @@
+#include "baselines/voter.hpp"
+
+#include <stdexcept>
+
+namespace flip {
+
+NoisyVoterProtocol::NoisyVoterProtocol(std::size_t n, VoterConfig config)
+    : config_(std::move(config)), pop_(n), is_zealot_(n, 0) {
+  if (config_.zealots.empty()) {
+    throw std::invalid_argument("NoisyVoterProtocol: no zealots");
+  }
+  if (config_.duration == 0) {
+    throw std::invalid_argument("NoisyVoterProtocol: duration must be set");
+  }
+  senders_.reserve(n);
+  fresh_.reserve(n);
+  for (const Seed& seed : config_.zealots) {
+    pop_.set_opinion(seed.agent, seed.opinion);
+    is_zealot_[seed.agent] = 1;
+    senders_.push_back(seed.agent);
+  }
+}
+
+void NoisyVoterProtocol::collect_sends(Round, std::vector<Message>& out) {
+  for (const AgentId a : senders_) {
+    out.push_back(Message{a, pop_.opinion(a)});
+  }
+}
+
+void NoisyVoterProtocol::deliver(AgentId to, Opinion bit, Round) {
+  if (is_zealot_[to]) return;
+  if (!pop_.has_opinion(to)) fresh_.push_back(to);
+  pop_.set_opinion(to, bit);  // voter rule: adopt what you hear
+}
+
+void NoisyVoterProtocol::end_round(Round) {
+  senders_.insert(senders_.end(), fresh_.begin(), fresh_.end());
+  fresh_.clear();
+}
+
+bool NoisyVoterProtocol::done(Round r) const {
+  return r + 1 >= config_.duration;
+}
+
+double NoisyVoterProtocol::current_bias() const {
+  return pop_.bias(config_.correct);
+}
+
+std::size_t NoisyVoterProtocol::current_opinionated() const {
+  return pop_.opinionated();
+}
+
+}  // namespace flip

@@ -1,0 +1,35 @@
+#include "core/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flip {
+
+namespace {
+std::uint64_t bits_for(std::uint64_t values) {
+  // Bits to represent a counter with `values` distinct states.
+  std::uint64_t bits = 0;
+  while ((1ULL << bits) < values) ++bits;
+  return std::max<std::uint64_t>(bits, 1);
+}
+}  // namespace
+
+std::uint64_t agent_state_bits(const Params& params) {
+  const StageOneSchedule& s1 = params.stage1();
+  const StageTwoSchedule& s2 = params.stage2();
+
+  const std::uint64_t total_phases = s1.num_phases() + s2.num_phases();
+  const std::uint64_t longest_phase =
+      std::max({s1.beta_s, s1.beta, s1.beta_f, s2.m, s2.m_final});
+
+  const std::uint64_t level_bits = bits_for(total_phases + 1);  // + dormant
+  const std::uint64_t round_counter_bits = bits_for(longest_phase + 1);
+  const std::uint64_t recv_counter_bits = bits_for(longest_phase + 1);
+  const std::uint64_t ones_counter_bits = bits_for(longest_phase + 1);
+  const std::uint64_t opinion_bits = 2;  // current opinion + kept/reservoir bit
+
+  return level_bits + round_counter_bits + recv_counter_bits +
+         ones_counter_bits + opinion_bits;
+}
+
+}  // namespace flip

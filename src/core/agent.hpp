@@ -1,0 +1,50 @@
+#pragma once
+// Per-agent protocol state. The paper highlights (Section 1.5) that its
+// algorithms need only O(log log n + log(1/eps)) memory bits per agent; the
+// simulator stores the state in fixed-width fields for speed, and
+// agent_state_bits() computes the information-theoretic size a real agent
+// would need under a given schedule, which bench E14 reports.
+
+#include <cstdint>
+#include <limits>
+
+#include "core/params.hpp"
+#include "net/message.hpp"
+
+namespace flip {
+
+/// Compact per-agent state for the two-stage protocol.
+struct AgentState {
+  static constexpr std::uint32_t kDormant =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Stage I level: the phase during which the agent was activated
+  /// (kDormant until then). The source / initial set has its join phase.
+  std::uint32_t level = kDormant;
+
+  /// Messages accepted so far in the current phase (Stage I: arrivals in the
+  /// activation phase, for the uniform-random choice; Stage II: samples).
+  std::uint32_t recv_count = 0;
+
+  /// Stage II: how many of the received samples carried opinion One.
+  std::uint32_t ones_count = 0;
+
+  /// Stage I: reservoir-kept candidate initial opinion (uniform among the
+  /// messages heard during the activation phase, per the Stage I rule).
+  Opinion kept = Opinion::kZero;
+
+  void reset_phase_counters() noexcept {
+    recv_count = 0;
+    ones_count = 0;
+  }
+};
+
+/// Minimal number of state bits an agent needs to run the protocol with
+/// schedule `params`, counting: its level (log of the phase count), a
+/// round-in-phase counter (log of the longest phase), the current opinion
+/// plus the reservoir/kept bit, and the Stage II sample counters (log of the
+/// longest phase each). This is the quantity the paper bounds by
+/// O(log log n + log(1/eps)).
+std::uint64_t agent_state_bits(const Params& params);
+
+}  // namespace flip

@@ -1,0 +1,222 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace flip {
+
+namespace {
+
+std::uint64_t ceil_div_eps2(double mult, double eps) {
+  return static_cast<std::uint64_t>(std::ceil(mult / (eps * eps)));
+}
+
+}  // namespace
+
+std::uint64_t StageOneSchedule::phase_length(std::uint64_t phase) const {
+  if (phase == 0) return beta_s;
+  if (phase <= T) return beta;
+  if (phase == T + 1) return beta_f;
+  throw std::out_of_range("StageOneSchedule: phase > T+1");
+}
+
+std::uint64_t StageOneSchedule::phase_start(std::uint64_t phase) const {
+  if (phase > T + 1) throw std::out_of_range("StageOneSchedule: phase > T+1");
+  if (phase == 0) return 0;
+  return beta_s + (phase - 1) * beta;
+}
+
+std::uint64_t StageOneSchedule::phase_end(std::uint64_t phase) const {
+  return phase_start(phase) + phase_length(phase);
+}
+
+std::uint64_t StageOneSchedule::total_rounds() const {
+  return beta_s + T * beta + beta_f;
+}
+
+std::uint64_t StageOneSchedule::phase_of_round(std::uint64_t r) const {
+  if (r >= total_rounds()) {
+    throw std::out_of_range("StageOneSchedule: round past stage end");
+  }
+  if (r < beta_s) return 0;
+  const std::uint64_t mid = (r - beta_s) / beta;
+  return std::min(mid + 1, T + 1);
+}
+
+std::uint64_t StageTwoSchedule::phase_length(std::uint64_t phase) const {
+  if (phase < k) return m;
+  if (phase == k) return m_final;
+  throw std::out_of_range("StageTwoSchedule: phase > k");
+}
+
+std::uint64_t StageTwoSchedule::phase_start(std::uint64_t phase) const {
+  if (phase > k) throw std::out_of_range("StageTwoSchedule: phase > k");
+  return phase * m;
+}
+
+std::uint64_t StageTwoSchedule::total_rounds() const { return k * m + m_final; }
+
+std::uint64_t StageTwoSchedule::phase_of_round(std::uint64_t r) const {
+  if (r >= total_rounds()) {
+    throw std::out_of_range("StageTwoSchedule: round past stage end");
+  }
+  return std::min(r / m, k);
+}
+
+std::uint64_t StageTwoSchedule::half_length(std::uint64_t phase) const {
+  return phase_length(phase) / 2;
+}
+
+Params::Params(std::size_t n, double eps, Tuning tuning,
+               bool theoretical_constants)
+    : n_(n), eps_(eps), tuning_(tuning) {
+  if (n < 4) throw std::invalid_argument("Params: need n >= 4");
+  if (!(eps > 0.0) || !(eps < 0.5)) {
+    throw std::invalid_argument("Params: need eps in (0, 0.5)");
+  }
+  log_n_ = static_cast<std::uint64_t>(std::ceil(flip::log_n(n)));
+
+  // ---- Stage I ----
+  StageOneSchedule& s1 = stage1_;
+  if (theoretical_constants) {
+    // f > c1*beta > c2*s > c3/eps^2 with generous proof constants.
+    s1.s = ceil_div_eps2(64.0, eps);
+    s1.beta = 4 * s1.s;  // "beta > 3s" (Corollary 2.5)
+    s1.f = 4 * s1.beta;
+  } else {
+    s1.s = std::max<std::uint64_t>(2, ceil_div_eps2(tuning.s_mult, eps));
+    // beta+1 must exceed 1/eps^2 so layer growth outpaces the (2 eps)-per-layer
+    // reliability deterioration (Section 2.1.1).
+    s1.beta = tuning.unsafe_allow_slow_growth
+                  ? std::max<std::uint64_t>(1, ceil_div_eps2(tuning.beta_mult,
+                                                             eps))
+                  : std::max<std::uint64_t>(ceil_div_eps2(tuning.beta_mult,
+                                                          eps),
+                                            ceil_div_eps2(1.0, eps));
+    s1.f = std::max<std::uint64_t>(s1.beta + 1,
+                                   ceil_div_eps2(tuning.f_mult, eps));
+  }
+  s1.beta_s = s1.s * log_n_;
+  s1.beta_f = s1.f * log_n_;
+  const double headroom =
+      static_cast<double>(n) / (2.0 * static_cast<double>(s1.beta_s));
+  s1.T = headroom >= static_cast<double>(s1.beta + 1)
+             ? floor_log(headroom, static_cast<double>(s1.beta + 1))
+             : 0;
+
+  // ---- Stage II ----
+  StageTwoSchedule& s2 = stage2_;
+  s2.r = theoretical_constants ? ceil_div_eps2(4194304.0 /* 2^22 */, eps)
+                               : std::max<std::uint64_t>(
+                                     2, ceil_div_eps2(tuning.r_mult, eps));
+  s2.gamma = 2 * s2.r + 1;
+  s2.m = 2 * s2.gamma;
+  const double delta1 =
+      std::clamp(tuning.delta1_mult *
+                     std::sqrt(static_cast<double>(log_n_) /
+                               static_cast<double>(n)),
+                 1e-12, 0.49);
+  const auto k_base =
+      static_cast<std::int64_t>(std::ceil(std::log2(1.0 / delta1)));
+  s2.k = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, k_base + tuning.k_extra));
+  const std::uint64_t half_final = next_odd(std::max<std::uint64_t>(
+      s2.gamma,
+      static_cast<std::uint64_t>(std::ceil(tuning.final_mult *
+                                           static_cast<double>(log_n_) /
+                                           (eps * eps)))));
+  s2.m_final = 2 * half_final;
+
+  validate();
+}
+
+Params Params::calibrated(std::size_t n, double eps, const Tuning& tuning) {
+  return Params(n, eps, tuning, /*theoretical_constants=*/false);
+}
+
+Params Params::theoretical(std::size_t n, double eps) {
+  return Params(n, eps, Tuning{}, /*theoretical_constants=*/true);
+}
+
+bool Params::eps_above_threshold() const noexcept {
+  constexpr double kEta = 0.05;
+  return eps_ > std::pow(static_cast<double>(n_), -0.5 + kEta);
+}
+
+std::uint64_t Params::join_phase_for_initial_set(std::size_t a) const {
+  if (a == 0) throw std::invalid_argument("join_phase: empty initial set");
+  const double ratio =
+      static_cast<double>(a) / static_cast<double>(log_n_);
+  if (ratio <= 1.0) return 0;
+  const double i_a = std::log(ratio) / (2.0 * std::log(1.0 / eps_));
+  const auto phase = static_cast<std::uint64_t>(std::floor(i_a));
+  return std::min(phase, stage1_.T + 1);
+}
+
+std::string Params::describe() const {
+  std::ostringstream os;
+  os << "Params{n=" << n_ << ", eps=" << eps_ << ", log_n=" << log_n_
+     << "}\n"
+     << "  Stage I : beta_s=" << stage1_.beta_s << " (s=" << stage1_.s
+     << "), T=" << stage1_.T << " x beta=" << stage1_.beta
+     << ", beta_f=" << stage1_.beta_f << " (f=" << stage1_.f << ") -> "
+     << stage1_.total_rounds() << " rounds\n"
+     << "  Stage II: k=" << stage2_.k << " x m=" << stage2_.m
+     << " (gamma=" << stage2_.gamma << "), m_final=" << stage2_.m_final
+     << " -> " << stage2_.total_rounds() << " rounds\n"
+     << "  total   : " << total_rounds() << " rounds";
+  return os.str();
+}
+
+void Params::validate() const {
+  const double inv_eps2 = 1.0 / (eps_ * eps_);
+  auto fail = [](const std::string& what) {
+    throw std::logic_error("Params::validate: " + what);
+  };
+
+  if (stage1_.s < 1 || stage1_.beta < 1 || stage1_.f < 1) {
+    fail("stage-1 constants must be positive");
+  }
+  // Growth factor must beat the 1/eps^2 reliability deterioration.
+  if (!tuning_.unsafe_allow_slow_growth &&
+      !(static_cast<double>(stage1_.beta) + 1.0 > inv_eps2)) {
+    fail("beta+1 <= 1/eps^2: layer growth cannot outpace noise");
+  }
+  if (stage1_.f < stage1_.beta) fail("need f >= beta");
+  if (stage1_.beta_s != stage1_.s * log_n_) fail("beta_s != s*log n");
+  if (stage1_.beta_f != stage1_.f * log_n_) fail("beta_f != f*log n");
+  // T is chosen so beta_s*(beta+1)^T <= n/2 (the paper's definition). The
+  // invariant is vacuous when T = 0: at small n the listening phase alone
+  // can exceed n/2 rounds, which only means phase 0 activates everybody.
+  if (stage1_.T > 0) {
+    double pow_t = 1.0;
+    for (std::uint64_t i = 0; i < stage1_.T; ++i) {
+      pow_t *= static_cast<double>(stage1_.beta + 1);
+    }
+    if (static_cast<double>(stage1_.beta_s) * pow_t >
+        static_cast<double>(n_) / 2.0 + 1e-9) {
+      fail("beta_s*(beta+1)^T > n/2");
+    }
+  }
+  // Phase arithmetic closes up.
+  if (stage1_.phase_end(stage1_.T + 1) != stage1_.total_rounds()) {
+    fail("stage-1 phase arithmetic inconsistent");
+  }
+
+  if (stage2_.gamma != 2 * stage2_.r + 1) fail("gamma != 2r+1");
+  if (stage2_.gamma % 2 == 0) fail("gamma must be odd");
+  if (stage2_.m != 2 * stage2_.gamma) fail("m != 2*gamma");
+  if ((stage2_.m_final / 2) % 2 == 0) fail("final majority subset must be odd");
+  if (stage2_.m_final < stage2_.m) fail("final phase shorter than boost phase");
+  if (stage2_.k == 0) fail("need at least one boost phase");
+  if (stage2_.phase_start(stage2_.k) + stage2_.m_final !=
+      stage2_.total_rounds()) {
+    fail("stage-2 phase arithmetic inconsistent");
+  }
+}
+
+}  // namespace flip

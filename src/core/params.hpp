@@ -1,0 +1,146 @@
+#pragma once
+// Phase schedule for the two-stage "breathe before speaking" protocol
+// (Sections 2.1.2 and 2.2.2).
+//
+// Stage I (spreading):
+//   phase 0      : beta_s = s*log n rounds; only the initially opinionated
+//                  agents (the source, or the set A) send.
+//   phases 1..T  : beta rounds each; T = floor(log(n/(2 beta_s)) / log(beta+1)).
+//   phase T+1    : beta_f = f*log n rounds (the long finishing phase that
+//                  activates every remaining agent).
+// Stage II (boosting):
+//   phases 1..k  : m = 2*gamma rounds each, gamma = 2r+1 samples;
+//   phase k+1    : m_final rounds (the O(log n / eps^2)-sample finale).
+//
+// The paper fixes s, beta, f, r = Theta(1/eps^2) with "sufficiently large"
+// constants chosen for the union bounds, e.g. r = ceil(2^22 / eps^2). Those
+// constants are astronomically conservative at simulable n, so Params offers
+// two presets (see DESIGN.md §5):
+//   * Params::theoretical — literal proof constants, for schedule-arithmetic
+//     tests and tiny-n runs;
+//   * Params::calibrated  — small constants with every structural invariant
+//     intact, used by all experiments.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace flip {
+
+/// Tunable constant factors in front of the paper's Theta(1/eps^2) terms.
+struct Tuning {
+  double s_mult = 1.5;      ///< s = ceil(s_mult / eps^2)
+  double beta_mult = 1.5;   ///< beta = ceil(beta_mult / eps^2); must keep beta+1 > 1/eps^2
+  double f_mult = 4.0;      ///< f = ceil(f_mult / eps^2)
+  double r_mult = 2.0;      ///< Stage II r = ceil(r_mult / eps^2)
+  double final_mult = 2.0;  ///< final Stage II half-phase = ~final_mult*log n/eps^2
+  double delta1_mult = 0.5; ///< assumed Stage-I output bias delta_1 = delta1_mult*sqrt(log n/n)
+  int k_extra = 2;          ///< boost phases added to ceil(log2(1/delta_1)); may be negative (min 1 phase)
+
+  /// Ablation-only escape hatch (bench E11): permit beta+1 <= 1/eps^2, the
+  /// configuration the paper's analysis forbids (layer growth no longer
+  /// outpaces the per-layer reliability deterioration). Never set this in
+  /// real use; validate() skips the growth check when it is on.
+  bool unsafe_allow_slow_growth = false;
+};
+
+/// Stage I phase layout. All lengths in rounds; phases are contiguous,
+/// phase i occupying [phase_start(i), phase_end(i)).
+struct StageOneSchedule {
+  std::uint64_t s = 0;
+  std::uint64_t beta = 0;
+  std::uint64_t f = 0;
+  std::uint64_t beta_s = 0;  ///< phase 0 length = s * log n
+  std::uint64_t beta_f = 0;  ///< phase T+1 length = f * log n
+  std::uint64_t T = 0;       ///< number of middle (beta-length) phases
+
+  /// Total number of phases: 0, 1..T, T+1.
+  [[nodiscard]] std::uint64_t num_phases() const noexcept { return T + 2; }
+  [[nodiscard]] std::uint64_t phase_length(std::uint64_t phase) const;
+  [[nodiscard]] std::uint64_t phase_start(std::uint64_t phase) const;
+  [[nodiscard]] std::uint64_t phase_end(std::uint64_t phase) const;
+  [[nodiscard]] std::uint64_t total_rounds() const;
+  /// Phase containing round r (rounds counted from the start of Stage I).
+  /// Precondition: r < total_rounds().
+  [[nodiscard]] std::uint64_t phase_of_round(std::uint64_t r) const;
+};
+
+/// Stage II phase layout: k boost phases of m rounds, one final phase.
+struct StageTwoSchedule {
+  std::uint64_t r = 0;        ///< gamma = 2r+1
+  std::uint64_t gamma = 0;    ///< samples per boost decision (odd)
+  std::uint64_t m = 0;        ///< boost phase length = 2*gamma
+  std::uint64_t k = 0;        ///< number of boost phases
+  std::uint64_t m_final = 0;  ///< final phase length (even; half is odd)
+
+  [[nodiscard]] std::uint64_t num_phases() const noexcept { return k + 1; }
+  /// Phases are 1-based in the paper; here phase index in [0, k] with
+  /// phases [0, k) the boost phases and phase k the finale.
+  [[nodiscard]] std::uint64_t phase_length(std::uint64_t phase) const;
+  [[nodiscard]] std::uint64_t phase_start(std::uint64_t phase) const;
+  [[nodiscard]] std::uint64_t total_rounds() const;
+  [[nodiscard]] std::uint64_t phase_of_round(std::uint64_t r) const;
+  /// Success threshold and majority-subset size for a phase: half its length.
+  [[nodiscard]] std::uint64_t half_length(std::uint64_t phase) const;
+};
+
+class Params {
+ public:
+  /// Small empirically validated constants (DESIGN.md §5); the preset every
+  /// experiment uses. Throws std::invalid_argument on a bad (n, eps).
+  static Params calibrated(std::size_t n, double eps, const Tuning& tuning = {});
+
+  /// The paper's literal proof constants (r = 2^22/eps^2 etc.). Yields
+  /// schedules far too long to simulate at interesting n; intended for
+  /// schedule-arithmetic tests.
+  static Params theoretical(std::size_t n, double eps);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+  /// ceil(ln n): the "log n" every schedule length is a multiple of.
+  [[nodiscard]] std::uint64_t log_n() const noexcept { return log_n_; }
+  [[nodiscard]] const Tuning& tuning() const noexcept { return tuning_; }
+
+  [[nodiscard]] const StageOneSchedule& stage1() const noexcept {
+    return stage1_;
+  }
+  [[nodiscard]] const StageTwoSchedule& stage2() const noexcept {
+    return stage2_;
+  }
+
+  [[nodiscard]] std::uint64_t total_rounds() const noexcept {
+    return stage1_.total_rounds() + stage2_.total_rounds();
+  }
+
+  /// True iff eps clears the model's validity threshold eps > n^(-1/2+eta)
+  /// (Section 2, with eta = 0.05). Schedules are still produced below the
+  /// threshold so E12 can probe the failure region.
+  [[nodiscard]] bool eps_above_threshold() const noexcept;
+
+  /// The Stage I phase at which a majority-consensus instance with initial
+  /// set size |A| = a should join (Corollary 2.18):
+  ///   i_A = log(|A| / log n) / (2 log(1/eps)),
+  /// clamped to [0, T+1]. a = 1 (broadcast) maps to phase 0.
+  [[nodiscard]] std::uint64_t join_phase_for_initial_set(std::size_t a) const;
+
+  /// Human-readable schedule dump for logs / examples.
+  [[nodiscard]] std::string describe() const;
+
+  /// Cross-checks every structural invariant (ordering f*logn >= beta >= s,
+  /// growth beta+1 > 1/eps^2, phase arithmetic consistency, odd subset
+  /// sizes, beta_s*(beta+1)^T <= n/2). Throws std::logic_error on violation.
+  /// Called by both factories; public so tests can re-invoke it.
+  void validate() const;
+
+ private:
+  Params(std::size_t n, double eps, Tuning tuning, bool theoretical_constants);
+
+  std::size_t n_;
+  double eps_;
+  std::uint64_t log_n_;
+  Tuning tuning_;
+  StageOneSchedule stage1_;
+  StageTwoSchedule stage2_;
+};
+
+}  // namespace flip

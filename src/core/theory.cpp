@@ -1,0 +1,110 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace flip {
+namespace theory {
+
+double round_unit(std::size_t n, double eps) {
+  return log_n(n) / (eps * eps);
+}
+
+double message_unit(std::size_t n, double eps) {
+  return static_cast<double>(n) * round_unit(n, eps);
+}
+
+double per_agent_sample_lower_bound(std::size_t n, double eps) {
+  return round_unit(n, eps);
+}
+
+double relay_correct_probability(double eps, std::uint64_t depth) {
+  return 0.5 + 0.5 * std::pow(2.0 * eps, static_cast<double>(depth));
+}
+
+double sampled_bias(double eps, double delta) { return 2.0 * eps * delta; }
+
+double stage1_bias_lower_bound(double eps, std::uint64_t phase) {
+  return 0.5 * std::pow(eps, static_cast<double>(phase) + 1.0);
+}
+
+double stage1_growth_upper(std::uint64_t x0, std::uint64_t beta,
+                           std::uint64_t phase) {
+  return static_cast<double>(x0) *
+         std::pow(static_cast<double>(beta) + 1.0,
+                  static_cast<double>(phase));
+}
+
+double stage1_growth_lower(std::uint64_t x0, std::uint64_t beta,
+                           std::uint64_t phase) {
+  return stage1_growth_upper(x0, beta, phase) / 16.0;
+}
+
+double stage1_output_bias_unit(std::size_t n) {
+  return std::sqrt(log_n(n) / static_cast<double>(n));
+}
+
+double lemma_2_11_lower_bound(double delta) {
+  return std::min(0.5 + 4.0 * delta, 0.5 + 0.01);
+}
+
+double lemma_2_14_boost(double delta) {
+  return std::min(1.7 * delta, 1.0 / 800.0);
+}
+
+double stage2_success_fraction(std::size_t n, std::uint64_t m) {
+  const double p_recv =
+      1.0 - std::pow(1.0 - 1.0 / static_cast<double>(n),
+                     static_cast<double>(n) - 1.0);
+  return binomial_tail_ge(m, m / 2, p_recv);
+}
+
+double stage2_next_bias(std::size_t n, double eps, double delta,
+                        std::uint64_t subset_size, std::uint64_t m) {
+  const double sigma = stage2_success_fraction(n, m);
+  // Lemma 2.11's exact probability with gamma = subset_size = 2r+1 samples.
+  const std::uint64_t r = (subset_size - 1) / 2;
+  const double p = 0.5 + 2.0 * eps * delta;
+  const double p_maj = binomial_tail_ge(subset_size, r + 1, p);
+  return sigma * (p_maj - 0.5) + (1.0 - sigma) * delta;
+}
+
+std::vector<double> stage2_bias_trajectory(std::size_t n, double eps,
+                                           double delta0,
+                                           std::uint64_t subset_size,
+                                           std::uint64_t m, std::uint64_t k) {
+  std::vector<double> trajectory;
+  trajectory.reserve(k + 1);
+  trajectory.push_back(delta0);
+  double delta = delta0;
+  for (std::uint64_t i = 0; i < k; ++i) {
+    delta = stage2_next_bias(n, eps, delta, subset_size, m);
+    trajectory.push_back(delta);
+  }
+  return trajectory;
+}
+
+double majority_min_initial_set(std::size_t n, double eps) {
+  return round_unit(n, eps);
+}
+
+double majority_min_bias(std::size_t n, std::size_t a) {
+  return std::sqrt(log_n(n) / static_cast<double>(a));
+}
+
+double desync_overhead_rounds(std::uint64_t D, std::uint64_t phases) {
+  return static_cast<double>(D) * static_cast<double>(phases);
+}
+
+double silent_two_message_rounds(std::size_t n) {
+  return std::sqrt(static_cast<double>(n));
+}
+
+double eps_threshold(std::size_t n, double eta) {
+  return std::pow(static_cast<double>(n), -0.5 + eta);
+}
+
+}  // namespace theory
+}  // namespace flip

@@ -1,0 +1,99 @@
+#pragma once
+// Closed-form predictions from the paper, used by the benches to print
+// "paper says" columns next to measurements and by tests to check measured
+// quantities against the proven bounds.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace flip {
+namespace theory {
+
+/// The paper's round unit: log(n)/eps^2 (Theorem 2.17). Measured round
+/// counts divided by this should be ~constant across n and eps.
+double round_unit(std::size_t n, double eps);
+
+/// The paper's message unit: n*log(n)/eps^2 (Theorem 2.17 and the Section
+/// 1.4 lower bound).
+double message_unit(std::size_t n, double eps);
+
+/// Section 1.4: each agent individually needs Omega(log n / eps^2) samples
+/// even straight from the source; this is that quantity with constant 1.
+double per_agent_sample_lower_bound(std::size_t n, double eps);
+
+/// Probability that a bit is still correct after being relayed along a path
+/// of `depth` noisy hops (Section 1.6): exactly 1/2 + (2 eps)^depth / 2,
+/// consistent with the paper's bound 1/2 + (2 eps)^depth.
+double relay_correct_probability(double eps, std::uint64_t depth);
+
+/// One sampling step's bias map: a sample from a population with bias delta
+/// over a BSC(1/2-eps) is correct with probability 1/2 + 2*eps*delta
+/// (the identity used in Claims 2.2/2.8 and Lemma 2.11).
+double sampled_bias(double eps, double delta);
+
+/// Stage I bias recursion (Claim 2.8 lower bound): after phases 0..i the
+/// newly-activated layer has bias >= eps^(i+1) / 2.
+double stage1_bias_lower_bound(double eps, std::uint64_t phase);
+
+/// Claim 2.4 growth envelope for the number of activated agents at the end
+/// of phase i (1 <= i <= T): upper (beta+1)^i * X0 and lower /16.
+double stage1_growth_upper(std::uint64_t x0, std::uint64_t beta,
+                           std::uint64_t phase);
+double stage1_growth_lower(std::uint64_t x0, std::uint64_t beta,
+                           std::uint64_t phase);
+
+/// Lemma 2.3 item 2: the Stage I output bias is Omega(sqrt(log n / n));
+/// this returns sqrt(log n / n) (constant 1).
+double stage1_output_bias_unit(std::size_t n);
+
+/// Lemma 2.11 lower bound on the probability that the majority of gamma
+/// noisy samples is correct: min{1/2 + 4 delta, 1/2 + 1/100}.
+double lemma_2_11_lower_bound(double delta);
+
+/// Lemma 2.14: per-boost-phase bias growth, w.h.p. at least
+/// min{1.7 delta, 1/800} (given delta >> sqrt(log n / n)).
+double lemma_2_14_boost(double delta);
+
+/// Mean-field model of one Stage II boost phase (used by bench E7 to print
+/// predicted columns next to measurements):
+///  * an agent is successful iff it accepts >= m/2 messages over the m
+///    rounds of the phase; acceptance per round happens with probability
+///    1 - (1 - 1/n)^(n-1) (someone picked it and it kept one);
+///  * a successful agent ends correct with the exact Lemma-2.11 majority
+///    probability for gamma = subset size samples;
+///  * an unsuccessful agent keeps its opinion.
+/// Returns P[agent successful].
+double stage2_success_fraction(std::size_t n, std::uint64_t m);
+
+/// The mean-field bias after one boost phase, starting from bias delta.
+double stage2_next_bias(std::size_t n, double eps, double delta,
+                        std::uint64_t subset_size, std::uint64_t m);
+
+/// Iterates stage2_next_bias over the k boost phases.
+std::vector<double> stage2_bias_trajectory(std::size_t n, double eps,
+                                           double delta0,
+                                           std::uint64_t subset_size,
+                                           std::uint64_t m, std::uint64_t k);
+
+/// Majority-consensus admissibility (Corollary 2.18): |A| must be at least
+/// ~log n / eps^2 and the majority-bias at least ~sqrt(log n / |A|). These
+/// return the constant-1 units for the two thresholds.
+double majority_min_initial_set(std::size_t n, double eps);
+double majority_min_bias(std::size_t n, std::size_t a);
+
+/// Theorem 3.1 desync overhead: additive O(D * #phases); with the Section
+/// 3.2 reset D = 2 log n and #phases = O(log n), i.e. O(log^2 n). Returns
+/// D * phases (the exact extra waiting rounds our modified schedule inserts,
+/// before the big-O constant).
+double desync_overhead_rounds(std::uint64_t D, std::uint64_t phases);
+
+/// Section 1.6 birthday-paradox bound: with everyone silent, the first
+/// agent to hear two messages from the source needs Omega(sqrt(n)) rounds.
+double silent_two_message_rounds(std::size_t n);
+
+/// Model validity threshold: eps must exceed n^(-1/2 + eta) (Section 2).
+double eps_threshold(std::size_t n, double eta = 0.05);
+
+}  // namespace theory
+}  // namespace flip

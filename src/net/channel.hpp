@@ -1,0 +1,132 @@
+#pragma once
+// Noise channel abstraction. The paper's Flip model uses a binary symmetric
+// channel with crossover probability 1/2 - eps applied independently to
+// every received message. Alternative channels (perfect, erasure,
+// budget-bounded adversarial) exist for baselines, ablations and tests.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace flip {
+
+/// Transforms a transmitted bit into the bit the receiver observes.
+/// Implementations must be safe to share across sequential calls with
+/// distinct rngs; stateful channels (Adversarial) document their own rules.
+class NoiseChannel {
+ public:
+  virtual ~NoiseChannel() = default;
+
+  /// The received bit, or nullopt if the message was destroyed in transit
+  /// (only ErasureChannel ever erases).
+  [[nodiscard]] virtual std::optional<Opinion> transmit(Opinion sent,
+                                                        Xoshiro256& rng) = 0;
+
+  /// Nominal per-message flip probability (for reporting; the adversarial
+  /// channel reports its worst-case rate).
+  [[nodiscard]] virtual double flip_probability() const noexcept = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Binary symmetric channel with crossover probability p = 1/2 - eps: the
+/// channel of the Flip model (Section 1.3.2). Requires 0 < eps <= 1/2.
+class BinarySymmetricChannel final : public NoiseChannel {
+ public:
+  explicit BinarySymmetricChannel(double eps);
+
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                Xoshiro256& rng) override;
+  [[nodiscard]] double flip_probability() const noexcept override {
+    return 0.5 - eps_;
+  }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double eps_;
+};
+
+/// Noiseless channel (eps = 1/2 in the model's parameterization). Used by
+/// the noiseless reference baselines and in tests.
+class PerfectChannel final : public NoiseChannel {
+ public:
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                Xoshiro256& rng) override;
+  [[nodiscard]] double flip_probability() const noexcept override { return 0.0; }
+  [[nodiscard]] std::string name() const override { return "perfect"; }
+};
+
+/// Erasure channel extension: with probability erase_prob the message is
+/// destroyed; otherwise it passes through a BSC(1/2 - eps). Models the
+/// message-loss faults of classic fault-tolerant gossip on top of flips.
+class ErasureChannel final : public NoiseChannel {
+ public:
+  ErasureChannel(double eps, double erase_prob);
+
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                Xoshiro256& rng) override;
+  [[nodiscard]] double flip_probability() const noexcept override {
+    return 0.5 - eps_;
+  }
+  [[nodiscard]] double erase_probability() const noexcept { return erase_prob_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double eps_;
+  double erase_prob_;
+};
+
+/// Heterogeneous channel: the Flip model only promises flips happen "with
+/// probability AT MOST 1/2 - eps" (Section 1.3.2). This channel exercises
+/// that clause: each message independently draws its own flip probability
+/// uniformly from [0, 1/2 - eps], so the guaranteed advantage eps is only a
+/// floor. Protocol guarantees must survive it unchanged (the average noise
+/// is strictly milder), which tests that no code path secretly relies on
+/// the noise being exactly 1/2 - eps.
+class HeterogeneousChannel final : public NoiseChannel {
+ public:
+  explicit HeterogeneousChannel(double eps);
+
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                Xoshiro256& rng) override;
+  [[nodiscard]] double flip_probability() const noexcept override {
+    return (0.5 - eps_) / 2.0;  // mean of the uniform draw
+  }
+  [[nodiscard]] double eps() const noexcept { return eps_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double eps_;
+};
+
+/// Budget-bounded adversarial channel extension: flips deterministically
+/// while it has budget left (the worst case for protocols that trust early
+/// messages), then behaves perfectly. Not part of the paper's model; used by
+/// failure-injection tests to show which guarantees do NOT survive
+/// non-stochastic noise. Stateful: one instance per trial.
+class AdversarialChannel final : public NoiseChannel {
+ public:
+  explicit AdversarialChannel(std::uint64_t flip_budget);
+
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                Xoshiro256& rng) override;
+  [[nodiscard]] double flip_probability() const noexcept override {
+    return budget_left_ > 0 ? 1.0 : 0.0;
+  }
+  [[nodiscard]] std::uint64_t budget_left() const noexcept {
+    return budget_left_;
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::uint64_t budget_left_;
+};
+
+/// Factory for the model's canonical channel.
+std::unique_ptr<NoiseChannel> make_flip_channel(double eps);
+
+}  // namespace flip

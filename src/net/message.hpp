@@ -1,0 +1,37 @@
+#pragma once
+// The Flip model's message alphabet: a single bit encoding an opinion.
+// Section 1.3.2 restricts every message to exactly one bit, so the whole
+// "wire format" of the system is this enum.
+
+#include <cstdint>
+#include <string_view>
+
+namespace flip {
+
+/// One of the two abstract, symmetric opinions of the model. The correct
+/// opinion B is chosen per scenario; agents never branch on the value itself
+/// (symmetric-algorithm requirement, Section 1.3.4), only on equality.
+enum class Opinion : std::uint8_t { kZero = 0, kOne = 1 };
+
+[[nodiscard]] constexpr Opinion flip_opinion(Opinion o) noexcept {
+  return o == Opinion::kZero ? Opinion::kOne : Opinion::kZero;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Opinion o) noexcept {
+  return o == Opinion::kZero ? "0" : "1";
+}
+
+/// Agent identifier within one simulated population. Agents are anonymous in
+/// the model — ids exist only for the simulator's bookkeeping and are never
+/// visible to protocol logic.
+using AgentId = std::uint32_t;
+
+/// A message in flight during one round: sender bookkeeping id plus the bit
+/// as it left the sender (noise is applied at reception, per Section 1.3.2:
+/// "upon receiving it, the bit in the message is flipped").
+struct Message {
+  AgentId sender;
+  Opinion bit;
+};
+
+}  // namespace flip

@@ -1,0 +1,61 @@
+#pragma once
+// Clocks for the two synchronization settings of Section 1.3.3:
+//  * fully-synchronous: all agents share the global round counter;
+//  * standard synchronous: an agent's clock starts (at 0) when it is
+//    activated, i.e. when it receives its first message.
+//
+// The desynchronized protocol of Section 3 additionally supports arbitrary
+// initial offsets in [0, D) and a mid-execution reset (Section 3.2).
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/metrics.hpp"
+
+namespace flip {
+
+/// A per-agent local clock. Engine rounds are the global time; a LocalClock
+/// translates them into the agent's own time once started.
+class LocalClock {
+ public:
+  static constexpr Round kNotStarted = std::numeric_limits<Round>::max();
+
+  /// A clock that has not started yet (dormant agent).
+  constexpr LocalClock() = default;
+
+  /// A clock that reads `initial` at global round 0 — models the adversarial
+  /// initialization "each clock is initialized to some integer in [0, D)".
+  static constexpr LocalClock with_offset(Round initial) noexcept {
+    LocalClock c;
+    c.start_round_ = 0;
+    c.offset_ = initial;
+    return c;
+  }
+
+  [[nodiscard]] constexpr bool started() const noexcept {
+    return start_round_ != kNotStarted;
+  }
+
+  /// Starts the clock so that it reads 0 at global round `now` (activation
+  /// semantics: "the clock at an agent is initialized to 0 when the agent is
+  /// activated").
+  constexpr void start(Round now) noexcept {
+    start_round_ = now;
+    offset_ = 0;
+  }
+
+  /// Restarts the clock to read 0 at global round `now` (the Section 3.2
+  /// reset "after 4 log n rounds passed since it heard a message").
+  constexpr void reset(Round now) noexcept { start(now); }
+
+  /// Local time at global round `now`. Precondition: started().
+  [[nodiscard]] constexpr Round read(Round now) const noexcept {
+    return now - start_round_ + offset_;
+  }
+
+ private:
+  Round start_round_ = kNotStarted;
+  Round offset_ = 0;
+};
+
+}  // namespace flip

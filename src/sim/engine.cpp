@@ -1,0 +1,59 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace flip {
+
+Engine::Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
+               EngineOptions options)
+    : mailbox_(n), channel_(channel), rng_(rng), options_(options) {
+  send_buffer_.reserve(n);
+}
+
+Metrics Engine::run(Protocol& protocol, Round max_rounds) {
+  Metrics metrics;
+  for (Round r = 0; r < max_rounds; ++r) {
+    send_buffer_.clear();
+    protocol.collect_sends(r, send_buffer_);
+
+    mailbox_.reset();
+    for (const Message& msg : send_buffer_) {
+      if (msg.sender >= mailbox_.population()) {
+        throw std::out_of_range("Engine: sender id out of range");
+      }
+      mailbox_.push(msg, rng_);
+    }
+    metrics.messages_sent += send_buffer_.size();
+
+    // Noise is applied to the accepted message only: flips are independent
+    // per message and dropped messages are never observed, so flipping after
+    // the acceptance draw is distributionally identical to flipping each
+    // arrival (and much cheaper).
+    for (AgentId to : mailbox_.recipients()) {
+      const Message& msg = mailbox_.accepted(to);
+      const std::optional<Opinion> seen = channel_.transmit(msg.bit, rng_);
+      if (!seen) {
+        ++metrics.erased;
+        continue;
+      }
+      if (*seen != msg.bit) ++metrics.flipped;
+      ++metrics.delivered;
+      protocol.deliver(to, *seen, r);
+    }
+    metrics.dropped += mailbox_.dropped_this_round();
+
+    protocol.end_round(r);
+    metrics.rounds = r + 1;
+
+    if (options_.probe_every != 0 && r % options_.probe_every == 0) {
+      metrics.bias_series.push_back({r, protocol.current_bias()});
+      metrics.activated_series.push_back(
+          {r, static_cast<double>(protocol.current_opinionated())});
+    }
+
+    if (protocol.done(r)) break;
+  }
+  return metrics;
+}
+
+}  // namespace flip

@@ -1,0 +1,84 @@
+#pragma once
+// The synchronous round loop of the Flip model (Section 1.3.2):
+//   every round, each agent either waits or pushes its one-bit message to a
+//   uniformly random other agent; each recipient accepts one uniformly
+//   random arrival; the accepted bit is flipped with probability 1/2 - eps.
+//
+// Protocols plug in through the Protocol interface below. The engine owns
+// delivery, noise, and metrics; protocols own agent state and decisions.
+// This split keeps the per-round inner loops non-virtual inside protocol
+// implementations (collect_sends fills a flat buffer) while the engine stays
+// generic over protocols and channels.
+
+#include <string>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace flip {
+
+/// A distributed algorithm in the Flip model. One instance simulates the
+/// whole population's agent-local state for one execution.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Appends one Message per agent that chooses to SEND in round `r`
+  /// (Section 1.3.2: an agent may instead wait). Called once per round.
+  virtual void collect_sends(Round r, std::vector<Message>& out) = 0;
+
+  /// The (post-noise) bit accepted by agent `to` in round `r`. Called after
+  /// collect_sends, once per recipient that accepted a message.
+  virtual void deliver(AgentId to, Opinion bit, Round r) = 0;
+
+  /// End-of-round hook: phase transitions, opinion updates.
+  virtual void end_round(Round r) = 0;
+
+  /// True once the protocol has terminated (engine stops after this round).
+  [[nodiscard]] virtual bool done(Round r) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Current bias toward the correct opinion, for the metrics probes.
+  /// Protocols that don't track opinions may return 0.
+  [[nodiscard]] virtual double current_bias() const = 0;
+
+  /// Number of agents currently holding an opinion (activation probe).
+  [[nodiscard]] virtual std::size_t current_opinionated() const = 0;
+};
+
+/// Engine configuration knobs.
+struct EngineOptions {
+  /// Record bias/activated time series every `probe_every` rounds
+  /// (0 = never). Probing costs one virtual call per probe, not per agent.
+  Round probe_every = 0;
+};
+
+class Engine {
+ public:
+  /// The engine borrows the channel and rng: both must outlive run() calls.
+  Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
+         EngineOptions options = {});
+
+  /// Runs `protocol` until it reports done() or `max_rounds` elapses.
+  /// Returns the metrics of this execution. A fresh Metrics is produced per
+  /// call; the engine itself is reusable across runs.
+  Metrics run(Protocol& protocol, Round max_rounds);
+
+  [[nodiscard]] std::size_t population() const noexcept {
+    return mailbox_.population();
+  }
+
+ private:
+  Mailbox mailbox_;
+  NoiseChannel& channel_;
+  Xoshiro256& rng_;
+  EngineOptions options_;
+  std::vector<Message> send_buffer_;
+};
+
+}  // namespace flip

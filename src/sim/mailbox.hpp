@@ -1,0 +1,72 @@
+#pragma once
+// One-round message routing with the Flip model's reception rule:
+// "If an agent receives several messages at the same round, it can only
+//  accept one of them (chosen uniformly at random), and all other messages
+//  are dropped." (Section 1.3.2)
+//
+// Implementation: every pushed message picks a uniform recipient (excluding
+// the sender — the model says "another agent"); per recipient we keep one
+// accepted message by reservoir sampling, so acceptance is uniform among
+// that round's arrivals without buffering them. Reset between rounds is
+// O(#touched recipients), not O(n).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace flip {
+
+class Mailbox {
+ public:
+  /// Routing fabric for a population of n agents. Precondition: n >= 2.
+  explicit Mailbox(std::size_t n);
+
+  /// Routes one message from `msg.sender` to a uniformly random other agent,
+  /// applying the reservoir acceptance rule at the destination.
+  void push(const Message& msg, Xoshiro256& rng);
+
+  /// Delivers a message directly to `to` (used by tests and by baselines
+  /// that model non-anonymous delivery); same acceptance rule applies.
+  void push_to(AgentId to, const Message& msg, Xoshiro256& rng);
+
+  /// Recipients that accepted a message this round, in touch order.
+  [[nodiscard]] const std::vector<AgentId>& recipients() const noexcept {
+    return touched_;
+  }
+
+  /// The message accepted by `to` this round. Precondition: `to` appears in
+  /// recipients().
+  [[nodiscard]] const Message& accepted(AgentId to) const {
+    return kept_[to];
+  }
+
+  /// Messages that arrived at `to` this round (accepted + dropped).
+  [[nodiscard]] std::uint32_t arrivals(AgentId to) const noexcept {
+    return arrival_count_[to];
+  }
+
+  [[nodiscard]] std::uint64_t pushed_this_round() const noexcept {
+    return pushed_;
+  }
+  /// Arrivals beyond the first at each recipient — the model's drops.
+  [[nodiscard]] std::uint64_t dropped_this_round() const noexcept {
+    return pushed_ - touched_.size();
+  }
+
+  /// Clears round state. Must be called between rounds.
+  void reset() noexcept;
+
+  [[nodiscard]] std::size_t population() const noexcept {
+    return arrival_count_.size();
+  }
+
+ private:
+  std::vector<std::uint32_t> arrival_count_;
+  std::vector<Message> kept_;
+  std::vector<AgentId> touched_;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace flip

@@ -1,0 +1,16 @@
+#include "sim/metrics.hpp"
+
+namespace flip {
+
+void Metrics::clear() {
+  rounds = 0;
+  messages_sent = 0;
+  delivered = 0;
+  dropped = 0;
+  erased = 0;
+  flipped = 0;
+  bias_series.clear();
+  activated_series.clear();
+}
+
+}  // namespace flip

@@ -1,0 +1,36 @@
+#pragma once
+// Counters and optional time series recorded by the engine while a protocol
+// runs. The complexity measures of the paper — rounds and total messages
+// (= bits, since every message is one bit) — come straight from here.
+
+#include <cstdint>
+#include <vector>
+
+namespace flip {
+
+using Round = std::uint64_t;
+
+/// A (round, value) sample of some population statistic.
+struct Sample {
+  Round round;
+  double value;
+};
+
+struct Metrics {
+  Round rounds = 0;                ///< rounds executed
+  std::uint64_t messages_sent = 0; ///< total pushes = total bits on the wire
+  std::uint64_t delivered = 0;     ///< messages accepted by recipients
+  std::uint64_t dropped = 0;       ///< same-round collisions discarded
+  std::uint64_t erased = 0;        ///< destroyed by an erasure channel
+  std::uint64_t flipped = 0;       ///< accepted messages whose bit was flipped
+
+  /// Per-round bias toward the correct opinion, recorded when the engine is
+  /// given a bias probe (benches E4/E5/E7 use it; off by default).
+  std::vector<Sample> bias_series;
+  /// Per-round number of opinionated/activated agents.
+  std::vector<Sample> activated_series;
+
+  void clear();
+};
+
+}  // namespace flip

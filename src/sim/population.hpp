@@ -1,0 +1,60 @@
+#pragma once
+// Opinion bookkeeping for one simulated population. Protocols own a
+// Population; the experiment harness reads bias/correct-fraction from it.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace flip {
+
+/// Per-agent opinion state. An agent may hold no opinion yet (dormant in the
+/// broadcast problem, outside the initial set A in majority-consensus).
+class Population {
+ public:
+  /// n agents, all initially opinion-less. Precondition: n >= 2.
+  explicit Population(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return opinion_.size(); }
+
+  [[nodiscard]] bool has_opinion(AgentId a) const {
+    return has_opinion_[a] != 0;
+  }
+  [[nodiscard]] Opinion opinion(AgentId a) const {
+    return static_cast<Opinion>(opinion_[a]);
+  }
+  [[nodiscard]] std::optional<Opinion> opinion_of(AgentId a) const;
+
+  void set_opinion(AgentId a, Opinion o);
+  void clear_opinion(AgentId a);
+
+  /// Number of agents currently holding any opinion.
+  [[nodiscard]] std::size_t opinionated() const noexcept {
+    return opinionated_;
+  }
+
+  /// Number of agents holding opinion o.
+  [[nodiscard]] std::size_t count(Opinion o) const noexcept;
+
+  /// Fraction of ALL n agents whose opinion equals `correct`.
+  [[nodiscard]] double correct_fraction(Opinion correct) const noexcept;
+
+  /// Bias toward `correct` among opinionated agents:
+  ///   (#correct - #wrong) / (2 * #opinionated),
+  /// the paper's majority-bias (Section 1.3.1). 0 if nobody has an opinion.
+  [[nodiscard]] double bias(Opinion correct) const noexcept;
+
+  /// True iff every agent holds opinion `correct` — the success condition of
+  /// both problems.
+  [[nodiscard]] bool unanimous(Opinion correct) const noexcept;
+
+ private:
+  std::vector<std::uint8_t> has_opinion_;
+  std::vector<std::uint8_t> opinion_;
+  std::size_t opinionated_ = 0;
+  std::size_t ones_ = 0;  // # agents with opinion kOne, kept incrementally
+};
+
+}  // namespace flip

@@ -1,0 +1,60 @@
+#include "sim/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flip {
+
+std::optional<Round> stable_crossing(std::span<const Sample> series,
+                                     double threshold) {
+  // Scan backwards: find the last sample BELOW the threshold; the stable
+  // crossing is the next sample after it (if any).
+  std::size_t first_stable = series.size();
+  for (std::size_t i = series.size(); i-- > 0;) {
+    if (series[i].value < threshold) break;
+    first_stable = i;
+  }
+  if (first_stable == series.size()) return std::nullopt;
+  return series[first_stable].round;
+}
+
+std::optional<Round> first_crossing(std::span<const Sample> series,
+                                    double threshold) {
+  for (const Sample& s : series) {
+    if (s.value >= threshold) return s.round;
+  }
+  return std::nullopt;
+}
+
+bool has_plateau(std::span<const Sample> series, std::size_t window,
+                 double tolerance) {
+  if (series.empty()) return false;
+  const std::size_t count = std::min(window, series.size());
+  const double mean = tail_mean(series, count);
+  for (std::size_t i = series.size() - count; i < series.size(); ++i) {
+    if (std::abs(series[i].value - mean) > tolerance) return false;
+  }
+  return true;
+}
+
+double tail_mean(std::span<const Sample> series, std::size_t window) {
+  if (series.empty()) throw std::invalid_argument("tail_mean: empty series");
+  const std::size_t count = std::min(std::max<std::size_t>(window, 1),
+                                     series.size());
+  double sum = 0.0;
+  for (std::size_t i = series.size() - count; i < series.size(); ++i) {
+    sum += series[i].value;
+  }
+  return sum / static_cast<double>(count);
+}
+
+double max_step(std::span<const Sample> series) {
+  double best = 0.0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    best = std::max(best, series[i].value - series[i - 1].value);
+  }
+  return best;
+}
+
+}  // namespace flip

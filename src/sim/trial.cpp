@@ -1,0 +1,34 @@
+#include "sim/trial.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace flip {
+
+TrialSummary run_trials(const TrialFn& fn, const TrialOptions& options) {
+  if (options.trials == 0) {
+    throw std::invalid_argument("run_trials: trials == 0");
+  }
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
+
+  std::vector<TrialOutcome> outcomes(options.trials);
+  pool.parallel_for(options.trials, [&](std::size_t i) {
+    // Stream i of the master seed: replayable regardless of which worker
+    // thread picked up the trial.
+    outcomes[i] = fn(options.master_seed, i);
+  });
+
+  TrialSummary summary;
+  summary.trials = options.trials;
+  for (const TrialOutcome& o : outcomes) {
+    if (o.success) ++summary.successes;
+    summary.rounds.add(o.rounds);
+    summary.messages.add(o.messages);
+    summary.correct_fraction.add(o.correct_fraction);
+  }
+  summary.success = wilson_interval(summary.successes, summary.trials);
+  return summary;
+}
+
+}  // namespace flip

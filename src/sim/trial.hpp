@@ -1,0 +1,50 @@
+#pragma once
+// Monte-Carlo harness: runs many independent, deterministically seeded
+// executions of a scenario (in parallel) and aggregates the "w.h.p."
+// statements of the paper into success-rate estimates with Wilson intervals.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace flip {
+
+/// The outcome of one simulated execution.
+struct TrialOutcome {
+  bool success = false;            ///< all agents ended with the correct opinion
+  double rounds = 0.0;             ///< rounds the execution took
+  double messages = 0.0;           ///< total messages (= bits) sent
+  double correct_fraction = 0.0;   ///< fraction of agents correct at the end
+};
+
+/// A scenario: given (seed, trial index), run one execution. Must be safe to
+/// call concurrently for distinct indices (each call builds its own engine
+/// and rng stream from the seed).
+using TrialFn = std::function<TrialOutcome(std::uint64_t seed,
+                                           std::size_t trial_index)>;
+
+/// Aggregated results of a batch of trials.
+struct TrialSummary {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  ProportionCI success;        ///< Wilson interval on the success probability
+  RunningStats rounds;         ///< over all trials
+  RunningStats messages;       ///< over all trials
+  RunningStats correct_fraction;
+};
+
+struct TrialOptions {
+  std::size_t trials = 32;
+  std::uint64_t master_seed = 0x5eedULL;
+  /// Pool to run on; nullptr = ThreadPool::shared().
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs `options.trials` executions of `fn`; trial i receives the derived
+/// seed for stream i of the master seed, so results are reproducible and
+/// independent of thread scheduling.
+TrialSummary run_trials(const TrialFn& fn, const TrialOptions& options);
+
+}  // namespace flip

@@ -1,0 +1,33 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+
+namespace flip {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_mutex);
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace flip

@@ -1,0 +1,104 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace flip {
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  if (k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double lg = log_binomial(n, k) + static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lg);
+}
+
+double binomial_tail_ge(std::uint64_t n, std::uint64_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // Summing upward from k is stable only when k is at or above the mean
+  // (the terms decay). Below the mean, pmf(k) can underflow to 0 while the
+  // tail is ~1; compute 1 - P[X' >= n-k+1] with X' ~ Binomial(n, 1-p),
+  // whose start IS above its mean, instead.
+  if (static_cast<double>(k) < static_cast<double>(n) * p) {
+    return 1.0 - binomial_tail_ge(n, n - k + 1, 1.0 - p);
+  }
+  // Sum pmf(j) for j = k..n using the stable ratio
+  //   pmf(j+1)/pmf(j) = (n-j)/(j+1) * p/(1-p),
+  // starting from an exactly computed pmf(k).
+  const double ratio_base = p / (1.0 - p);
+  double term = binomial_pmf(n, k, p);
+  double sum = term;
+  for (std::uint64_t j = k; j < n; ++j) {
+    term *= static_cast<double>(n - j) / static_cast<double>(j + 1) * ratio_base;
+    sum += term;
+    if (term < sum * 1e-18) break;  // remaining tail is negligible
+  }
+  return std::min(sum, 1.0);
+}
+
+double binomial_tail_le(std::uint64_t n, std::uint64_t k, double p) {
+  if (k >= n) return 1.0;
+  // P[X <= k] = P[n - X >= n - k] with n - X ~ Binomial(n, 1-p).
+  return binomial_tail_ge(n, n - k, 1.0 - p);
+}
+
+double chernoff_upper(double mu, double delta) {
+  if (mu < 0.0 || delta <= 0.0) {
+    throw std::invalid_argument("chernoff_upper: need mu >= 0, delta > 0");
+  }
+  return std::exp(-delta * delta * mu / 3.0);
+}
+
+double chernoff_lower(double mu, double delta) {
+  if (mu < 0.0 || delta <= 0.0) {
+    throw std::invalid_argument("chernoff_lower: need mu >= 0, delta > 0");
+  }
+  return std::exp(-delta * delta * mu / 2.0);
+}
+
+double stirling_ratio(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("stirling_ratio: n == 0");
+  const double dn = static_cast<double>(n);
+  const double log_stirling = 0.5 * std::log(2.0 * std::numbers::pi) +
+                              (dn + 0.5) * std::log(dn) - dn;
+  return std::exp(log_factorial(n) - log_stirling);
+}
+
+double log_n(std::uint64_t n) {
+  if (n < 2) throw std::invalid_argument("log_n: n < 2");
+  return std::log(static_cast<double>(n));
+}
+
+std::uint64_t floor_log(double x, double base) {
+  if (x < 1.0 || base <= 1.0) {
+    throw std::invalid_argument("floor_log: need x >= 1, base > 1");
+  }
+  // Compute by repeated multiplication to dodge floating log edge cases at
+  // exact powers of the base.
+  std::uint64_t k = 0;
+  double pow = base;
+  while (pow <= x) {
+    ++k;
+    pow *= base;
+  }
+  return k;
+}
+
+std::uint64_t next_odd(std::uint64_t x) { return x | 1ULL; }
+
+}  // namespace flip

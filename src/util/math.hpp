@@ -1,0 +1,56 @@
+#pragma once
+// Combinatorial and concentration-bound helpers used by the closed-form
+// theory predictions (src/core/theory.hpp, src/core/two_step.hpp).
+//
+// Everything works in log-space where overflow is a risk; exact binomial
+// tail sums are computed with stable incremental ratios.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace flip {
+
+/// ln(n!) via lgamma. Exact enough for all our n (< 2^53).
+double log_factorial(std::uint64_t n);
+
+/// ln C(n, k); -inf if k > n.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// C(n,k) * p^k * (1-p)^(n-k), computed in log-space. p in [0,1].
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X >= k] for X ~ Binomial(n, p). Exact sum, numerically stable
+/// (incremental pmf ratios from the largest term).
+double binomial_tail_ge(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X <= k] for X ~ Binomial(n, p).
+double binomial_tail_le(std::uint64_t n, std::uint64_t k, double p);
+
+/// Chernoff upper-tail bound of Section 1.7, eq. (1):
+///   P[X >= (1+delta) mu] <= exp(-delta^2 mu / 3),   0 < delta < 1.
+/// Valid for sums of independent (or negatively-correlated, per
+/// Panconesi-Srinivasan) Bernoulli variables.
+double chernoff_upper(double mu, double delta);
+
+/// Chernoff lower-tail bound of Section 1.7, eq. (2):
+///   P[X <= (1-delta) mu] <= exp(-delta^2 mu / 2).
+double chernoff_lower(double mu, double delta);
+
+/// Stirling two-sided bound check: returns n! / (sqrt(2 pi) n^{n+1/2} e^{-n}).
+/// The paper uses sqrt(2 pi) <= n!/(e^{-n} n^{n+0.5}) <= e; this ratio must
+/// lie in [1, e/sqrt(2 pi)]. Exposed so tests can verify the inequality the
+/// proof of Claim 2.12 relies on.
+double stirling_ratio(std::uint64_t n);
+
+/// Natural log of n, guarding n >= 2 (the paper's "log n" is always of a
+/// population size). Precondition: n >= 2.
+double log_n(std::uint64_t n);
+
+/// Integer floor(log_b(x)) for x >= 1, b > 1 (used for phase-count T).
+std::uint64_t floor_log(double x, double base);
+
+/// Round up to the next odd integer >= x (sample counts gamma = 2r+1 must be
+/// odd so majority is never tied).
+std::uint64_t next_odd(std::uint64_t x);
+
+}  // namespace flip

@@ -1,0 +1,59 @@
+#include "util/rng.hpp"
+
+namespace flip {
+
+Xoshiro256 make_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream id through SplitMix64 so that streams 0,1,2,... of the
+  // same master seed start from unrelated points of the state space, then
+  // take one canonical jump to guard against short-range correlations.
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  Xoshiro256 engine(sm());
+  engine.jump();
+  return engine;
+}
+
+std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) {
+  // Lemire (2019): multiply-shift with rejection of the biased low range.
+  std::uint64_t x = rng();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = rng();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool bernoulli(Xoshiro256& rng, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_unit(rng) < p;
+}
+
+double uniform_unit(Xoshiro256& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t hypergeometric_ones(Xoshiro256& rng, std::uint64_t total,
+                                  std::uint64_t ones, std::uint64_t take) {
+  // Sequential draw: the i-th pick is marked with probability
+  // ones_left/left. Exact, O(take), and branch-light — `take` is at most a
+  // phase's half-length (Theta(1/eps^2) or Theta(log n/eps^2)).
+  std::uint64_t ones_left = ones;
+  std::uint64_t left = total;
+  std::uint64_t picked = 0;
+  for (std::uint64_t i = 0; i < take; ++i) {
+    if (uniform_index(rng, left) < ones_left) {
+      ++picked;
+      --ones_left;
+    }
+    --left;
+  }
+  return picked;
+}
+
+}  // namespace flip

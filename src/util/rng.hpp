@@ -1,0 +1,119 @@
+#pragma once
+// Deterministic, splittable random number generation for reproducible
+// simulation trials.
+//
+// Design notes:
+//  * xoshiro256** is the workhorse engine: fast, 256-bit state, passes BigCrush.
+//  * SplitMix64 is used only to expand seeds (as its authors recommend), which
+//    lets us derive decorrelated per-trial / per-thread streams from one
+//    master seed: stream k of seed s is seeded from SplitMix64(s) skipped to
+//    position k. Every simulation object takes an engine by reference
+//    (std::uniform_random_bit_generator), never owns global state.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace flip {
+
+/// Seed expander; also a valid (if small-state) generator in its own right.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference code,
+/// re-expressed in C++). Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state via SplitMix64, per the authors' guidance.
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// The canonical 2^128-step jump: advances this engine as if operator()
+  /// had been called 2^128 times. Used to carve non-overlapping streams.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// Derives the engine for independent stream `stream` of master seed `seed`.
+/// Distinct (seed, stream) pairs give decorrelated engines; the same pair is
+/// always the same engine, which is what makes trials replayable.
+Xoshiro256 make_stream(std::uint64_t seed, std::uint64_t stream);
+
+/// Uniform integer in [0, n). Unbiased (Lemire's rejection method).
+/// Precondition: n > 0.
+std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n);
+
+/// True with probability p (clamped to [0,1]).
+bool bernoulli(Xoshiro256& rng, double p);
+
+/// Uniform double in [0, 1) with 53 random bits.
+double uniform_unit(Xoshiro256& rng);
+
+/// Hypergeometric draw: picks `take` items uniformly without replacement
+/// from `total` items of which `ones` are marked, and returns how many
+/// marked items were picked. Used by the Stage II rule ("a uniformly random
+/// subset of exactly m_i/2 samples") without materializing the samples.
+/// Preconditions: ones <= total, take <= total.
+std::uint64_t hypergeometric_ones(Xoshiro256& rng, std::uint64_t total,
+                                  std::uint64_t ones, std::uint64_t take);
+
+}  // namespace flip

@@ -1,0 +1,117 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flip {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+TextTable& TextTable::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  if (cells_.empty()) row();
+  if (cells_.back().size() >= headers_.size()) {
+    throw std::logic_error("TextTable: too many cells in row");
+  }
+  cells_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* value) { return cell(std::string(value)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+TextTable& TextTable::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(int value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::cell(bool value) {
+  return cell(std::string(value ? "yes" : "no"));
+}
+
+const std::string& TextTable::at(std::size_t r, std::size_t c) const {
+  return cells_.at(r).at(c);
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      if (c == 0) {
+        os << text << std::string(widths[c] - text.size(), ' ');
+      } else {
+        os << std::string(widths[c] - text.size(), ' ') << text;
+      }
+      if (c + 1 < headers_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : cells_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.render();
+}
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+std::string format_sci(double value, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::scientific << value;
+  return os.str();
+}
+
+}  // namespace flip

@@ -1,0 +1,57 @@
+#pragma once
+// ASCII table and CSV rendering for the benchmark harness. Every experiment
+// prints a paper-shaped table through this type so output is uniform and
+// machine-extractable (--csv flag in the benches reuses the same rows).
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flip {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision. Rows are rendered right-aligned except the
+/// first column.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row. Returns *this for chaining cell() calls.
+  TextTable& row();
+
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value);
+  TextTable& cell(double value, int precision = 3);
+  TextTable& cell(std::size_t value);
+  TextTable& cell(int value);
+  TextTable& cell(bool value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Renders with a header rule, e.g.
+  ///   n        rounds   success
+  ///   -------  -------  -------
+  ///   1024     512      1.000
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  [[nodiscard]] std::string csv() const;
+
+  /// Convenience: render() to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string format_fixed(double value, int precision);
+
+/// Formats like "1.23e-04" for small probabilities.
+std::string format_sci(double value, int precision = 2);
+
+}  // namespace flip

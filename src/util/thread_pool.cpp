@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace flip {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done_chunks{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared_state = std::make_shared<Shared>();
+  const std::size_t chunks = std::min(count, workers_.size());
+
+  auto chunk_task = [shared_state, count, &body, chunks] {
+    for (;;) {
+      const std::size_t i =
+          shared_state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard lock(shared_state->error_mutex);
+        if (!shared_state->error) {
+          shared_state->error = std::current_exception();
+        }
+        // Drain remaining indices so everyone exits promptly.
+        shared_state->next.store(count, std::memory_order_relaxed);
+        break;
+      }
+    }
+    if (shared_state->done_chunks.fetch_add(1) + 1 == chunks) {
+      std::lock_guard lock(shared_state->done_mutex);
+      shared_state->done_cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    // One fewer queued chunk than workers: the calling thread runs one too.
+    for (std::size_t c = 0; c + 1 < chunks; ++c) tasks_.push(chunk_task);
+  }
+  cv_.notify_all();
+  chunk_task();  // participate instead of idling
+
+  {
+    std::unique_lock lock(shared_state->done_mutex);
+    shared_state->done_cv.wait(lock, [&] {
+      return shared_state->done_chunks.load() == chunks;
+    });
+  }
+  if (shared_state->error) std::rethrow_exception(shared_state->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace flip

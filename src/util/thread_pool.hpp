@@ -1,0 +1,47 @@
+#pragma once
+// Minimal fixed-size thread pool used to run independent Monte-Carlo trials
+// in parallel. Tasks are type-erased thunks; parallel_for is the only
+// pattern the library actually needs, so that is the primary API.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace flip {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count), distributing indices across workers,
+  /// and blocks until all iterations finish. body must be safe to call
+  /// concurrently for distinct i. Exceptions from body propagate (the first
+  /// one captured) after all iterations complete or are abandoned.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide shared pool for callers that don't manage their own.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace flip

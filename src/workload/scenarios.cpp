@@ -1,0 +1,214 @@
+#include "workload/scenarios.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/channel.hpp"
+#include "sim/engine.hpp"
+
+namespace flip {
+
+namespace {
+
+// Each trial uses disjoint rng streams: one for the engine (delivery +
+// channel noise), one for protocol-internal choices, one for scenario
+// setup (e.g. wake offsets). Keyed by trial index so trials are
+// independent and replayable.
+constexpr std::uint64_t kStreamsPerTrial = 4;
+
+Xoshiro256 engine_rng(std::uint64_t seed, std::size_t trial) {
+  return make_stream(seed, kStreamsPerTrial * trial + 0);
+}
+Xoshiro256 protocol_rng(std::uint64_t seed, std::size_t trial) {
+  return make_stream(seed, kStreamsPerTrial * trial + 1);
+}
+Xoshiro256 setup_rng(std::uint64_t seed, std::size_t trial) {
+  return make_stream(seed, kStreamsPerTrial * trial + 2);
+}
+
+}  // namespace
+
+TrialOutcome to_outcome(const RunDetail& detail) {
+  TrialOutcome outcome;
+  outcome.success = detail.success;
+  outcome.rounds = static_cast<double>(detail.metrics.rounds);
+  outcome.messages = static_cast<double>(detail.metrics.messages_sent);
+  outcome.correct_fraction = detail.correct_fraction;
+  return outcome;
+}
+
+RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
+                        std::size_t trial) {
+  const Params params = Params::calibrated(scenario.n, scenario.eps,
+                                           scenario.tuning);
+  auto eng_rng = engine_rng(seed, trial);
+  auto pro_rng = protocol_rng(seed, trial);
+  std::unique_ptr<NoiseChannel> channel;
+  if (scenario.heterogeneous_noise) {
+    channel = std::make_unique<HeterogeneousChannel>(scenario.eps);
+  } else {
+    channel = std::make_unique<BinarySymmetricChannel>(scenario.eps);
+  }
+  EngineOptions options;
+  options.probe_every = scenario.probe_every;
+  Engine engine(scenario.n, *channel, eng_rng, options);
+
+  BreatheConfig config = broadcast_config(scenario.correct);
+  config.stage1_pick = scenario.stage1_pick;
+  config.stage2_subset = scenario.stage2_subset;
+  BreatheProtocol protocol(params, std::move(config), pro_rng);
+  RunDetail detail;
+  const Round budget = scenario.stage1_only ? protocol.stage1_rounds()
+                                            : protocol.total_rounds();
+  detail.protocol_rounds = budget;
+  detail.metrics = engine.run(protocol, budget);
+  detail.success =
+      scenario.stage1_only
+          ? protocol.population().opinionated() == scenario.n
+          : protocol.succeeded();
+  detail.correct_fraction =
+      protocol.population().correct_fraction(scenario.correct);
+  detail.final_bias = protocol.population().bias(scenario.correct);
+  detail.stage1 = protocol.stage1_stats();
+  detail.stage2 = protocol.stage2_stats();
+  return detail;
+}
+
+RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
+                    std::size_t trial) {
+  if (!(scenario.initial_bias > 0.0) || scenario.initial_bias > 0.5) {
+    throw std::invalid_argument("run_boost: initial_bias not in (0, 0.5]");
+  }
+  const Params params = Params::calibrated(scenario.n, scenario.eps,
+                                           scenario.tuning);
+  const auto correct_count = static_cast<std::size_t>(
+      std::llround((0.5 + scenario.initial_bias) *
+                   static_cast<double>(scenario.n)));
+
+  BreatheConfig config =
+      majority_config(params, scenario.n, correct_count, scenario.correct);
+  config.skip_stage1 = true;
+
+  auto eng_rng = engine_rng(seed, trial);
+  auto pro_rng = protocol_rng(seed, trial);
+  BinarySymmetricChannel channel(scenario.eps);
+  Engine engine(scenario.n, channel, eng_rng);
+  BreatheProtocol protocol(params, std::move(config), pro_rng);
+
+  RunDetail detail;
+  detail.protocol_rounds = protocol.total_rounds();
+  detail.metrics = engine.run(protocol, protocol.total_rounds());
+  detail.success = protocol.succeeded();
+  detail.correct_fraction =
+      protocol.population().correct_fraction(scenario.correct);
+  detail.final_bias = protocol.population().bias(scenario.correct);
+  detail.stage2 = protocol.stage2_stats();
+  return detail;
+}
+
+RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
+                       std::size_t trial) {
+  if (!(scenario.majority_bias > 0.0) || scenario.majority_bias > 0.5) {
+    throw std::invalid_argument("run_majority: majority_bias not in (0, 0.5]");
+  }
+  const Params params = Params::calibrated(scenario.n, scenario.eps,
+                                           scenario.tuning);
+  // majority-bias = (A_B - A_notB) / (2|A|)  =>  A_B = |A| (1/2 + bias).
+  const auto correct_count = static_cast<std::size_t>(
+      std::llround((0.5 + scenario.majority_bias) *
+                   static_cast<double>(scenario.initial_set)));
+
+  auto eng_rng = engine_rng(seed, trial);
+  auto pro_rng = protocol_rng(seed, trial);
+  BinarySymmetricChannel channel(scenario.eps);
+  Engine engine(scenario.n, channel, eng_rng);
+
+  BreatheProtocol protocol(
+      params,
+      majority_config(params, scenario.initial_set, correct_count,
+                      scenario.correct),
+      pro_rng);
+  RunDetail detail;
+  detail.protocol_rounds = protocol.total_rounds();
+  detail.metrics = engine.run(protocol, protocol.total_rounds());
+  detail.success = protocol.succeeded();
+  detail.correct_fraction =
+      protocol.population().correct_fraction(scenario.correct);
+  detail.final_bias = protocol.population().bias(scenario.correct);
+  detail.stage1 = protocol.stage1_stats();
+  detail.stage2 = protocol.stage2_stats();
+  return detail;
+}
+
+RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
+                     std::size_t trial) {
+  const Params params = Params::calibrated(scenario.n, scenario.eps,
+                                           scenario.tuning);
+  auto eng_rng = engine_rng(seed, trial);
+  auto pro_rng = protocol_rng(seed, trial);
+  auto set_rng = setup_rng(seed, trial);
+
+  RunDetail detail;
+  DesyncConfig config;
+  config.base = broadcast_config(scenario.correct);
+  config.attribution = scenario.attribution;
+
+  if (scenario.use_clock_sync) {
+    // Section 3.2: run the activation pre-phase; its clock resets bound the
+    // skew by ~2 log n w.h.p.
+    const ClockSyncResult sync =
+        run_clock_sync(scenario.n, /*source=*/0, set_rng);
+    detail.clock_sync_rounds = sync.duration;
+    detail.clock_sync_messages = sync.messages;
+    detail.measured_skew = sync.skew;
+    config.wake = sync.wake;
+    config.max_skew = sync.skew;  // the realized bound
+  } else {
+    config.max_skew = scenario.max_skew;
+    const Round spread = scenario.actual_skew != 0 ? scenario.actual_skew
+                                                   : scenario.max_skew;
+    config.allow_excess_skew = spread > scenario.max_skew;
+    config.wake.resize(scenario.n, 0);
+    if (spread > 0) {
+      for (Round& w : config.wake) {
+        w = uniform_index(set_rng, spread + 1);
+      }
+      detail.measured_skew = spread;
+    }
+  }
+
+  BinarySymmetricChannel channel(scenario.eps);
+  Engine engine(scenario.n, channel, eng_rng);
+  DesyncBreatheProtocol protocol(params, std::move(config), pro_rng);
+
+  detail.protocol_rounds = protocol.total_rounds();
+  detail.desync_overhead = protocol.desync_overhead();
+  detail.metrics = engine.run(protocol, protocol.total_rounds());
+  detail.metrics.rounds += detail.clock_sync_rounds;
+  detail.metrics.messages_sent += detail.clock_sync_messages;
+  detail.success = protocol.succeeded();
+  detail.correct_fraction =
+      protocol.population().correct_fraction(scenario.correct);
+  detail.final_bias = protocol.population().bias(scenario.correct);
+  return detail;
+}
+
+TrialFn broadcast_trial_fn(BroadcastScenario scenario) {
+  return [scenario](std::uint64_t seed, std::size_t trial) {
+    return to_outcome(run_broadcast(scenario, seed, trial));
+  };
+}
+
+TrialFn majority_trial_fn(MajorityScenario scenario) {
+  return [scenario](std::uint64_t seed, std::size_t trial) {
+    return to_outcome(run_majority(scenario, seed, trial));
+  };
+}
+
+TrialFn desync_trial_fn(DesyncScenario scenario) {
+  return [scenario](std::uint64_t seed, std::size_t trial) {
+    return to_outcome(run_desync(scenario, seed, trial));
+  };
+}
+
+}  // namespace flip

@@ -1,0 +1,113 @@
+#pragma once
+// Ready-made experiment scenarios: each couples a Params schedule, a
+// protocol, a channel, and deterministic per-trial rng streams into a
+// single call. Tests, benches and examples all run the paper's experiments
+// through these, so workloads are identical everywhere.
+
+#include <cstdint>
+
+#include "core/breathe.hpp"
+#include "core/desync.hpp"
+#include "core/params.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trial.hpp"
+
+namespace flip {
+
+/// Noisy broadcast (Section 2): one source, n-1 uninformed agents.
+struct BroadcastScenario {
+  std::size_t n = 1024;
+  double eps = 0.2;
+  Tuning tuning{};
+  Opinion correct = Opinion::kOne;
+  /// Engine probe period for bias/activation time series (0 = off).
+  Round probe_every = 0;
+  /// Run Stage I only (benches E4/E5 study the spreading stage in
+  /// isolation). "success" then means "all agents activated".
+  bool stage1_only = false;
+  /// Rule variants of Remarks 2.1 / 2.10 (bench E11 measures equivalence).
+  Stage1Pick stage1_pick = Stage1Pick::kUniformMessage;
+  Stage2Subset stage2_subset = Stage2Subset::kUniformSubset;
+  /// Replace the BSC with the "at most 1/2 - eps" heterogeneous channel
+  /// (Section 1.3.2's exact wording; the guarantee must survive).
+  bool heterogeneous_noise = false;
+};
+
+/// Noisy majority-consensus (Corollary 2.18): |A| = initial_set agents with
+/// the given majority-bias in (0, 1/2]; B is the majority opinion.
+struct MajorityScenario {
+  std::size_t n = 1024;
+  double eps = 0.2;
+  std::size_t initial_set = 64;
+  double majority_bias = 0.25;
+  Tuning tuning{};
+  Opinion correct = Opinion::kOne;
+};
+
+/// Stage II in isolation (Lemma 2.14 / bench E7): the whole population is
+/// opinionated with the given bias toward `correct`; Stage I is skipped.
+struct BoostScenario {
+  std::size_t n = 4096;
+  double eps = 0.25;
+  double initial_bias = 0.02;  ///< delta_1 in (0, 0.5]
+  Tuning tuning{};
+  Opinion correct = Opinion::kOne;
+};
+
+/// Section 3 broadcast without a global clock.
+struct DesyncScenario {
+  std::size_t n = 1024;
+  double eps = 0.2;
+  /// Clock skew bound D. Offsets are drawn uniformly from [0, D] unless
+  /// use_clock_sync is set (then Section 3.2's pre-phase produces them and
+  /// D is its 2-log-n bound).
+  Round max_skew = 0;
+  bool use_clock_sync = false;
+  /// E15: true wake spread, possibly exceeding the declared max_skew the
+  /// schedule was built for (0 = equal to max_skew). Probes how much slack
+  /// the protocol really needs — the paper's Section 4 open question.
+  Round actual_skew = 0;
+  Attribution attribution = Attribution::kLocalWindow;
+  Tuning tuning{};
+  Opinion correct = Opinion::kOne;
+};
+
+/// Everything one execution yields; TrialOutcome is derived from this.
+struct RunDetail {
+  Metrics metrics;
+  bool success = false;
+  double correct_fraction = 0.0;
+  double final_bias = 0.0;
+  Round protocol_rounds = 0;  ///< scheduled length of the protocol
+  std::vector<StageOnePhaseStats> stage1;
+  std::vector<StageTwoPhaseStats> stage2;
+  /// Desync only: rounds added relative to the synchronous schedule, and
+  /// the pre-phase cost when use_clock_sync is set.
+  Round desync_overhead = 0;
+  Round clock_sync_rounds = 0;
+  std::uint64_t clock_sync_messages = 0;
+  Round measured_skew = 0;
+};
+
+[[nodiscard]] TrialOutcome to_outcome(const RunDetail& detail);
+
+/// Runs one broadcast execution with rng streams derived from
+/// (seed, trial). Deterministic: same inputs, same result.
+RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
+                        std::size_t trial);
+
+RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
+                       std::size_t trial);
+
+RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
+                    std::size_t trial);
+
+RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
+                     std::size_t trial);
+
+/// TrialFn adapters for the Monte-Carlo harness.
+TrialFn broadcast_trial_fn(BroadcastScenario scenario);
+TrialFn majority_trial_fn(MajorityScenario scenario);
+TrialFn desync_trial_fn(DesyncScenario scenario);
+
+}  // namespace flip

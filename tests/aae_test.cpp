@@ -1,0 +1,86 @@
+#include "baselines/aae.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+AAEConfig make_config(std::size_t correct, std::size_t wrong,
+                      double eps = 0.0, Round max_rounds = 2000) {
+  AAEConfig config;
+  config.initial_correct = correct;
+  config.initial_wrong = wrong;
+  config.eps = eps;
+  config.max_rounds = max_rounds;
+  return config;
+}
+
+TEST(AAETest, RejectsBadConfigs) {
+  Xoshiro256 rng(81);
+  EXPECT_THROW(ThreeStateAAE(1, make_config(1, 0), rng),
+               std::invalid_argument);
+  EXPECT_THROW(ThreeStateAAE(10, make_config(8, 8), rng),
+               std::invalid_argument);
+  AAEConfig no_rounds = make_config(4, 2);
+  no_rounds.max_rounds = 0;
+  EXPECT_THROW(ThreeStateAAE(10, no_rounds, rng), std::invalid_argument);
+}
+
+TEST(AAETest, InitialCountsAreDealt) {
+  Xoshiro256 rng(82);
+  ThreeStateAAE aae(100, make_config(30, 10), rng);
+  EXPECT_EQ(aae.count(AAEState::kOne), 30u);
+  EXPECT_EQ(aae.count(AAEState::kZero), 10u);
+  EXPECT_EQ(aae.count(AAEState::kBlank), 60u);
+}
+
+TEST(AAETest, NoiselessConvergesToInitialMajority) {
+  // The protocol's home turf: three symbols, no noise.
+  Xoshiro256 rng(83);
+  ThreeStateAAE aae(2048, make_config(300, 100), rng);
+  const AAEResult result = aae.run();
+  EXPECT_TRUE(result.consensus);
+  EXPECT_TRUE(result.correct);
+  EXPECT_DOUBLE_EQ(result.final_correct_fraction, 1.0);
+}
+
+TEST(AAETest, NoiselessIsFast) {
+  Xoshiro256 rng(84);
+  ThreeStateAAE aae(4096, make_config(400, 100), rng);
+  const AAEResult result = aae.run();
+  EXPECT_TRUE(result.consensus);
+  EXPECT_LT(result.rounds, 200u);  // O(log n) expected
+}
+
+TEST(AAETest, NoiseBreaksConvergence) {
+  // The paper's reason for not using AAE in the Flip model: under heavy
+  // symbol noise the three-state dynamics cannot stabilize.
+  Xoshiro256 rng(85);
+  ThreeStateAAE aae(2048, make_config(300, 100, /*eps=*/0.1, /*rounds=*/500),
+                    rng);
+  const AAEResult result = aae.run();
+  EXPECT_FALSE(result.consensus);
+}
+
+TEST(AAETest, WrongMajorityWinsNoiselessly) {
+  Xoshiro256 rng(86);
+  AAEConfig config = make_config(100, 300);
+  ThreeStateAAE aae(2048, config, rng);
+  const AAEResult result = aae.run();
+  EXPECT_TRUE(result.consensus);
+  EXPECT_FALSE(result.correct);
+}
+
+TEST(AAETest, DeterministicForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    ThreeStateAAE aae(512, make_config(80, 40), rng);
+    return aae.run().rounds;
+  };
+  EXPECT_EQ(run_once(87), run_once(87));
+}
+
+}  // namespace
+}  // namespace flip

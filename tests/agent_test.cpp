@@ -1,0 +1,62 @@
+#include "core/agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flip {
+namespace {
+
+TEST(AgentStateTest, DefaultIsDormant) {
+  AgentState st;
+  EXPECT_EQ(st.level, AgentState::kDormant);
+  EXPECT_EQ(st.recv_count, 0u);
+  EXPECT_EQ(st.ones_count, 0u);
+}
+
+TEST(AgentStateTest, ResetClearsCounters) {
+  AgentState st;
+  st.recv_count = 5;
+  st.ones_count = 3;
+  st.level = 2;
+  st.reset_phase_counters();
+  EXPECT_EQ(st.recv_count, 0u);
+  EXPECT_EQ(st.ones_count, 0u);
+  EXPECT_EQ(st.level, 2u);  // level survives phase resets
+}
+
+TEST(AgentStateBitsTest, PositiveAndFinite) {
+  const Params p = Params::calibrated(4096, 0.2);
+  const std::uint64_t bits = agent_state_bits(p);
+  EXPECT_GT(bits, 0u);
+  EXPECT_LT(bits, 256u);
+}
+
+TEST(AgentStateBitsTest, GrowsOnlyDoublyLogarithmicallyInN) {
+  // Paper, Section 1.5: O(log log n + log(1/eps)) bits. Squaring n should
+  // add only ~1 bit (log log n grows by 1 when log n doubles).
+  const double eps = 0.2;
+  const std::uint64_t small = agent_state_bits(Params::calibrated(1 << 10, eps));
+  const std::uint64_t big = agent_state_bits(Params::calibrated(1 << 20, eps));
+  EXPECT_LE(big, small + 8u);
+  // And definitely far below log2(n) = 20 bits times any constant in play.
+  EXPECT_LT(big, 80u);
+}
+
+TEST(AgentStateBitsTest, GrowsLogarithmicallyInInverseEps) {
+  // Halving eps quadruples the 1/eps^2 phase lengths: ~2 extra bits per
+  // counter, never more than a constant number of bits total.
+  const std::uint64_t coarse = agent_state_bits(Params::calibrated(1 << 16, 0.4));
+  const std::uint64_t fine = agent_state_bits(Params::calibrated(1 << 16, 0.05));
+  EXPECT_GT(fine, coarse);
+  const double log_ratio = std::log2(0.4 / 0.05);  // 3 doublings
+  EXPECT_LE(fine, coarse + static_cast<std::uint64_t>(3 * 2 * log_ratio) + 8);
+}
+
+TEST(AgentStateBitsTest, SimulatorStructIsSmall) {
+  // The in-memory representation should stay cache-friendly.
+  EXPECT_LE(sizeof(AgentState), 16u);
+}
+
+}  // namespace
+}  // namespace flip

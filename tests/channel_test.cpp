@@ -1,0 +1,168 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+TEST(OpinionTest, FlipIsInvolution) {
+  EXPECT_EQ(flip_opinion(Opinion::kZero), Opinion::kOne);
+  EXPECT_EQ(flip_opinion(Opinion::kOne), Opinion::kZero);
+  EXPECT_EQ(flip_opinion(flip_opinion(Opinion::kOne)), Opinion::kOne);
+}
+
+TEST(BscTest, RejectsBadEps) {
+  EXPECT_THROW(BinarySymmetricChannel(0.0), std::invalid_argument);
+  EXPECT_THROW(BinarySymmetricChannel(-0.1), std::invalid_argument);
+  EXPECT_THROW(BinarySymmetricChannel(0.6), std::invalid_argument);
+  EXPECT_NO_THROW(BinarySymmetricChannel(0.5));
+  EXPECT_NO_THROW(BinarySymmetricChannel(1e-6));
+}
+
+TEST(BscTest, FlipRateConcentratesAroundHalfMinusEps) {
+  const double eps = 0.2;
+  BinarySymmetricChannel channel(eps);
+  Xoshiro256 rng(11);
+  constexpr int kTrials = 200000;
+  int flips = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto seen = channel.transmit(Opinion::kOne, rng);
+    ASSERT_TRUE(seen.has_value());
+    if (*seen != Opinion::kOne) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / kTrials, 0.5 - eps, 0.005);
+}
+
+TEST(BscTest, EpsHalfNeverFlips) {
+  BinarySymmetricChannel channel(0.5);
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(channel.transmit(Opinion::kZero, rng), Opinion::kZero);
+  }
+}
+
+TEST(BscTest, SymmetricAcrossOpinions) {
+  const double eps = 0.1;
+  BinarySymmetricChannel channel(eps);
+  Xoshiro256 rng(13);
+  constexpr int kTrials = 100000;
+  int flips0 = 0;
+  int flips1 = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (channel.transmit(Opinion::kZero, rng) != Opinion::kZero) ++flips0;
+    if (channel.transmit(Opinion::kOne, rng) != Opinion::kOne) ++flips1;
+  }
+  EXPECT_NEAR(static_cast<double>(flips0) / kTrials,
+              static_cast<double>(flips1) / kTrials, 0.01);
+}
+
+TEST(BscTest, ReportsNominalFlipProbabilityAndName) {
+  BinarySymmetricChannel channel(0.15);
+  EXPECT_DOUBLE_EQ(channel.flip_probability(), 0.35);
+  EXPECT_NE(channel.name().find("bsc"), std::string::npos);
+}
+
+TEST(PerfectChannelTest, NeverAltersBits) {
+  PerfectChannel channel;
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(channel.transmit(Opinion::kOne, rng), Opinion::kOne);
+    EXPECT_EQ(channel.transmit(Opinion::kZero, rng), Opinion::kZero);
+  }
+  EXPECT_EQ(channel.flip_probability(), 0.0);
+}
+
+TEST(ErasureChannelTest, RejectsBadParameters) {
+  EXPECT_THROW(ErasureChannel(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(ErasureChannel(0.2, 1.0), std::invalid_argument);
+  EXPECT_THROW(ErasureChannel(0.2, -0.1), std::invalid_argument);
+}
+
+TEST(ErasureChannelTest, ErasesAtConfiguredRate) {
+  ErasureChannel channel(0.5, 0.3);  // eps=0.5: no flips, only erasures
+  Xoshiro256 rng(15);
+  constexpr int kTrials = 100000;
+  int erased = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (!channel.transmit(Opinion::kOne, rng)) ++erased;
+  }
+  EXPECT_NEAR(static_cast<double>(erased) / kTrials, 0.3, 0.01);
+}
+
+TEST(ErasureChannelTest, SurvivingBitsFlipAtBscRate) {
+  ErasureChannel channel(0.2, 0.5);
+  Xoshiro256 rng(16);
+  int survived = 0;
+  int flipped = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const auto seen = channel.transmit(Opinion::kOne, rng);
+    if (!seen) continue;
+    ++survived;
+    if (*seen != Opinion::kOne) ++flipped;
+  }
+  EXPECT_GT(survived, 0);
+  EXPECT_NEAR(static_cast<double>(flipped) / survived, 0.3, 0.01);
+}
+
+TEST(AdversarialChannelTest, FlipsExactlyBudgetThenHonest) {
+  AdversarialChannel channel(3);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(channel.transmit(Opinion::kOne, rng), Opinion::kZero);
+  }
+  EXPECT_EQ(channel.budget_left(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(channel.transmit(Opinion::kOne, rng), Opinion::kOne);
+  }
+}
+
+TEST(AdversarialChannelTest, ReportsWorstCaseRate) {
+  AdversarialChannel fresh(1);
+  EXPECT_EQ(fresh.flip_probability(), 1.0);
+  Xoshiro256 rng(18);
+  (void)fresh.transmit(Opinion::kOne, rng);
+  EXPECT_EQ(fresh.flip_probability(), 0.0);
+}
+
+TEST(FactoryTest, MakesBsc) {
+  const auto channel = make_flip_channel(0.25);
+  ASSERT_NE(channel, nullptr);
+  EXPECT_DOUBLE_EQ(channel->flip_probability(), 0.25);
+}
+
+
+TEST(HeterogeneousChannelTest, RejectsBadEps) {
+  EXPECT_THROW(HeterogeneousChannel(0.0), std::invalid_argument);
+  EXPECT_THROW(HeterogeneousChannel(0.6), std::invalid_argument);
+}
+
+TEST(HeterogeneousChannelTest, MeanFlipRateIsHalfTheCeiling) {
+  // Per-message flip probability ~ U[0, 1/2 - eps]: mean (1/2 - eps)/2.
+  const double eps = 0.2;
+  HeterogeneousChannel channel(eps);
+  Xoshiro256 rng(19);
+  constexpr int kTrials = 200000;
+  int flips = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    if (channel.transmit(Opinion::kOne, rng) != Opinion::kOne) ++flips;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / kTrials, (0.5 - eps) / 2.0, 0.005);
+  EXPECT_DOUBLE_EQ(channel.flip_probability(), (0.5 - eps) / 2.0);
+}
+
+TEST(HeterogeneousChannelTest, NeverWorseThanTheModelBound) {
+  // Empirical flip rate must stay below the model ceiling 1/2 - eps.
+  HeterogeneousChannel channel(0.1);
+  Xoshiro256 rng(20);
+  int flips = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (channel.transmit(Opinion::kZero, rng) != Opinion::kZero) ++flips;
+  }
+  EXPECT_LT(static_cast<double>(flips) / kTrials, 0.5 - 0.1);
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,47 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flip {
+namespace {
+
+TEST(LocalClockTest, StartsUnstarted) {
+  LocalClock clock;
+  EXPECT_FALSE(clock.started());
+}
+
+TEST(LocalClockTest, ActivationSemantics) {
+  LocalClock clock;
+  clock.start(100);
+  EXPECT_TRUE(clock.started());
+  EXPECT_EQ(clock.read(100), 0u);
+  EXPECT_EQ(clock.read(150), 50u);
+}
+
+TEST(LocalClockTest, OffsetInitialization) {
+  const LocalClock clock = LocalClock::with_offset(7);
+  EXPECT_TRUE(clock.started());
+  EXPECT_EQ(clock.read(0), 7u);
+  EXPECT_EQ(clock.read(10), 17u);
+}
+
+TEST(LocalClockTest, ResetRebasesToZero) {
+  LocalClock clock = LocalClock::with_offset(42);
+  clock.reset(30);
+  EXPECT_EQ(clock.read(30), 0u);
+  EXPECT_EQ(clock.read(31), 1u);
+}
+
+TEST(LocalClockTest, TwoClocksSkew) {
+  // Two agents waking D apart read local times D apart forever.
+  LocalClock early;
+  LocalClock late;
+  early.start(0);
+  late.start(16);
+  for (Round g = 16; g < 100; g += 7) {
+    EXPECT_EQ(early.read(g) - late.read(g), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flip {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, BelowThresholdWritesNothing) {
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_info("should be invisible");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, AtThresholdWrites) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_info("visible ", 42);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[info] visible 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_error("even errors");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, FormatsMultipleArguments) {
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log_debug("a=", 1, " b=", 2.5);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("a=1 b=2.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,114 @@
+#include "sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace flip {
+namespace {
+
+TEST(MailboxTest, RejectsTinyPopulation) {
+  EXPECT_THROW(Mailbox(1), std::invalid_argument);
+}
+
+TEST(MailboxTest, PushNeverDeliversToSelf) {
+  Mailbox mailbox(5);
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 5000; ++i) {
+    mailbox.reset();
+    mailbox.push(Message{2, Opinion::kOne}, rng);
+    ASSERT_EQ(mailbox.recipients().size(), 1u);
+    EXPECT_NE(mailbox.recipients()[0], 2u);
+  }
+}
+
+TEST(MailboxTest, RecipientsAreUniformOverOthers) {
+  Mailbox mailbox(4);
+  Xoshiro256 rng(22);
+  std::map<AgentId, int> counts;
+  constexpr int kTrials = 90000;
+  for (int i = 0; i < kTrials; ++i) {
+    mailbox.reset();
+    mailbox.push(Message{0, Opinion::kOne}, rng);
+    ++counts[mailbox.recipients()[0]];
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [to, count] : counts) {
+    EXPECT_NEAR(count, kTrials / 3, kTrials / 60) << "recipient " << to;
+  }
+}
+
+TEST(MailboxTest, KeepsExactlyOnePerRecipientPerRound) {
+  Mailbox mailbox(3);
+  Xoshiro256 rng(23);
+  mailbox.reset();
+  // Agents 0 and 1 both target agent 2 directly.
+  mailbox.push_to(2, Message{0, Opinion::kZero}, rng);
+  mailbox.push_to(2, Message{1, Opinion::kOne}, rng);
+  mailbox.push_to(2, Message{0, Opinion::kZero}, rng);
+  EXPECT_EQ(mailbox.recipients().size(), 1u);
+  EXPECT_EQ(mailbox.arrivals(2), 3u);
+  EXPECT_EQ(mailbox.pushed_this_round(), 3u);
+  EXPECT_EQ(mailbox.dropped_this_round(), 2u);
+}
+
+TEST(MailboxTest, AcceptedIsUniformAmongArrivals) {
+  // Three distinguishable senders all target agent 3; over many rounds the
+  // kept message should come from each sender about a third of the time
+  // (the Flip model's "accept one uniformly at random" rule).
+  Mailbox mailbox(4);
+  Xoshiro256 rng(24);
+  std::map<AgentId, int> kept_from;
+  constexpr int kRounds = 60000;
+  for (int i = 0; i < kRounds; ++i) {
+    mailbox.reset();
+    for (AgentId s = 0; s < 3; ++s) {
+      mailbox.push_to(3, Message{s, Opinion::kOne}, rng);
+    }
+    ++kept_from[mailbox.accepted(3).sender];
+  }
+  for (AgentId s = 0; s < 3; ++s) {
+    EXPECT_NEAR(kept_from[s], kRounds / 3, kRounds / 30) << "sender " << s;
+  }
+}
+
+TEST(MailboxTest, ResetClearsRoundState) {
+  Mailbox mailbox(3);
+  Xoshiro256 rng(25);
+  mailbox.push_to(1, Message{0, Opinion::kOne}, rng);
+  mailbox.reset();
+  EXPECT_TRUE(mailbox.recipients().empty());
+  EXPECT_EQ(mailbox.arrivals(1), 0u);
+  EXPECT_EQ(mailbox.pushed_this_round(), 0u);
+  EXPECT_EQ(mailbox.dropped_this_round(), 0u);
+}
+
+TEST(MailboxTest, ManySendersAllDeliveredSomewhere) {
+  Mailbox mailbox(100);
+  Xoshiro256 rng(26);
+  mailbox.reset();
+  for (AgentId s = 0; s < 100; ++s) {
+    mailbox.push(Message{s, Opinion::kZero}, rng);
+  }
+  EXPECT_EQ(mailbox.pushed_this_round(), 100u);
+  EXPECT_EQ(mailbox.recipients().size() + mailbox.dropped_this_round(), 100u);
+  EXPECT_GT(mailbox.recipients().size(), 40u);  // ~ (1-1/e) * 100
+  EXPECT_LT(mailbox.recipients().size(), 90u);
+}
+
+TEST(MailboxTest, TouchOrderHasNoDuplicates) {
+  Mailbox mailbox(10);
+  Xoshiro256 rng(27);
+  mailbox.reset();
+  for (int i = 0; i < 200; ++i) mailbox.push(Message{0, Opinion::kOne}, rng);
+  std::vector<bool> seen(10, false);
+  for (AgentId a : mailbox.recipients()) {
+    EXPECT_FALSE(seen[a]) << "duplicate recipient " << a;
+    seen[a] = true;
+  }
+}
+
+}  // namespace
+}  // namespace flip

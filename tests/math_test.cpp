@@ -1,0 +1,155 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+TEST(LogFactorialTest, SmallValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogBinomialTest, MatchesExactSmallCases) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 5)), 252.0, 1e-7);
+  EXPECT_NEAR(std::exp(log_binomial(7, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(7, 7)), 1.0, 1e-9);
+}
+
+TEST(LogBinomialTest, KGreaterThanNIsMinusInfinity) {
+  EXPECT_EQ(log_binomial(3, 4), -std::numeric_limits<double>::infinity());
+}
+
+TEST(BinomialPmfTest, FairCoinSmall) {
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.5), 0.125, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 1, 0.5), 0.375, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 2, 0.5), 0.375, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 3, 0.5), 0.125, 1e-12);
+}
+
+TEST(BinomialPmfTest, DegenerateP) {
+  EXPECT_EQ(binomial_pmf(5, 0, 0.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 1, 0.0), 0.0);
+  EXPECT_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+  EXPECT_EQ(binomial_pmf(5, 4, 1.0), 0.0);
+}
+
+TEST(BinomialPmfTest, SumsToOne) {
+  for (double p : {0.1, 0.5, 0.73}) {
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k <= 40; ++k) sum += binomial_pmf(40, k, p);
+    EXPECT_NEAR(sum, 1.0, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(BinomialTailTest, MatchesBruteForce) {
+  for (double p : {0.2, 0.5, 0.8}) {
+    for (std::uint64_t k = 0; k <= 21; ++k) {
+      double brute = 0.0;
+      for (std::uint64_t j = k; j <= 21; ++j) brute += binomial_pmf(21, j, p);
+      EXPECT_NEAR(binomial_tail_ge(21, k, p), brute, 1e-10)
+          << "p=" << p << " k=" << k;
+    }
+  }
+}
+
+TEST(BinomialTailTest, GeAndLeAreComplementary) {
+  for (std::uint64_t k = 0; k < 15; ++k) {
+    const double ge = binomial_tail_ge(15, k + 1, 0.37);
+    const double le = binomial_tail_le(15, k, 0.37);
+    EXPECT_NEAR(ge + le, 1.0, 1e-10);
+  }
+}
+
+TEST(BinomialTailTest, EdgeCases) {
+  EXPECT_EQ(binomial_tail_ge(10, 0, 0.4), 1.0);
+  EXPECT_EQ(binomial_tail_ge(10, 11, 0.4), 0.0);
+  EXPECT_EQ(binomial_tail_le(10, 10, 0.4), 1.0);
+}
+
+TEST(BinomialTailTest, LargeNStable) {
+  // Median of Binomial(2r+1, 1/2) is r: P[X >= r+1] = 1/2 exactly.
+  const double tail = binomial_tail_ge(100001, 50001, 0.5);
+  EXPECT_NEAR(tail, 0.5, 1e-6);
+}
+
+TEST(ChernoffTest, BoundsDecreaseWithMu) {
+  EXPECT_GT(chernoff_upper(10, 0.5), chernoff_upper(100, 0.5));
+  EXPECT_GT(chernoff_lower(10, 0.5), chernoff_lower(100, 0.5));
+}
+
+TEST(ChernoffTest, ActuallyBoundsBinomialTails) {
+  // P[X >= (1+delta) mu] for X ~ Binomial(n, p), mu = np.
+  const std::uint64_t n = 500;
+  const double p = 0.3;
+  const double mu = n * p;
+  for (double delta : {0.1, 0.3, 0.6}) {
+    const auto threshold =
+        static_cast<std::uint64_t>(std::ceil((1.0 + delta) * mu));
+    EXPECT_LE(binomial_tail_ge(n, threshold, p), chernoff_upper(mu, delta))
+        << "delta=" << delta;
+    const auto low =
+        static_cast<std::uint64_t>(std::floor((1.0 - delta) * mu));
+    EXPECT_LE(binomial_tail_le(n, low, p), chernoff_lower(mu, delta))
+        << "delta=" << delta;
+  }
+}
+
+TEST(ChernoffTest, RejectsBadArguments) {
+  EXPECT_THROW(chernoff_upper(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(chernoff_lower(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(StirlingRatioTest, WithinPaperBounds) {
+  // The paper uses sqrt(2 pi) <= n!/(e^-n n^(n+1/2)) <= e, i.e. the ratio
+  // against the sqrt(2 pi) form lies in [1, e/sqrt(2 pi)].
+  const double upper = std::numbers::e / std::sqrt(2.0 * std::numbers::pi);
+  for (std::uint64_t n : {1ULL, 2ULL, 5ULL, 10ULL, 100ULL, 10000ULL}) {
+    const double ratio = stirling_ratio(n);
+    EXPECT_GE(ratio, 1.0) << "n=" << n;
+    EXPECT_LE(ratio, upper) << "n=" << n;
+  }
+}
+
+TEST(StirlingRatioTest, ApproachesOne) {
+  EXPECT_NEAR(stirling_ratio(100000), 1.0, 1e-5);
+}
+
+TEST(LogNTest, ValuesAndGuard) {
+  EXPECT_NEAR(log_n(2), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_n(1000), std::log(1000.0), 1e-12);
+  EXPECT_THROW(log_n(1), std::invalid_argument);
+}
+
+TEST(FloorLogTest, ExactPowersAndBetween) {
+  EXPECT_EQ(floor_log(1.0, 2.0), 0u);
+  EXPECT_EQ(floor_log(2.0, 2.0), 1u);
+  EXPECT_EQ(floor_log(3.9, 2.0), 1u);
+  EXPECT_EQ(floor_log(4.0, 2.0), 2u);
+  EXPECT_EQ(floor_log(1024.0, 2.0), 10u);
+  EXPECT_EQ(floor_log(999.0, 10.0), 2u);
+  EXPECT_EQ(floor_log(1000.0, 10.0), 3u);
+}
+
+TEST(FloorLogTest, RejectsBadArguments) {
+  EXPECT_THROW(floor_log(0.5, 2.0), std::invalid_argument);
+  EXPECT_THROW(floor_log(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(NextOddTest, Values) {
+  EXPECT_EQ(next_odd(0), 1u);
+  EXPECT_EQ(next_odd(1), 1u);
+  EXPECT_EQ(next_odd(2), 3u);
+  EXPECT_EQ(next_odd(100), 101u);
+  EXPECT_EQ(next_odd(101), 101u);
+}
+
+}  // namespace
+}  // namespace flip

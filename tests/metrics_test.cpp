@@ -1,0 +1,85 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "sim/engine.hpp"
+#include "workload/scenarios.hpp"
+
+namespace flip {
+namespace {
+
+TEST(MetricsTest, ClearResetsEverything) {
+  Metrics m;
+  m.rounds = 5;
+  m.messages_sent = 10;
+  m.delivered = 8;
+  m.dropped = 1;
+  m.erased = 1;
+  m.flipped = 3;
+  m.bias_series.push_back({1, 0.5});
+  m.activated_series.push_back({1, 7.0});
+  m.clear();
+  EXPECT_EQ(m.rounds, 0u);
+  EXPECT_EQ(m.messages_sent, 0u);
+  EXPECT_EQ(m.delivered, 0u);
+  EXPECT_EQ(m.dropped, 0u);
+  EXPECT_EQ(m.erased, 0u);
+  EXPECT_EQ(m.flipped, 0u);
+  EXPECT_TRUE(m.bias_series.empty());
+  EXPECT_TRUE(m.activated_series.empty());
+}
+
+TEST(MetricsTest, AccountingIdentityHoldsEndToEnd) {
+  // sent == delivered + dropped + erased for a full protocol run, under
+  // both a pure BSC and an erasure channel.
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  const RunDetail d = run_broadcast(scenario, 31, 0);
+  EXPECT_EQ(d.metrics.messages_sent,
+            d.metrics.delivered + d.metrics.dropped + d.metrics.erased);
+  EXPECT_EQ(d.metrics.erased, 0u);  // BSC never erases
+}
+
+TEST(MetricsTest, BiasSeriesIsMonotoneInActivation) {
+  // The activated-agents probe series must be non-decreasing over Stage I.
+  BroadcastScenario scenario;
+  scenario.n = 512;
+  scenario.eps = 0.3;
+  scenario.probe_every = 25;
+  const RunDetail d = run_broadcast(scenario, 32, 0);
+  ASSERT_GT(d.metrics.activated_series.size(), 2u);
+  double prev = 0.0;
+  for (const Sample& s : d.metrics.activated_series) {
+    EXPECT_GE(s.value, prev) << "round " << s.round;
+    prev = s.value;
+  }
+  EXPECT_EQ(prev, static_cast<double>(scenario.n));
+}
+
+TEST(MetricsTest, ProbeRoundsAreEvenlySpaced) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.probe_every = 40;
+  const RunDetail d = run_broadcast(scenario, 33, 0);
+  for (std::size_t i = 1; i < d.metrics.bias_series.size(); ++i) {
+    EXPECT_EQ(d.metrics.bias_series[i].round -
+                  d.metrics.bias_series[i - 1].round,
+              40u);
+  }
+}
+
+TEST(MetricsTest, FlippedFractionTracksChannel) {
+  BroadcastScenario scenario;
+  scenario.n = 1024;
+  scenario.eps = 0.35;
+  const RunDetail d = run_broadcast(scenario, 34, 0);
+  const double rate = static_cast<double>(d.metrics.flipped) /
+                      static_cast<double>(d.metrics.delivered);
+  EXPECT_NEAR(rate, 0.5 - scenario.eps, 0.01);
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,160 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+TEST(ParamsTest, RejectsBadArguments) {
+  EXPECT_THROW(Params::calibrated(2, 0.2), std::invalid_argument);
+  EXPECT_THROW(Params::calibrated(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(Params::calibrated(100, 0.5), std::invalid_argument);
+  EXPECT_THROW(Params::calibrated(100, -0.1), std::invalid_argument);
+}
+
+TEST(ParamsTest, CalibratedValidates) {
+  for (std::size_t n : {16, 1024, 1 << 20}) {
+    for (double eps : {0.05, 0.15, 0.3, 0.45}) {
+      const Params p = Params::calibrated(n, eps);
+      EXPECT_NO_THROW(p.validate()) << "n=" << n << " eps=" << eps;
+    }
+  }
+}
+
+TEST(ParamsTest, TheoreticalConstantsMatchPaper) {
+  const Params p = Params::theoretical(1024, 0.1);
+  // r = ceil(2^22 / eps^2).
+  EXPECT_EQ(p.stage2().r,
+            static_cast<std::uint64_t>(std::ceil(4194304.0 / 0.01)));
+  // beta > 3s and f > beta, as the proofs require.
+  EXPECT_GT(p.stage1().beta, 3 * p.stage1().s);
+  EXPECT_GT(p.stage1().f, p.stage1().beta);
+}
+
+TEST(ParamsTest, GrowthBeatsNoiseDeterioration) {
+  for (double eps : {0.05, 0.1, 0.2, 0.35}) {
+    const Params p = Params::calibrated(1 << 16, eps);
+    EXPECT_GT(static_cast<double>(p.stage1().beta) + 1.0,
+              1.0 / (eps * eps))
+        << "eps=" << eps;
+  }
+}
+
+TEST(ParamsTest, PhaseZeroLengthIsSLogN) {
+  const Params p = Params::calibrated(4096, 0.2);
+  EXPECT_EQ(p.stage1().beta_s, p.stage1().s * p.log_n());
+  EXPECT_EQ(p.stage1().beta_f, p.stage1().f * p.log_n());
+}
+
+TEST(ParamsTest, TDefinitionRespectsCap) {
+  // beta_s * (beta+1)^T <= n/2 < beta_s * (beta+1)^(T+1) when T > 0.
+  const Params p = Params::calibrated(1 << 20, 0.35);
+  const StageOneSchedule& s1 = p.stage1();
+  const double bs = static_cast<double>(s1.beta_s);
+  const double b1 = static_cast<double>(s1.beta) + 1.0;
+  EXPECT_LE(bs * std::pow(b1, static_cast<double>(s1.T)),
+            static_cast<double>(p.n()) / 2.0);
+  EXPECT_GT(bs * std::pow(b1, static_cast<double>(s1.T) + 1.0),
+            static_cast<double>(p.n()) / 2.0);
+}
+
+TEST(ParamsTest, LargeNLooseEpsHasMiddlePhases) {
+  const Params p = Params::calibrated(1 << 20, 0.35);
+  EXPECT_GE(p.stage1().T, 2u) << p.describe();
+}
+
+TEST(ParamsTest, StageOnePhaseArithmetic) {
+  const Params p = Params::calibrated(1 << 20, 0.35);
+  const StageOneSchedule& s1 = p.stage1();
+  EXPECT_EQ(s1.phase_start(0), 0u);
+  EXPECT_EQ(s1.phase_end(0), s1.beta_s);
+  for (std::uint64_t i = 1; i <= s1.T; ++i) {
+    EXPECT_EQ(s1.phase_length(i), s1.beta);
+    EXPECT_EQ(s1.phase_start(i), s1.phase_end(i - 1));
+  }
+  EXPECT_EQ(s1.phase_end(s1.T + 1), s1.total_rounds());
+  EXPECT_THROW((void)s1.phase_length(s1.T + 2), std::out_of_range);
+}
+
+TEST(ParamsTest, PhaseOfRoundIsConsistentWithBoundaries) {
+  const Params p = Params::calibrated(1 << 20, 0.35);
+  const StageOneSchedule& s1 = p.stage1();
+  for (std::uint64_t phase = 0; phase <= s1.T + 1; ++phase) {
+    EXPECT_EQ(s1.phase_of_round(s1.phase_start(phase)), phase);
+    EXPECT_EQ(s1.phase_of_round(s1.phase_end(phase) - 1), phase);
+  }
+  EXPECT_THROW((void)s1.phase_of_round(s1.total_rounds()), std::out_of_range);
+}
+
+TEST(ParamsTest, StageTwoShape) {
+  const Params p = Params::calibrated(4096, 0.2);
+  const StageTwoSchedule& s2 = p.stage2();
+  EXPECT_EQ(s2.gamma, 2 * s2.r + 1);
+  EXPECT_EQ(s2.gamma % 2, 1u);
+  EXPECT_EQ(s2.m, 2 * s2.gamma);
+  EXPECT_EQ((s2.m_final / 2) % 2, 1u);  // final majority subset odd
+  EXPECT_GE(s2.m_final, s2.m);
+  EXPECT_GT(s2.k, 0u);
+  EXPECT_EQ(s2.total_rounds(), s2.k * s2.m + s2.m_final);
+}
+
+TEST(ParamsTest, StageTwoPhaseOfRound) {
+  const Params p = Params::calibrated(4096, 0.2);
+  const StageTwoSchedule& s2 = p.stage2();
+  EXPECT_EQ(s2.phase_of_round(0), 0u);
+  EXPECT_EQ(s2.phase_of_round(s2.m - 1), 0u);
+  EXPECT_EQ(s2.phase_of_round(s2.m), 1u);
+  EXPECT_EQ(s2.phase_of_round(s2.k * s2.m), s2.k);
+  EXPECT_EQ(s2.phase_of_round(s2.total_rounds() - 1), s2.k);
+  EXPECT_THROW((void)s2.phase_of_round(s2.total_rounds()), std::out_of_range);
+}
+
+TEST(ParamsTest, RoundsScaleAsLogNOverEpsSquared) {
+  // total_rounds / (log n / eps^2) should stay within a constant band
+  // across a wide range of n and eps.
+  double lo = 1e18;
+  double hi = 0.0;
+  for (std::size_t n : {1 << 12, 1 << 16, 1 << 20}) {
+    for (double eps : {0.1, 0.2, 0.3}) {
+      const Params p = Params::calibrated(n, eps);
+      const double unit =
+          std::log(static_cast<double>(n)) / (eps * eps);
+      const double ratio = static_cast<double>(p.total_rounds()) / unit;
+      lo = std::min(lo, ratio);
+      hi = std::max(hi, ratio);
+    }
+  }
+  EXPECT_LT(hi / lo, 12.0) << "lo=" << lo << " hi=" << hi;
+}
+
+TEST(ParamsTest, EpsThresholdFlag) {
+  EXPECT_TRUE(Params::calibrated(1 << 16, 0.2).eps_above_threshold());
+  EXPECT_FALSE(Params::calibrated(1 << 16, 0.002).eps_above_threshold());
+}
+
+TEST(ParamsTest, JoinPhaseMonotoneInSetSize) {
+  const Params p = Params::calibrated(1 << 20, 0.3);
+  EXPECT_EQ(p.join_phase_for_initial_set(1), 0u);
+  std::uint64_t prev = 0;
+  for (std::size_t a : {16, 256, 4096, 65536, 1 << 20}) {
+    const std::uint64_t phase = p.join_phase_for_initial_set(a);
+    EXPECT_GE(phase, prev);
+    EXPECT_LE(phase, p.stage1().T + 1);
+    prev = phase;
+  }
+  EXPECT_THROW((void)p.join_phase_for_initial_set(0), std::invalid_argument);
+}
+
+TEST(ParamsTest, DescribeMentionsKeyNumbers) {
+  const Params p = Params::calibrated(4096, 0.2);
+  const std::string text = p.describe();
+  EXPECT_NE(text.find("n=4096"), std::string::npos);
+  EXPECT_NE(text.find("Stage I"), std::string::npos);
+  EXPECT_NE(text.find("Stage II"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,164 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace flip {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSameSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(SplitMix64Test, KnownReferenceValues) {
+  // Reference outputs of splitmix64 with seed 0 (from the published
+  // reference implementation).
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(rng(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(rng(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro256Test, DeterministicForSameSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, JumpChangesState) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  EXPECT_NE(a(), b());
+}
+
+TEST(MakeStreamTest, StreamsAreDecorrelatedAndStable) {
+  Xoshiro256 s0 = make_stream(123, 0);
+  Xoshiro256 s1 = make_stream(123, 1);
+  EXPECT_NE(s0(), s1());
+
+  Xoshiro256 a = make_stream(123, 0);
+  Xoshiro256 b = make_stream(123, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(UniformIndexTest, StaysInRange) {
+  Xoshiro256 rng(1);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(uniform_index(rng, n), n);
+    }
+  }
+}
+
+TEST(UniformIndexTest, CoversAllValues) {
+  Xoshiro256 rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(uniform_index(rng, 7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(UniformIndexTest, ApproximatelyUniform) {
+  Xoshiro256 rng(3);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[uniform_index(rng, kBuckets)];
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, 500)
+        << "bucket " << b << " count " << counts[b];
+  }
+}
+
+TEST(BernoulliTest, EdgeProbabilities) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bernoulli(rng, 0.0));
+    EXPECT_TRUE(bernoulli(rng, 1.0));
+    EXPECT_FALSE(bernoulli(rng, -0.5));
+    EXPECT_TRUE(bernoulli(rng, 1.5));
+  }
+}
+
+TEST(BernoulliTest, MatchesProbability) {
+  Xoshiro256 rng(5);
+  constexpr int kDraws = 200000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (bernoulli(rng, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(UniformUnitTest, InHalfOpenUnitInterval) {
+  Xoshiro256 rng(6);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = uniform_unit(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+
+TEST(HypergeometricTest, DegenerateCases) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(hypergeometric_ones(rng, 10, 0, 5), 0u);
+  EXPECT_EQ(hypergeometric_ones(rng, 10, 10, 5), 5u);
+  EXPECT_EQ(hypergeometric_ones(rng, 10, 4, 0), 0u);
+  EXPECT_EQ(hypergeometric_ones(rng, 10, 4, 10), 4u);  // take everything
+}
+
+TEST(HypergeometricTest, StaysInSupport) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t picked = hypergeometric_ones(rng, 20, 7, 9);
+    EXPECT_LE(picked, 7u);
+    // At least max(0, take - (total - ones)) = max(0, 9 - 13) = 0.
+  }
+}
+
+TEST(HypergeometricTest, MatchesExactDistribution) {
+  // total=10, ones=4, take=5: P[X=k] = C(4,k) C(6,5-k) / C(10,5).
+  constexpr std::uint64_t kTotal = 10, kOnes = 4, kTake = 5;
+  constexpr int kDraws = 200000;
+  Xoshiro256 rng(9);
+  std::vector<int> counts(kOnes + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[hypergeometric_ones(rng, kTotal, kOnes, kTake)];
+  }
+  const double c10_5 = 252.0;
+  const double expected[] = {6.0 / c10_5, 60.0 / c10_5, 120.0 / c10_5,
+                             60.0 / c10_5, 6.0 / c10_5};
+  for (std::uint64_t k = 0; k <= kOnes; ++k) {
+    const double freq = static_cast<double>(counts[k]) / kDraws;
+    EXPECT_NEAR(freq, expected[k], 0.005) << "k=" << k;
+  }
+}
+
+TEST(HypergeometricTest, MeanMatchesTakeTimesFraction) {
+  Xoshiro256 rng(10);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(hypergeometric_ones(rng, 101, 60, 51));
+  }
+  // E[X] = take * ones / total = 51 * 60 / 101.
+  EXPECT_NEAR(sum / kDraws, 51.0 * 60.0 / 101.0, 0.05);
+}
+
+}  // namespace
+}  // namespace flip

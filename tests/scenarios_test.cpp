@@ -1,0 +1,131 @@
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+TEST(ScenariosTest, BroadcastRunIsDeterministic) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  const RunDetail a = run_broadcast(scenario, 1234, 0);
+  const RunDetail b = run_broadcast(scenario, 1234, 0);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.metrics.messages_sent, b.metrics.messages_sent);
+  EXPECT_EQ(a.metrics.flipped, b.metrics.flipped);
+  EXPECT_DOUBLE_EQ(a.correct_fraction, b.correct_fraction);
+}
+
+TEST(ScenariosTest, DifferentTrialsDiffer) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  const RunDetail a = run_broadcast(scenario, 1234, 0);
+  const RunDetail b = run_broadcast(scenario, 1234, 1);
+  EXPECT_NE(a.metrics.flipped, b.metrics.flipped);
+}
+
+TEST(ScenariosTest, BroadcastRoundsMatchSchedule) {
+  BroadcastScenario scenario;
+  scenario.n = 512;
+  scenario.eps = 0.3;
+  const RunDetail detail = run_broadcast(scenario, 7, 0);
+  const Params p = Params::calibrated(scenario.n, scenario.eps);
+  EXPECT_EQ(detail.metrics.rounds, p.total_rounds());
+  EXPECT_EQ(detail.protocol_rounds, p.total_rounds());
+}
+
+TEST(ScenariosTest, ProbeSeriesWhenRequested) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.probe_every = 50;
+  const RunDetail detail = run_broadcast(scenario, 8, 0);
+  EXPECT_FALSE(detail.metrics.bias_series.empty());
+  EXPECT_FALSE(detail.metrics.activated_series.empty());
+}
+
+TEST(ScenariosTest, MajorityValidatesBias) {
+  MajorityScenario scenario;
+  scenario.majority_bias = 0.0;
+  EXPECT_THROW(run_majority(scenario, 1, 0), std::invalid_argument);
+  scenario.majority_bias = 0.6;
+  EXPECT_THROW(run_majority(scenario, 1, 0), std::invalid_argument);
+}
+
+TEST(ScenariosTest, MajorityScenarioSucceedsAboveThresholds) {
+  MajorityScenario scenario;
+  scenario.n = 1024;
+  scenario.eps = 0.3;
+  scenario.initial_set = 256;
+  scenario.majority_bias = 0.4;
+  const RunDetail detail = run_majority(scenario, 9, 0);
+  EXPECT_TRUE(detail.success);
+}
+
+TEST(ScenariosTest, DesyncZeroSkewBehavesLikeBroadcast) {
+  DesyncScenario scenario;
+  scenario.n = 512;
+  scenario.eps = 0.3;
+  scenario.max_skew = 0;
+  const RunDetail detail = run_desync(scenario, 10, 0);
+  EXPECT_TRUE(detail.success);
+  EXPECT_EQ(detail.desync_overhead, 0u);
+  const Params p = Params::calibrated(scenario.n, scenario.eps);
+  EXPECT_EQ(detail.metrics.rounds, p.total_rounds());
+}
+
+TEST(ScenariosTest, DesyncWithSkewAddsOverheadOnly) {
+  DesyncScenario scenario;
+  scenario.n = 512;
+  scenario.eps = 0.3;
+  scenario.max_skew = 10;
+  const RunDetail detail = run_desync(scenario, 11, 0);
+  EXPECT_TRUE(detail.success);
+  EXPECT_GT(detail.desync_overhead, 0u);
+  const Params p = Params::calibrated(scenario.n, scenario.eps);
+  EXPECT_EQ(detail.metrics.rounds,
+            p.total_rounds() + detail.desync_overhead);
+}
+
+TEST(ScenariosTest, DesyncClockSyncPipeline) {
+  DesyncScenario scenario;
+  scenario.n = 512;
+  scenario.eps = 0.3;
+  scenario.use_clock_sync = true;
+  const RunDetail detail = run_desync(scenario, 12, 0);
+  EXPECT_TRUE(detail.success);
+  EXPECT_GT(detail.clock_sync_rounds, 0u);
+  EXPECT_GT(detail.clock_sync_messages, 0u);
+  EXPECT_GT(detail.measured_skew, 0u);
+}
+
+TEST(ScenariosTest, TrialFnAdapterMatchesDirectRun) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  const TrialFn fn = broadcast_trial_fn(scenario);
+  const TrialOutcome via_fn = fn(99, 3);
+  const TrialOutcome direct = to_outcome(run_broadcast(scenario, 99, 3));
+  EXPECT_EQ(via_fn.success, direct.success);
+  EXPECT_DOUBLE_EQ(via_fn.messages, direct.messages);
+}
+
+TEST(ScenariosTest, TrialHarnessIntegration) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  TrialOptions options;
+  options.trials = 8;
+  const TrialSummary summary =
+      run_trials(broadcast_trial_fn(scenario), options);
+  EXPECT_EQ(summary.trials, 8u);
+  EXPECT_GE(summary.successes, 6u);  // near-certain at these parameters
+  EXPECT_GT(summary.messages.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace flip

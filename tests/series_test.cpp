@@ -1,0 +1,90 @@
+#include "sim/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/scenarios.hpp"
+
+namespace flip {
+namespace {
+
+std::vector<Sample> make_series(std::initializer_list<double> values) {
+  std::vector<Sample> series;
+  Round r = 0;
+  for (double v : values) series.push_back({r++, v});
+  return series;
+}
+
+TEST(SeriesTest, FirstCrossingFindsEarliest) {
+  const auto s = make_series({0.1, 0.4, 0.6, 0.3, 0.9});
+  EXPECT_EQ(first_crossing(s, 0.5), Round{2});
+  EXPECT_EQ(first_crossing(s, 0.05), Round{0});
+  EXPECT_EQ(first_crossing(s, 1.5), std::nullopt);
+}
+
+TEST(SeriesTest, StableCrossingIgnoresTransients) {
+  // Touches 0.5 at index 2 but dips back below; stable from index 4.
+  const auto s = make_series({0.1, 0.4, 0.6, 0.3, 0.9, 0.95, 1.0});
+  EXPECT_EQ(stable_crossing(s, 0.5), Round{4});
+  // first_crossing would have said 2.
+  EXPECT_EQ(first_crossing(s, 0.5), Round{2});
+}
+
+TEST(SeriesTest, StableCrossingEdgeCases) {
+  EXPECT_EQ(stable_crossing({}, 0.5), std::nullopt);
+  const auto never = make_series({0.1, 0.2});
+  EXPECT_EQ(stable_crossing(never, 0.5), std::nullopt);
+  const auto always = make_series({0.9, 0.8});
+  EXPECT_EQ(stable_crossing(always, 0.5), Round{0});
+  const auto last_only = make_series({0.1, 0.9});
+  EXPECT_EQ(stable_crossing(last_only, 0.5), Round{1});
+}
+
+TEST(SeriesTest, PlateauDetection) {
+  const auto flat = make_series({0.0, 0.5, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_TRUE(has_plateau(flat, 3, 1e-9));
+  const auto rising = make_series({0.0, 0.2, 0.4, 0.6, 0.8});
+  EXPECT_FALSE(has_plateau(rising, 3, 0.05));
+  EXPECT_FALSE(has_plateau({}, 3, 0.1));
+}
+
+TEST(SeriesTest, TailMean) {
+  const auto s = make_series({0.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(tail_mean(s, 2), 3.0);
+  EXPECT_DOUBLE_EQ(tail_mean(s, 100), 2.0);  // clamps to series size
+  EXPECT_THROW(tail_mean({}, 2), std::invalid_argument);
+}
+
+TEST(SeriesTest, MaxStep) {
+  const auto s = make_series({0.0, 0.1, 0.7, 0.6, 0.8});
+  EXPECT_DOUBLE_EQ(max_step(s), 0.6);
+  EXPECT_EQ(max_step({}), 0.0);
+  const auto one = make_series({1.0});
+  EXPECT_EQ(max_step(one), 0.0);
+}
+
+TEST(SeriesTest, BroadcastActivationConvergenceTime) {
+  // End-to-end: the round at which all agents are stably activated must
+  // fall inside Stage I, and the bias series must plateau at +1/2.
+  BroadcastScenario scenario;
+  scenario.n = 512;
+  scenario.eps = 0.3;
+  scenario.probe_every = 10;
+  const RunDetail d = run_broadcast(scenario, 51, 0);
+  const Params p = Params::calibrated(scenario.n, scenario.eps);
+
+  const auto activated_all = stable_crossing(
+      d.metrics.activated_series, static_cast<double>(scenario.n));
+  ASSERT_TRUE(activated_all.has_value());
+  // Probes are every probe_every rounds, so the observed crossing can lag
+  // the true activation round by up to one probe period.
+  EXPECT_LE(*activated_all,
+            p.stage1().total_rounds() + scenario.probe_every);
+
+  EXPECT_TRUE(has_plateau(d.metrics.bias_series, 4, 1e-6));
+  EXPECT_NEAR(tail_mean(d.metrics.bias_series, 4), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeaders) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, CellTypesFormat) {
+  TextTable t({"a", "b", "c", "d", "e"});
+  t.row()
+      .cell("text")
+      .cell(3.14159, 2)
+      .cell(std::size_t{42})
+      .cell(-7)
+      .cell(true);
+  EXPECT_EQ(t.at(0, 0), "text");
+  EXPECT_EQ(t.at(0, 1), "3.14");
+  EXPECT_EQ(t.at(0, 2), "42");
+  EXPECT_EQ(t.at(0, 3), "-7");
+  EXPECT_EQ(t.at(0, 4), "yes");
+}
+
+TEST(TextTableTest, TooManyCellsThrows) {
+  TextTable t({"only"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), std::logic_error);
+}
+
+TEST(TextTableTest, RenderAlignsColumns) {
+  TextTable t({"name", "value"});
+  t.row().cell("x").cell(std::size_t{1});
+  t.row().cell("longer").cell(std::size_t{12345});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvRoundTrip) {
+  TextTable t({"n", "rounds"});
+  t.row().cell(std::size_t{1024}).cell(std::size_t{512});
+  EXPECT_EQ(t.csv(), "n,rounds\n1024,512\n");
+}
+
+TEST(TextTableTest, StreamOperatorMatchesRender) {
+  TextTable t({"h"});
+  t.row().cell("v");
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.render());
+}
+
+TEST(FormatTest, FixedAndScientific) {
+  EXPECT_EQ(format_fixed(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  const std::string sci = format_sci(0.000123, 2);
+  EXPECT_NE(sci.find("e-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,108 @@
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flip {
+namespace {
+
+TEST(TheoryTest, RoundUnitGrowsWithNAndShrinkingEps) {
+  EXPECT_GT(theory::round_unit(1 << 20, 0.2), theory::round_unit(1 << 10, 0.2));
+  EXPECT_GT(theory::round_unit(1 << 10, 0.1), theory::round_unit(1 << 10, 0.2));
+  // Quadratic in 1/eps.
+  EXPECT_NEAR(theory::round_unit(1024, 0.1) / theory::round_unit(1024, 0.2),
+              4.0, 1e-9);
+}
+
+TEST(TheoryTest, MessageUnitIsNTimesRoundUnit) {
+  EXPECT_DOUBLE_EQ(theory::message_unit(4096, 0.25),
+                   4096.0 * theory::round_unit(4096, 0.25));
+}
+
+TEST(TheoryTest, RelayDecayMatchesRecursion) {
+  // Applying the one-hop map q -> 1/2 + 2 eps (q - 1/2) repeatedly from
+  // q0 = 1 must agree with the closed form 1/2 + (2 eps)^d / 2.
+  const double eps = 0.2;
+  double q = 1.0;
+  for (std::uint64_t d = 0; d <= 12; ++d) {
+    EXPECT_NEAR(theory::relay_correct_probability(eps, d), q, 1e-12)
+        << "depth " << d;
+    q = 0.5 + 2.0 * eps * (q - 0.5);
+  }
+}
+
+TEST(TheoryTest, RelayDecayApproachesHalf) {
+  EXPECT_NEAR(theory::relay_correct_probability(0.1, 40), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(theory::relay_correct_probability(0.1, 0), 1.0);
+}
+
+TEST(TheoryTest, SampledBiasIsTwoEpsDelta) {
+  EXPECT_DOUBLE_EQ(theory::sampled_bias(0.25, 0.1), 0.05);
+  EXPECT_DOUBLE_EQ(theory::sampled_bias(0.5, 0.5), 0.5);
+}
+
+TEST(TheoryTest, Stage1BiasRecursion) {
+  // Claim 2.8: eps_i >= eps^(i+1) / 2; phase 0 is eps/2 (Claim 2.2).
+  const double eps = 0.3;
+  EXPECT_DOUBLE_EQ(theory::stage1_bias_lower_bound(eps, 0), eps / 2.0);
+  for (std::uint64_t i = 1; i < 6; ++i) {
+    EXPECT_NEAR(theory::stage1_bias_lower_bound(eps, i),
+                theory::stage1_bias_lower_bound(eps, i - 1) * eps, 1e-12);
+  }
+}
+
+TEST(TheoryTest, GrowthEnvelopeOrdering) {
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const double up = theory::stage1_growth_upper(100, 24, i);
+    const double lo = theory::stage1_growth_lower(100, 24, i);
+    EXPECT_DOUBLE_EQ(lo * 16.0, up);
+    EXPECT_GT(up, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(theory::stage1_growth_upper(100, 24, 0), 100.0);
+  EXPECT_DOUBLE_EQ(theory::stage1_growth_upper(100, 24, 2), 100.0 * 25 * 25);
+}
+
+TEST(TheoryTest, Lemma211BoundShape) {
+  // Linear 1/2 + 4 delta for small delta, capped at 1/2 + 1/100.
+  EXPECT_DOUBLE_EQ(theory::lemma_2_11_lower_bound(0.0005), 0.5 + 0.002);
+  EXPECT_DOUBLE_EQ(theory::lemma_2_11_lower_bound(0.3), 0.51);
+  EXPECT_DOUBLE_EQ(theory::lemma_2_11_lower_bound(0.0025), 0.51);
+}
+
+TEST(TheoryTest, Lemma214BoostShape) {
+  EXPECT_DOUBLE_EQ(theory::lemma_2_14_boost(0.0001), 0.00017);
+  EXPECT_DOUBLE_EQ(theory::lemma_2_14_boost(0.4), 1.0 / 800.0);
+}
+
+TEST(TheoryTest, MajorityThresholds) {
+  const std::size_t n = 1 << 16;
+  EXPECT_DOUBLE_EQ(theory::majority_min_initial_set(n, 0.2),
+                   theory::round_unit(n, 0.2));
+  // Larger initial set tolerates smaller bias.
+  EXPECT_GT(theory::majority_min_bias(n, 100),
+            theory::majority_min_bias(n, 10000));
+}
+
+TEST(TheoryTest, DesyncOverheadIsDTimesPhases) {
+  EXPECT_DOUBLE_EQ(theory::desync_overhead_rounds(20, 15), 300.0);
+  EXPECT_DOUBLE_EQ(theory::desync_overhead_rounds(0, 15), 0.0);
+}
+
+TEST(TheoryTest, SilentBirthdayBound) {
+  EXPECT_DOUBLE_EQ(theory::silent_two_message_rounds(10000), 100.0);
+}
+
+TEST(TheoryTest, EpsThresholdDecreasesWithN) {
+  EXPECT_GT(theory::eps_threshold(1 << 10), theory::eps_threshold(1 << 20));
+  // eta = 0 gives exactly n^(-1/2).
+  EXPECT_NEAR(theory::eps_threshold(10000, 0.0), 0.01, 1e-12);
+}
+
+TEST(TheoryTest, Stage1OutputBiasUnit) {
+  const double unit = theory::stage1_output_bias_unit(1 << 16);
+  EXPECT_NEAR(unit, std::sqrt(std::log(65536.0) / 65536.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace flip

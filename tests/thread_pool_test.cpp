@@ -1,0 +1,78 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace flip {
+namespace {
+
+TEST(ThreadPoolTest, DefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  int count = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int pass = 0; pass < 5; ++pass) {
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum += static_cast<long>(i);
+    });
+  }
+  EXPECT_EQ(sum.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ThreadPoolTest, MoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace flip
