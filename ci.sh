@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Local mirror of .github/workflows/ci.yml: the repo's tier-1 verification.
+# Usage: ./ci.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DFLIP_WERROR=ON
+cmake --build "$BUILD_DIR" -j
+# Note: pass -j an explicit value — bare `ctest -j` swallows the next
+# argument as the job count on CMake < 3.29.
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"
