@@ -1,42 +1,34 @@
 #pragma once
 // Shared plumbing for the experiment harness binaries: a uniform banner
-// tying each table back to the paper claim it regenerates, and --csv output
-// for machine consumption (EXPERIMENTS.md is produced from these tables).
+// tying each table back to the paper claim it regenerates, and machine
+// output for EXPERIMENTS.md and the BENCH_*.json trajectory. The actual
+// parsing/emission lives in src/cli/bench_report.* so every binary gets
+// the same flags (--csv, --json <path>, --help) from one parser; this
+// header only keeps the flip::bench names the binaries were written
+// against.
 
-#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "cli/bench_report.hpp"
 #include "util/table.hpp"
 
 namespace flip::bench {
 
-struct Options {
-  bool csv = false;
-};
+using Options = cli::BenchOptions;
 
 inline Options parse_args(int argc, char** argv) {
-  Options options;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) options.csv = true;
-  }
-  return options;
+  return cli::parse_bench_args(argc, argv);
 }
 
 inline void banner(const Options& options, const std::string& id,
                    const std::string& claim) {
-  if (options.csv) return;
-  std::cout << "=== " << id << " ===\n" << claim << "\n\n";
+  cli::bench_banner(options, id, claim);
 }
 
 inline void emit(const Options& options, const TextTable& table,
                  const std::string& note = {}) {
-  if (options.csv) {
-    std::cout << table.csv();
-  } else {
-    std::cout << table << '\n';
-    if (!note.empty()) std::cout << note << "\n\n";
-  }
+  cli::bench_emit(options, table, note);
 }
 
 }  // namespace flip::bench

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Local mirror of .github/workflows/ci.yml: the repo's tier-1 verification.
+# Local mirror of .github/workflows/ci.yml: the repo's tier-1 verification
+# plus the flipsim smoke sweep.
 # Usage: ./ci.sh [build-dir]   (default: build)
 set -eu
 
@@ -9,4 +10,27 @@ cmake -B "$BUILD_DIR" -S . -DFLIP_WERROR=ON
 cmake --build "$BUILD_DIR" -j
 # Note: pass -j an explicit value — bare `ctest -j` swallows the next
 # argument as the job count on CMake < 3.29.
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+# Smoke sweep: flipsim must enumerate the registry and emit schema-valid
+# JSON for a small sweep. The JSON lands in the build dir; CI uploads it
+# as an artifact.
+"$BUILD_DIR/tools/flipsim" --list >/dev/null
+"$BUILD_DIR/tools/flipsim" --scenario broadcast_small --trials 8 \
+  --json "$BUILD_DIR/flipsim_smoke.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/flipsim_smoke.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "flipsim-sweep-v1", doc.get("schema")
+assert doc["scenario"] == "broadcast_small"
+assert doc["points"], "sweep produced no grid points"
+point = doc["points"][0]
+assert point["trials"] == 8
+assert {"params", "success_rate", "rounds", "messages", "wall_seconds"} \
+    <= point.keys(), sorted(point.keys())
+print("flipsim smoke JSON ok:", sys.argv[1])
+EOF
+else
+  echo "python3 not found; skipping flipsim JSON validation" >&2
+fi

@@ -1,11 +1,15 @@
 // Model explorer: run any protocol or baseline at chosen parameters.
 //
 //   $ ./model_explorer <protocol> [n] [eps] [seed]
+//   $ ./model_explorer list                 # everything in the registry
 //
 // protocols: breathe | majority | desync | forward | silent | voter |
-//            two-choices | three-majority | aae
+//            two-choices | three-majority | aae | any name from
+//            `model_explorer list` (the workload/registry scenarios,
+//            same catalogue as `flipsim --list`)
 
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <string>
 
@@ -18,14 +22,15 @@
 #include "net/channel.hpp"
 #include "sim/engine.hpp"
 #include "util/math.hpp"
+#include "workload/registry.hpp"
 #include "workload/scenarios.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: model_explorer <breathe|majority|desync|forward|"
-               "silent|voter|two-choices|three-majority|aae> [n] [eps] "
-               "[seed]\n";
+               "silent|voter|two-choices|three-majority|aae|list|"
+               "<registry scenario>> [n] [eps] [seed]\n";
   return 2;
 }
 
@@ -141,6 +146,27 @@ int main(int argc, char** argv) {
     report("three-state AAE", r.consensus && r.correct,
            r.final_correct_fraction, static_cast<double>(r.rounds),
            static_cast<double>(r.rounds) * static_cast<double>(n));
+  } else if (protocol == "list") {
+    for (const flip::ScenarioInfo* info :
+         flip::ScenarioRegistry::instance().list()) {
+      std::cout << info->name << "  [" << info->problem << "]  "
+                << info->summary << "\n";
+    }
+  } else if (flip::ScenarioRegistry::instance().contains(protocol)) {
+    // Any registered scenario runs through the same TrialFn flipsim sweeps.
+    try {
+      flip::ScenarioOverrides overrides;
+      if (argc > 2) overrides.n = n;
+      if (argc > 3) overrides.eps = eps;
+      const flip::TrialFn fn =
+          flip::ScenarioRegistry::instance().make(protocol, overrides);
+      const flip::TrialOutcome o = fn(seed, 0);
+      report(protocol.c_str(), o.success, o.correct_fraction, o.rounds,
+             o.messages);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
   } else {
     return usage();
   }

@@ -1,0 +1,171 @@
+#include "cli/report.hpp"
+
+#include "util/json_writer.hpp"
+
+namespace flip::cli {
+
+namespace {
+
+void stats_object(JsonWriter& json, const RunningStats& stats) {
+  json.begin_object()
+      .field("mean", stats.mean())
+      .field("stddev", stats.stddev())
+      .field("min", stats.min())
+      .field("max", stats.max())
+      .end_object();
+}
+
+}  // namespace
+
+std::string point_key(const SweepResult& result, const SweepPoint& point) {
+  std::string key = result.spec.scenario;
+  key += "_n" + std::to_string(point.config.n);
+  key += "_eps" + JsonWriter::number(point.config.eps);
+  if (point.config.channel != kChannelBsc) {
+    key += "_" + point.config.channel;
+  }
+  return key;
+}
+
+std::string sweep_to_json(const SweepResult& result) {
+  JsonWriter json;
+  json.begin_object()
+      .field("schema", "flipsim-sweep-v1")
+      .field("scenario", result.spec.scenario)
+      .field("trials_per_point", static_cast<std::uint64_t>(result.spec.trials))
+      .field("seed", result.spec.seed)
+      .field("threads", static_cast<std::uint64_t>(result.spec.threads))
+      .field("grid_points", static_cast<std::uint64_t>(result.points.size()))
+      .field("wall_seconds", result.wall_seconds);
+  json.key("points").begin_array();
+  for (const SweepPoint& point : result.points) {
+    json.begin_object();
+    json.key("params")
+        .begin_object()
+        .field("n", static_cast<std::uint64_t>(point.config.n))
+        .field("eps", point.config.eps)
+        .field("channel", point.config.channel)
+        .end_object();
+    json.field("trials", static_cast<std::uint64_t>(point.summary.trials))
+        .field("successes",
+               static_cast<std::uint64_t>(point.summary.successes));
+    json.key("success_rate")
+        .begin_object()
+        .field("estimate", point.summary.success.estimate)
+        .field("wilson_low", point.summary.success.low)
+        .field("wilson_high", point.summary.success.high)
+        .end_object();
+    json.key("rounds");
+    stats_object(json, point.summary.rounds);
+    json.key("messages");
+    stats_object(json, point.summary.messages);
+    json.key("correct_fraction");
+    stats_object(json, point.summary.correct_fraction);
+    json.key("trial_seconds");
+    stats_object(json, point.summary.trial_seconds);
+    json.field("wall_seconds", point.summary.wall_seconds);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+std::string sweep_to_csv(const SweepResult& result) {
+  std::string csv =
+      "scenario,n,eps,channel,trials,successes,success_rate,success_low,"
+      "success_high,rounds_mean,rounds_stddev,rounds_min,rounds_max,"
+      "messages_mean,messages_stddev,correct_fraction_mean,wall_seconds\n";
+  for (const SweepPoint& point : result.points) {
+    const TrialSummary& s = point.summary;
+    csv += result.spec.scenario;
+    csv += ',' + std::to_string(point.config.n);
+    csv += ',' + JsonWriter::number(point.config.eps);
+    csv += ',' + point.config.channel;
+    csv += ',' + std::to_string(s.trials);
+    csv += ',' + std::to_string(s.successes);
+    csv += ',' + JsonWriter::number(s.success.estimate);
+    csv += ',' + JsonWriter::number(s.success.low);
+    csv += ',' + JsonWriter::number(s.success.high);
+    csv += ',' + JsonWriter::number(s.rounds.mean());
+    csv += ',' + JsonWriter::number(s.rounds.stddev());
+    csv += ',' + JsonWriter::number(s.rounds.min());
+    csv += ',' + JsonWriter::number(s.rounds.max());
+    csv += ',' + JsonWriter::number(s.messages.mean());
+    csv += ',' + JsonWriter::number(s.messages.stddev());
+    csv += ',' + JsonWriter::number(s.correct_fraction.mean());
+    csv += ',' + JsonWriter::number(point.summary.wall_seconds);
+    csv += '\n';
+  }
+  return csv;
+}
+
+TextTable sweep_table(const SweepResult& result) {
+  TextTable table({"n", "eps", "channel", "trials", "success", "rounds",
+                   "messages", "correct", "wall s"});
+  for (const SweepPoint& point : result.points) {
+    const TrialSummary& s = point.summary;
+    table.row()
+        .cell(point.config.n)
+        .cell(point.config.eps, 3)
+        .cell(point.config.channel)
+        .cell(s.trials)
+        .cell(s.success.to_string())
+        .cell(s.rounds.mean(), 0)
+        .cell(s.messages.mean(), 0)
+        .cell(s.correct_fraction.mean(), 4)
+        .cell(point.summary.wall_seconds, 2);
+  }
+  return table;
+}
+
+std::string sweep_to_bench_json(const SweepResult& result,
+                                const std::string& experiment,
+                                const std::string& git_rev) {
+  JsonWriter json;
+  json.begin_object()
+      .field("bench", "flipsim")
+      .field("experiment", experiment)
+      .field("git_rev", git_rev);
+  json.key("metrics").begin_object();
+  const auto metric = [&json](const std::string& name, double value,
+                              const char* unit, bool higher_is_better) {
+    json.key(name)
+        .begin_object()
+        .field("value", value)
+        .field("unit", unit)
+        .field("higher_is_better", higher_is_better)
+        .end_object();
+  };
+  std::size_t total_trials = 0;
+  for (const SweepPoint& point : result.points) {
+    const std::string key = point_key(result, point);
+    metric(key + "_success_rate", point.summary.success.estimate,
+           "probability", true);
+    metric(key + "_rounds_mean", point.summary.rounds.mean(), "rounds",
+           false);
+    metric(key + "_messages_mean", point.summary.messages.mean(), "messages",
+           false);
+    metric(key + "_wall_seconds", point.summary.wall_seconds, "seconds", false);
+    total_trials += point.summary.trials;
+  }
+  metric("sweep_wall_seconds", result.wall_seconds, "seconds", false);
+  if (result.wall_seconds > 0.0) {
+    metric("sweep_trials_per_second",
+           static_cast<double>(total_trials) / result.wall_seconds,
+           "trials/s", true);
+  }
+  json.end_object();  // metrics
+  json.key("params")
+      .begin_object()
+      .field("scenario", result.spec.scenario)
+      .field("trials_per_point",
+             static_cast<std::uint64_t>(result.spec.trials))
+      .field("seed", result.spec.seed)
+      .field("grid_points", static_cast<std::uint64_t>(result.points.size()))
+      .end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace flip::cli

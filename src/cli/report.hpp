@@ -1,0 +1,40 @@
+#pragma once
+// Machine-readable reporting for sweeps: the flipsim-sweep-v1 JSON schema,
+// a flat CSV with one row per grid point, the human table, and the
+// BENCH_*.json trajectory schema documented in docs/BENCHMARKS.md. All
+// emitters walk the same SweepResult, so the formats cannot drift apart.
+
+#include <string>
+
+#include "cli/sweep.hpp"
+#include "util/table.hpp"
+
+namespace flip::cli {
+
+/// Pretty-printed "flipsim-sweep-v1" document: sweep-level parameters and
+/// wall-clock, then one entry per grid point with params, success interval,
+/// rounds/messages/correct-fraction moments, and per-point timing. Key
+/// order is fixed (insertion order), so output is byte-stable for a given
+/// result.
+[[nodiscard]] std::string sweep_to_json(const SweepResult& result);
+
+/// One header line plus one row per grid point; numeric columns use
+/// shortest-round-trip formatting.
+[[nodiscard]] std::string sweep_to_csv(const SweepResult& result);
+
+/// Human-readable summary table for the terminal.
+[[nodiscard]] TextTable sweep_table(const SweepResult& result);
+
+/// The docs/BENCHMARKS.md trajectory schema: {bench, experiment, git_rev,
+/// metrics, params} with stable per-point metric keys. `experiment` names
+/// the BENCH_<id>.json file this lands in (e.g. "baseline").
+[[nodiscard]] std::string sweep_to_bench_json(const SweepResult& result,
+                                              const std::string& experiment,
+                                              const std::string& git_rev);
+
+/// A stable identifier fragment for one grid point, e.g.
+/// "broadcast_n1024_eps0.2" (channel appended when not the bsc default).
+[[nodiscard]] std::string point_key(const SweepResult& result,
+                                    const SweepPoint& point);
+
+}  // namespace flip::cli

@@ -1,0 +1,94 @@
+#include "cli/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+namespace flip::cli {
+
+namespace {
+
+// Repeated axis values would produce duplicate grid points — and duplicate
+// metric keys in the BENCH_*.json trajectory, where JSON parsers silently
+// keep only the last one. Order-preserving dedup.
+template <typename T>
+std::vector<std::optional<T>> axis_values(const std::vector<T>& values) {
+  std::vector<std::optional<T>> axis;
+  if (values.empty()) {
+    axis.push_back(std::nullopt);
+    return axis;
+  }
+  for (const T& value : values) {
+    if (std::find(axis.begin(), axis.end(), std::optional<T>(value)) ==
+        axis.end()) {
+      axis.emplace_back(value);
+    }
+  }
+  return axis;
+}
+
+}  // namespace
+
+std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  // Materialize each axis with a one-element "default" entry so the cross
+  // product below stays a plain triple loop. nullopt — not a sentinel
+  // value — means "use the scenario default", so an explicit 0 still
+  // reaches resolve() and fails validation there.
+  const auto ns = axis_values(spec.ns);
+  const auto epss = axis_values(spec.epss);
+  const auto channels = axis_values(spec.channels);
+
+  std::vector<ScenarioConfig> grid;
+  grid.reserve(ns.size() * epss.size() * channels.size());
+  for (const auto& n : ns) {
+    for (const auto& eps : epss) {
+      for (const auto& channel : channels) {
+        ScenarioOverrides overrides;
+        overrides.n = n;
+        overrides.eps = eps;
+        overrides.channel = channel;
+        grid.push_back(registry.resolve(spec.scenario, overrides));
+      }
+    }
+  }
+  return grid;
+}
+
+SweepResult run_sweep(const SweepSpec& spec) {
+  if (spec.trials == 0) {
+    throw std::invalid_argument("run_sweep: trials == 0");
+  }
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  // Validates every point (including the scenario name) up front, so a
+  // typo fails fast instead of after minutes of simulation.
+  const std::vector<ScenarioConfig> grid = expand_grid(spec);
+
+  std::unique_ptr<ThreadPool> own_pool;
+  if (spec.threads != 0) own_pool = std::make_unique<ThreadPool>(spec.threads);
+
+  SweepResult result;
+  result.spec = spec;
+  result.points.reserve(grid.size());
+  const auto sweep_start = std::chrono::steady_clock::now();
+  for (const ScenarioConfig& config : grid) {
+    TrialOptions options;
+    options.trials = spec.trials;
+    options.master_seed = spec.seed;
+    options.pool = own_pool.get();
+    SweepPoint point;
+    point.config = config;
+    point.summary =
+        run_trials(registry.make(spec.scenario, config), options);
+    result.points.push_back(std::move(point));
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  return result;
+}
+
+}  // namespace flip::cli

@@ -1,0 +1,52 @@
+#pragma once
+// Sweep specification and runner: expands a (scenario, n, eps, channel)
+// grid against the workload registry, runs each point through the parallel
+// Monte-Carlo harness, and keeps wall-clock per point so the reporting
+// layer can emit the perf trajectory alongside the protocol statistics.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trial.hpp"
+#include "workload/registry.hpp"
+
+namespace flip::cli {
+
+/// The grid to run. Empty axis = the scenario's registered default.
+struct SweepSpec {
+  std::string scenario;
+  std::vector<std::size_t> ns;
+  std::vector<double> epss;
+  std::vector<std::string> channels;
+  std::size_t trials = 32;
+  std::uint64_t seed = 0x5eedULL;
+  /// 0 = the shared pool (hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// One grid point's resolved parameters and aggregated results. Per-point
+/// wall-clock lives in summary.wall_seconds.
+struct SweepPoint {
+  ScenarioConfig config;
+  TrialSummary summary;
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<SweepPoint> points;
+  double wall_seconds = 0.0;  ///< whole sweep
+};
+
+/// Expands the grid (cross product, axis order n -> eps -> channel) and
+/// runs every point. Validates the whole grid against the registry before
+/// running anything, so a typo fails fast instead of after minutes of
+/// simulation. Throws std::invalid_argument on unknown scenario/channel or
+/// zero trials.
+SweepResult run_sweep(const SweepSpec& spec);
+
+/// The resolved grid run_sweep would execute, in execution order.
+std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec);
+
+}  // namespace flip::cli

@@ -1,10 +1,20 @@
 #include "sim/trial.hpp"
 
-#include <mutex>
+#include <chrono>
 #include <stdexcept>
 #include <vector>
 
 namespace flip {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
 
 TrialSummary run_trials(const TrialFn& fn, const TrialOptions& options) {
   if (options.trials == 0) {
@@ -12,22 +22,29 @@ TrialSummary run_trials(const TrialFn& fn, const TrialOptions& options) {
   }
   ThreadPool& pool = options.pool ? *options.pool : ThreadPool::shared();
 
+  const auto batch_start = std::chrono::steady_clock::now();
   std::vector<TrialOutcome> outcomes(options.trials);
+  std::vector<double> elapsed(options.trials);
   pool.parallel_for(options.trials, [&](std::size_t i) {
     // Stream i of the master seed: replayable regardless of which worker
     // thread picked up the trial.
+    const auto start = std::chrono::steady_clock::now();
     outcomes[i] = fn(options.master_seed, i);
+    elapsed[i] = seconds_since(start);
   });
 
   TrialSummary summary;
   summary.trials = options.trials;
-  for (const TrialOutcome& o : outcomes) {
+  for (std::size_t i = 0; i < options.trials; ++i) {
+    const TrialOutcome& o = outcomes[i];
     if (o.success) ++summary.successes;
     summary.rounds.add(o.rounds);
     summary.messages.add(o.messages);
     summary.correct_fraction.add(o.correct_fraction);
+    summary.trial_seconds.add(elapsed[i]);
   }
   summary.success = wilson_interval(summary.successes, summary.trials);
+  summary.wall_seconds = seconds_since(batch_start);
   return summary;
 }
 

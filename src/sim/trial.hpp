@@ -33,6 +33,11 @@ struct TrialSummary {
   RunningStats rounds;         ///< over all trials
   RunningStats messages;       ///< over all trials
   RunningStats correct_fraction;
+  /// Wall-clock of the whole batch, including scheduling overhead. Unlike
+  /// everything above this is *not* deterministic — report it, never gate
+  /// correctness on it.
+  double wall_seconds = 0.0;
+  RunningStats trial_seconds;  ///< per-execution wall-clock
 };
 
 struct TrialOptions {

@@ -1,0 +1,182 @@
+#include "util/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace flip {
+
+JsonWriter::JsonWriter(int indent) : indent_(indent) {}
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through byte-for-byte
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) return "null";
+  return std::string(buf, end);
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) {
+    if (!out_.empty()) {
+      throw std::logic_error("JsonWriter: only one top-level value");
+    }
+    return;
+  }
+  if (stack_.back() == '{') {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: value inside object needs a key");
+    }
+    key_pending_ = false;
+    return;
+  }
+  // Array element: separate from the previous one.
+  if (has_items_.back() == 'y') out_ += ',';
+  has_items_.back() = 'y';
+  newline();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (done_ || stack_.empty() || stack_.back() != '{') {
+    throw std::logic_error("JsonWriter: key outside an object");
+  }
+  if (key_pending_) throw std::logic_error("JsonWriter: key after key");
+  if (has_items_.back() == 'y') out_ += ',';
+  has_items_.back() = 'y';
+  newline();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_ += '{';
+  has_items_ += 'n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_ += '[';
+  has_items_ += 'n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != '{' || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object");
+  }
+  const bool had_items = has_items_.back() == 'y';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline();
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != '[') {
+    throw std::logic_error("JsonWriter: mismatched end_array");
+  }
+  const bool had_items = has_items_.back() == 'y';
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline();
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double num) {
+  before_value();
+  out_ += number(num);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  before_value();
+  out_ += boolean ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t num) {
+  before_value();
+  out_ += std::to_string(num);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t num) {
+  before_value();
+  out_ += std::to_string(num);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_) throw std::logic_error("JsonWriter: document incomplete");
+  return out_;
+}
+
+}  // namespace flip

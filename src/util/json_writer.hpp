@@ -1,0 +1,72 @@
+#pragma once
+// Minimal streaming JSON writer for the machine-readable reporting path
+// (flipsim sweeps, bench --json, the BENCH_*.json trajectory files). Keys
+// are emitted in insertion order, so output is byte-stable for a given call
+// sequence — the docs and CI diff these files, which is why we do not use
+// an unordered DOM. No parsing, no allocation beyond the output string.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace flip {
+
+/// Emits one JSON document through begin/end calls, validating nesting as
+/// it goes (mismatched end or a value without a pending key throws
+/// std::logic_error). Doubles are rendered shortest-round-trip; NaN and
+/// infinities become null, as JSON has no spelling for them.
+class JsonWriter {
+ public:
+  /// indent <= 0 renders compact one-line JSON; otherwise pretty-printed
+  /// with `indent` spaces per level.
+  explicit JsonWriter(int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Names the next value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(bool boolean);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(unsigned number) { return value(static_cast<std::uint64_t>(number)); }
+  JsonWriter& null();
+
+  /// Shorthand: key(name) followed by value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document. Throws std::logic_error if containers are
+  /// still open.
+  [[nodiscard]] const std::string& str() const;
+
+  /// Escapes `text` per RFC 8259 (quotes not included).
+  static std::string escape(std::string_view text);
+  /// Shortest-round-trip rendering of a finite double ("null" otherwise).
+  static std::string number(double value);
+
+ private:
+  void before_value();
+  void newline();
+
+  std::string out_;
+  // One char per open container: '{' or '['; parallel flag = "has items".
+  std::string stack_;
+  std::string has_items_;
+  bool key_pending_ = false;
+  bool done_ = false;
+  int indent_;
+};
+
+}  // namespace flip

@@ -30,6 +30,9 @@ class TextTable {
   [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
   [[nodiscard]] std::size_t columns() const noexcept { return headers_.size(); }
   [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
 
   /// Renders with a header rule, e.g.
   ///   n        rounds   success

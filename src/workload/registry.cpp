@@ -1,0 +1,372 @@
+#include "workload/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/aae.hpp"
+#include "baselines/forward.hpp"
+#include "baselines/pull_majority.hpp"
+#include "baselines/silent.hpp"
+#include "baselines/voter.hpp"
+#include "core/theory.hpp"
+#include "net/channel.hpp"
+#include "sim/engine.hpp"
+#include "util/math.hpp"
+#include "workload/scenarios.hpp"
+
+namespace flip {
+
+namespace {
+
+// Baseline trial fns derive their rng the same way scenarios.cpp does:
+// disjoint lanes per trial index, so every trial of a sweep is independent
+// and replayable from (master seed, trial).
+constexpr std::uint64_t kStreamsPerTrial = 4;
+
+Xoshiro256 baseline_rng(std::uint64_t seed, std::size_t trial,
+                        std::uint64_t lane) {
+  return make_stream(seed, kStreamsPerTrial * trial + lane);
+}
+
+BroadcastScenario broadcast_from(const ScenarioConfig& config) {
+  BroadcastScenario scenario;
+  scenario.n = config.n;
+  scenario.eps = config.eps;
+  scenario.heterogeneous_noise = config.channel == kChannelHeterogeneous;
+  return scenario;
+}
+
+void register_builtin(ScenarioRegistry& registry) {
+  const std::vector<std::string> bsc = {std::string(kChannelBsc)};
+  const std::vector<std::string> bsc_or_hetero = {
+      std::string(kChannelBsc), std::string(kChannelHeterogeneous)};
+
+  registry.add(
+      {"broadcast", "Section 2 noisy broadcast: the two-stage breathe protocol",
+       "broadcast", 1024, 0.2, bsc_or_hetero},
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      {"broadcast_small",
+       "CI-sized broadcast (seconds per trial even in Debug)", "broadcast",
+       256, 0.3, bsc_or_hetero},
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      {"broadcast_large", "Broadcast at the sizes the scaling benches use",
+       "broadcast", 8192, 0.2, bsc_or_hetero},
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      {"broadcast_stage1",
+       "Stage I in isolation; success = every agent activated", "broadcast",
+       1024, 0.2, bsc_or_hetero},
+      [](const ScenarioConfig& config) {
+        BroadcastScenario scenario = broadcast_from(config);
+        scenario.stage1_only = true;
+        return broadcast_trial_fn(scenario);
+      });
+
+  registry.add(
+      {"broadcast_variant_rules",
+       "Remarks 2.1/2.10 rule variants: first-message pick, prefix subset",
+       "broadcast", 1024, 0.2, bsc_or_hetero},
+      [](const ScenarioConfig& config) {
+        BroadcastScenario scenario = broadcast_from(config);
+        scenario.stage1_pick = Stage1Pick::kFirstMessage;
+        scenario.stage2_subset = Stage2Subset::kPrefixSubset;
+        return broadcast_trial_fn(scenario);
+      });
+
+  registry.add(
+      {"majority",
+       "Corollary 2.18 majority-consensus: |A| = n/16, majority-bias 0.25",
+       "majority", 1024, 0.2, bsc},
+      [](const ScenarioConfig& config) {
+        MajorityScenario scenario;
+        scenario.n = config.n;
+        scenario.eps = config.eps;
+        scenario.initial_set = std::max<std::size_t>(64, config.n / 16);
+        scenario.majority_bias = 0.25;
+        return majority_trial_fn(scenario);
+      });
+
+  registry.add(
+      {"boost",
+       "Stage II in isolation (Lemma 2.14): bias 0.02 boosted to consensus",
+       "boost", 4096, 0.25, bsc},
+      [](const ScenarioConfig& config) {
+        BoostScenario scenario;
+        scenario.n = config.n;
+        scenario.eps = config.eps;
+        return boost_trial_fn(scenario);
+      });
+
+  registry.add(
+      {"desync", "Section 3 broadcast without a global clock, skew D = 8",
+       "desync", 1024, 0.2, bsc},
+      [](const ScenarioConfig& config) {
+        DesyncScenario scenario;
+        scenario.n = config.n;
+        scenario.eps = config.eps;
+        scenario.max_skew = 8;
+        return desync_trial_fn(scenario);
+      });
+
+  registry.add(
+      {"desync_clock_sync",
+       "Desync broadcast behind the Section 3.2 clock-sync pre-phase",
+       "desync", 1024, 0.2, bsc},
+      [](const ScenarioConfig& config) {
+        DesyncScenario scenario;
+        scenario.n = config.n;
+        scenario.eps = config.eps;
+        scenario.use_clock_sync = true;
+        return desync_trial_fn(scenario);
+      });
+
+  registry.add(
+      {"baseline_silent",
+       "Sec 1.6 silent-listening strawman: correct but Theta(n log n/eps^2)",
+       "broadcast", 256, 0.3, bsc},
+      [](const ScenarioConfig& config) {
+        return TrialFn([config](std::uint64_t seed, std::size_t trial) {
+          const double unit = theory::round_unit(config.n, config.eps);
+          BinarySymmetricChannel channel(config.eps);
+          auto rng = baseline_rng(seed, trial, 0);
+          Engine engine(config.n, channel, rng);
+          SilentConfig silent;
+          silent.samples_needed =
+              next_odd(static_cast<std::uint64_t>(unit));
+          silent.max_rounds = static_cast<Round>(
+              64.0 * static_cast<double>(config.n) * unit);
+          SilentListeningProtocol protocol(config.n, silent);
+          const Metrics metrics = engine.run(protocol, silent.max_rounds);
+          TrialOutcome outcome;
+          outcome.correct_fraction =
+              protocol.population().correct_fraction(Opinion::kOne);
+          outcome.success =
+              protocol.all_decided() && outcome.correct_fraction == 1.0;
+          outcome.rounds = static_cast<double>(metrics.rounds);
+          outcome.messages = static_cast<double>(metrics.messages_sent);
+          return outcome;
+        });
+      });
+
+  registry.add(
+      {"baseline_forward",
+       "Sec 1.6 forward-now strawman: fast, bias decays (2 eps)^depth",
+       "broadcast", 1024, 0.2, bsc},
+      [](const ScenarioConfig& config) {
+        return TrialFn([config](std::uint64_t seed, std::size_t trial) {
+          BinarySymmetricChannel channel(config.eps);
+          auto rng = baseline_rng(seed, trial, 0);
+          Engine engine(config.n, channel, rng);
+          ForwardConfig forward;
+          forward.initial = {Seed{0, Opinion::kOne}};
+          forward.stop_when_all_informed = true;
+          ForwardGossipProtocol protocol(config.n, forward);
+          const Metrics metrics = engine.run(protocol, Round{1} << 20);
+          TrialOutcome outcome;
+          outcome.success = protocol.population().unanimous(Opinion::kOne);
+          outcome.correct_fraction =
+              protocol.population().correct_fraction(Opinion::kOne);
+          outcome.rounds = static_cast<double>(metrics.rounds);
+          outcome.messages = static_cast<double>(metrics.messages_sent);
+          return outcome;
+        });
+      });
+
+  registry.add(
+      {"baseline_voter",
+       "Noisy voter with a zealot source: hovers near 50/50 (refs 49, 50)",
+       "broadcast", 1024, 0.2, bsc},
+      [](const ScenarioConfig& config) {
+        return TrialFn([config](std::uint64_t seed, std::size_t trial) {
+          const double unit = theory::round_unit(config.n, config.eps);
+          BinarySymmetricChannel channel(config.eps);
+          auto rng = baseline_rng(seed, trial, 0);
+          Engine engine(config.n, channel, rng);
+          VoterConfig voter;
+          voter.zealots = {Seed{0, Opinion::kOne}};
+          voter.duration = static_cast<Round>(16.0 * unit);
+          NoisyVoterProtocol protocol(config.n, voter);
+          const Metrics metrics = engine.run(protocol, voter.duration);
+          TrialOutcome outcome;
+          outcome.success = protocol.population().unanimous(Opinion::kOne);
+          outcome.correct_fraction =
+              protocol.population().correct_fraction(Opinion::kOne);
+          outcome.rounds = static_cast<double>(metrics.rounds);
+          outcome.messages = static_cast<double>(metrics.messages_sent);
+          return outcome;
+        });
+      });
+
+  const auto pull_factory = [](PullRule rule, double samples_per_round) {
+    return [rule, samples_per_round](const ScenarioConfig& config) {
+      return TrialFn([config, rule, samples_per_round](std::uint64_t seed,
+                                                       std::size_t trial) {
+        const double unit = theory::round_unit(config.n, config.eps);
+        BinarySymmetricChannel channel(config.eps);
+        auto rng = baseline_rng(seed, trial, 0);
+        PullMajorityConfig pull;
+        pull.rule = rule;
+        pull.initial_correct_fraction = 0.6;
+        pull.max_rounds = static_cast<Round>(8.0 * unit);
+        PullMajorityDynamics dynamics(config.n, pull, channel, rng);
+        const PullMajorityResult result = dynamics.run();
+        TrialOutcome outcome;
+        outcome.success = result.consensus && result.correct;
+        outcome.correct_fraction = result.final_correct_fraction;
+        outcome.rounds = static_cast<double>(result.rounds);
+        outcome.messages = static_cast<double>(result.rounds) *
+                           static_cast<double>(config.n) * samples_per_round;
+        return outcome;
+      });
+    };
+  };
+
+  registry.add(
+      {"baseline_two_choices",
+       "Two-choices pull dynamics (ref 22) run through the noisy channel",
+       "majority", 1024, 0.2, bsc},
+      pull_factory(PullRule::kTwoPlusOwn, 2.0));
+
+  registry.add(
+      {"baseline_three_majority",
+       "3-majority pull dynamics (ref 11) run through the noisy channel",
+       "majority", 1024, 0.2, bsc},
+      pull_factory(PullRule::kThreeSamples, 3.0));
+
+  registry.add(
+      {"baseline_aae",
+       "Angluin-Aspnes-Eisenstat 3-state dynamics; noisy misreads break it",
+       "majority", 1024, 0.2, bsc},
+      [](const ScenarioConfig& config) {
+        return TrialFn([config](std::uint64_t seed, std::size_t trial) {
+          const double unit = theory::round_unit(config.n, config.eps);
+          auto rng = baseline_rng(seed, trial, 0);
+          AAEConfig aae;
+          aae.initial_correct = config.n * 3 / 10;
+          aae.initial_wrong = config.n / 10;
+          aae.eps = config.eps;
+          aae.max_rounds = static_cast<Round>(8.0 * unit);
+          ThreeStateAAE dynamics(config.n, aae, rng);
+          const AAEResult result = dynamics.run();
+          TrialOutcome outcome;
+          outcome.success = result.consensus && result.correct;
+          outcome.correct_fraction = result.final_correct_fraction;
+          outcome.rounds = static_cast<double>(result.rounds);
+          outcome.messages = static_cast<double>(result.rounds) *
+                             static_cast<double>(config.n);
+          return outcome;
+        });
+      });
+}
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(ScenarioInfo info, ScenarioFactory factory) {
+  if (info.name.empty()) {
+    throw std::invalid_argument("ScenarioRegistry::add: empty name");
+  }
+  if (info.channels.empty()) {
+    throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
+                                "' registers no channels");
+  }
+  if (info.default_n == 0) {
+    throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
+                                "' has default_n == 0");
+  }
+  if (!factory) {
+    throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
+                                "' has no factory");
+  }
+  if (contains(info.name)) {
+    throw std::invalid_argument("ScenarioRegistry::add: duplicate '" +
+                                info.name + "'");
+  }
+  entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+std::vector<const ScenarioInfo*> ScenarioRegistry::list() const {
+  std::vector<const ScenarioInfo*> infos;
+  infos.reserve(entries_.size());
+  for (const Entry& entry : entries_) infos.push_back(&entry.info);
+  std::sort(infos.begin(), infos.end(),
+            [](const ScenarioInfo* a, const ScenarioInfo* b) {
+              return a->name < b->name;
+            });
+  return infos;
+}
+
+const ScenarioInfo* ScenarioRegistry::find(std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) return &entry.info;
+  }
+  return nullptr;
+}
+
+bool ScenarioRegistry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+const ScenarioRegistry::Entry& ScenarioRegistry::entry_or_throw(
+    std::string_view name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) return entry;
+  }
+  throw std::invalid_argument("unknown scenario '" + std::string(name) +
+                              "' (see flipsim --list)");
+}
+
+ScenarioConfig ScenarioRegistry::resolve(std::string_view name,
+                                         const ScenarioOverrides& o) const {
+  const Entry& entry = entry_or_throw(name);
+  ScenarioConfig config;
+  config.n = o.n.value_or(entry.info.default_n);
+  config.eps = o.eps.value_or(entry.info.default_eps);
+  config.channel = o.channel.value_or(entry.info.channels.front());
+  if (config.n < 2) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "': n must be >= 2");
+  }
+  if (!(config.eps > 0.0) || config.eps > 0.5) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "': eps must be in (0, 0.5]");
+  }
+  if (std::find(entry.info.channels.begin(), entry.info.channels.end(),
+                config.channel) == entry.info.channels.end()) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "' does not support channel '" +
+                                config.channel + "'");
+  }
+  return config;
+}
+
+TrialFn ScenarioRegistry::make(std::string_view name,
+                               const ScenarioOverrides& o) const {
+  return make(name, resolve(name, o));
+}
+
+TrialFn ScenarioRegistry::make(std::string_view name,
+                               const ScenarioConfig& config) const {
+  return entry_or_throw(name).factory(config);
+}
+
+}  // namespace flip

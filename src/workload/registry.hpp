@@ -1,0 +1,95 @@
+#pragma once
+// Enumerable scenario registry: every workload the repo can run, keyed by a
+// stable name, with metadata (problem, defaults, supported channels) and a
+// factory that builds the Monte-Carlo TrialFn for a resolved parameter
+// point. tools/flipsim introspects this to run sweeps; tests walk it so a
+// scenario cannot be registered without being executable.
+//
+// This replaces "pick the right run_* function and hand-wire its struct"
+// with a uniform (name, n, eps, channel) interface. The scenario structs in
+// scenarios.hpp remain the typed API for code that needs every knob; the
+// registry exposes the grid dimensions sweeps actually vary.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/trial.hpp"
+
+namespace flip {
+
+/// Static description of one registered scenario.
+struct ScenarioInfo {
+  std::string name;     ///< stable registry key, e.g. "broadcast_small"
+  std::string summary;  ///< one line for `flipsim --list`
+  std::string problem;  ///< "broadcast" | "majority" | "boost" | ...
+  std::size_t default_n = 0;
+  double default_eps = 0.0;
+  /// Channel names this scenario accepts; [0] is the default.
+  std::vector<std::string> channels;
+};
+
+/// One resolved grid point the factory builds a TrialFn for.
+struct ScenarioConfig {
+  std::size_t n = 0;
+  double eps = 0.0;
+  std::string channel;
+};
+
+/// Optional overrides for the registry's defaults (empty = default).
+struct ScenarioOverrides {
+  std::optional<std::size_t> n;
+  std::optional<double> eps;
+  std::optional<std::string> channel;
+};
+
+using ScenarioFactory = std::function<TrialFn(const ScenarioConfig&)>;
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry, populated with every built-in scenario on
+  /// first use. Thread-safe construction (magic static); `add` afterwards
+  /// is not synchronized — register from one thread (tests, plugins' main).
+  static ScenarioRegistry& instance();
+
+  /// Registers a scenario. Throws std::invalid_argument on a duplicate
+  /// name, an empty channel list, or a zero default_n.
+  void add(ScenarioInfo info, ScenarioFactory factory);
+
+  /// All registered scenarios, sorted by name (stable output for --list).
+  [[nodiscard]] std::vector<const ScenarioInfo*> list() const;
+
+  [[nodiscard]] const ScenarioInfo* find(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Resolves overrides against the scenario's defaults. Throws
+  /// std::invalid_argument for an unknown scenario or unsupported channel.
+  [[nodiscard]] ScenarioConfig resolve(std::string_view name,
+                                       const ScenarioOverrides& o) const;
+
+  /// resolve() + factory: the TrialFn for one grid point.
+  [[nodiscard]] TrialFn make(std::string_view name,
+                             const ScenarioOverrides& o) const;
+  [[nodiscard]] TrialFn make(std::string_view name,
+                             const ScenarioConfig& config) const;
+
+ private:
+  struct Entry {
+    ScenarioInfo info;
+    ScenarioFactory factory;
+  };
+  const Entry& entry_or_throw(std::string_view name) const;
+
+  std::vector<Entry> entries_;  // few dozen entries: linear scan is fine
+};
+
+/// Channel names understood by scenarios that take a channel override.
+inline constexpr std::string_view kChannelBsc = "bsc";
+inline constexpr std::string_view kChannelHeterogeneous = "heterogeneous";
+
+}  // namespace flip

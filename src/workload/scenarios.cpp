@@ -205,6 +205,12 @@ TrialFn majority_trial_fn(MajorityScenario scenario) {
   };
 }
 
+TrialFn boost_trial_fn(BoostScenario scenario) {
+  return [scenario](std::uint64_t seed, std::size_t trial) {
+    return to_outcome(run_boost(scenario, seed, trial));
+  };
+}
+
 TrialFn desync_trial_fn(DesyncScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
     return to_outcome(run_desync(scenario, seed, trial));

@@ -108,6 +108,7 @@ RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
 /// TrialFn adapters for the Monte-Carlo harness.
 TrialFn broadcast_trial_fn(BroadcastScenario scenario);
 TrialFn majority_trial_fn(MajorityScenario scenario);
+TrialFn boost_trial_fn(BoostScenario scenario);
 TrialFn desync_trial_fn(DesyncScenario scenario);
 
 }  // namespace flip

@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/bench_report.hpp"
+#include "cli/report.hpp"
+#include "cli/sweep.hpp"
+
+namespace flip::cli {
+namespace {
+
+// --- ArgParser ----------------------------------------------------------
+
+TEST(ArgParserTest, FlagsOptionsAndPositionals) {
+  bool flag = true;  // add_flag must reset it
+  std::string value;
+  ArgParser parser("prog", "desc");
+  parser.add_flag("--verbose", "say more", &flag);
+  parser.add_option("--out", "path", "output file", &value);
+  const char* argv[] = {"prog", "--verbose", "--out", "x.json", "extra"};
+  ASSERT_TRUE(parser.parse(5, argv));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(value, "x.json");
+  ASSERT_EQ(parser.positionals().size(), 1u);
+  EXPECT_EQ(parser.positionals()[0], "extra");
+}
+
+TEST(ArgParserTest, EqualsSyntaxAndTypedOptions) {
+  std::optional<std::size_t> trials;
+  std::optional<double> eps;
+  std::optional<std::uint64_t> seed;
+  ArgParser parser("prog", "");
+  parser.add_size("--trials", "trials", &trials);
+  parser.add_double("--eps", "eps", &eps);
+  parser.add_uint64("--seed", "seed", &seed);
+  const char* argv[] = {"prog", "--trials=8", "--eps", "0.25", "--seed",
+                        "0xE1"};
+  ASSERT_TRUE(parser.parse(6, argv));
+  EXPECT_EQ(trials, 8u);
+  EXPECT_EQ(eps, 0.25);
+  EXPECT_EQ(seed, 0xE1u);
+}
+
+TEST(ArgParserTest, OptionalValueOption) {
+  {
+    // Bare --json (next token is another option): present, no path.
+    std::string path;
+    bool present = false;
+    bool quiet = false;
+    ArgParser parser("prog", "");
+    parser.add_optional_value("--json", "path", "json out", &path, &present);
+    parser.add_flag("--quiet", "", &quiet);
+    const char* argv[] = {"prog", "--json", "--quiet"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_TRUE(present);
+    EXPECT_TRUE(path.empty());
+    EXPECT_TRUE(quiet);
+  }
+  {
+    // --json with a path consumes it.
+    std::string path;
+    bool present = false;
+    ArgParser parser("prog", "");
+    parser.add_optional_value("--json", "path", "json out", &path, &present);
+    const char* argv[] = {"prog", "--json", "out.json"};
+    ASSERT_TRUE(parser.parse(3, argv));
+    EXPECT_TRUE(present);
+    EXPECT_EQ(path, "out.json");
+  }
+}
+
+TEST(ArgParserTest, ErrorsAndHelp) {
+  {
+    bool flag = false;
+    ArgParser parser("prog", "");
+    parser.add_flag("--x", "", &flag);
+    const char* argv[] = {"prog", "--unknown"};
+    EXPECT_FALSE(parser.parse(2, argv));
+    EXPECT_FALSE(parser.help_requested());
+    EXPECT_NE(parser.error().find("--unknown"), std::string::npos);
+  }
+  {
+    std::string value;
+    ArgParser parser("prog", "");
+    parser.add_option("--out", "path", "", &value);
+    const char* argv[] = {"prog", "--out"};
+    EXPECT_FALSE(parser.parse(2, argv));
+    EXPECT_NE(parser.error().find("requires a value"), std::string::npos);
+  }
+  {
+    std::optional<std::size_t> trials;
+    ArgParser parser("prog", "");
+    parser.add_size("--trials", "", &trials);
+    const char* argv[] = {"prog", "--trials", "abc"};
+    EXPECT_FALSE(parser.parse(3, argv));
+    EXPECT_NE(parser.error().find("abc"), std::string::npos);
+  }
+  {
+    ArgParser parser("prog", "");
+    const char* argv[] = {"prog", "-h"};
+    EXPECT_FALSE(parser.parse(2, argv));
+    EXPECT_TRUE(parser.help_requested());
+    EXPECT_NE(parser.usage().find("usage: prog"), std::string::npos);
+  }
+}
+
+TEST(ArgParserTest, ListParsing) {
+  std::string error;
+  const auto sizes = parse_size_list("1024,2048,4096", error);
+  ASSERT_TRUE(sizes.has_value());
+  EXPECT_EQ(*sizes, (std::vector<std::size_t>{1024, 2048, 4096}));
+
+  const auto doubles = parse_double_list("0.2,0.3", error);
+  ASSERT_TRUE(doubles.has_value());
+  EXPECT_EQ(*doubles, (std::vector<double>{0.2, 0.3}));
+
+  EXPECT_FALSE(parse_size_list("12,x", error).has_value());
+  EXPECT_NE(error.find("x"), std::string::npos);
+  EXPECT_FALSE(parse_double_list("", error).has_value());
+
+  EXPECT_EQ(split_list("a,b,,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// --- Sweep --------------------------------------------------------------
+
+TEST(SweepTest, ExpandGridCrossProduct) {
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.ns = {64, 128};
+  spec.epss = {0.25, 0.3};
+  const auto grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 4u);
+  // Axis order: n outermost, then eps, then channel.
+  EXPECT_EQ(grid[0].n, 64u);
+  EXPECT_DOUBLE_EQ(grid[0].eps, 0.25);
+  EXPECT_EQ(grid[1].n, 64u);
+  EXPECT_DOUBLE_EQ(grid[1].eps, 0.3);
+  EXPECT_EQ(grid[3].n, 128u);
+  EXPECT_EQ(grid[0].channel, kChannelBsc);  // scenario default
+}
+
+TEST(SweepTest, ExpandGridDedupesRepeatedAxisValues) {
+  // Duplicate grid points would collide in the BENCH_*.json metric keys.
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.ns = {128, 128, 64};
+  spec.epss = {0.3, 0.3};
+  const auto grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 2u);
+  EXPECT_EQ(grid[0].n, 128u);
+  EXPECT_EQ(grid[1].n, 64u);
+}
+
+TEST(SweepTest, RunSweepProducesSummaries) {
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.ns = {64, 128};
+  spec.trials = 2;
+  spec.seed = 0xCAFE;
+  const SweepResult result = run_sweep(spec);
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const SweepPoint& point : result.points) {
+    EXPECT_EQ(point.summary.trials, 2u);
+    EXPECT_GT(point.summary.rounds.mean(), 0.0);
+    EXPECT_GT(point.summary.messages.mean(), 0.0);
+    EXPECT_GE(point.summary.wall_seconds, 0.0);
+  }
+  EXPECT_GE(result.wall_seconds,
+            result.points[0].summary.wall_seconds +
+                result.points[1].summary.wall_seconds - 1e-3);
+}
+
+TEST(SweepTest, RunSweepValidatesBeforeRunning) {
+  SweepSpec unknown;
+  unknown.scenario = "no_such_scenario";
+  EXPECT_THROW(run_sweep(unknown), std::invalid_argument);
+
+  SweepSpec zero_trials;
+  zero_trials.scenario = "broadcast_small";
+  zero_trials.trials = 0;
+  EXPECT_THROW(run_sweep(zero_trials), std::invalid_argument);
+
+  SweepSpec bad_channel;
+  bad_channel.scenario = "majority";
+  bad_channel.channels = {std::string(kChannelHeterogeneous)};
+  EXPECT_THROW(run_sweep(bad_channel), std::invalid_argument);
+}
+
+// --- Reporting ----------------------------------------------------------
+
+// A fixed SweepResult with exactly representable numbers, so the JSON and
+// CSV emitters can be golden-tested byte for byte (stable key order is the
+// contract the docs/CI pipeline relies on).
+SweepResult known_result() {
+  SweepResult result;
+  result.spec.scenario = "demo";
+  result.spec.trials = 2;
+  result.spec.seed = 7;
+  result.wall_seconds = 2.0;
+  SweepPoint point;
+  point.config = {64, 0.25, "bsc"};
+  point.summary.trials = 2;
+  point.summary.successes = 1;
+  point.summary.success = {0.5, 0.125, 0.875};
+  point.summary.rounds.add(1100.0);
+  point.summary.rounds.add(1100.0);
+  point.summary.messages.add(500.0);
+  point.summary.messages.add(500.0);
+  point.summary.correct_fraction.add(1.0);
+  point.summary.correct_fraction.add(1.0);
+  point.summary.trial_seconds.add(0.5);
+  point.summary.trial_seconds.add(0.5);
+  point.summary.wall_seconds = 1.5;
+  result.points.push_back(std::move(point));
+  return result;
+}
+
+TEST(ReportTest, SweepJsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"flipsim-sweep-v1\",\n"
+      "  \"scenario\": \"demo\",\n"
+      "  \"trials_per_point\": 2,\n"
+      "  \"seed\": 7,\n"
+      "  \"threads\": 0,\n"
+      "  \"grid_points\": 1,\n"
+      "  \"wall_seconds\": 2,\n"
+      "  \"points\": [\n"
+      "    {\n"
+      "      \"params\": {\n"
+      "        \"n\": 64,\n"
+      "        \"eps\": 0.25,\n"
+      "        \"channel\": \"bsc\"\n"
+      "      },\n"
+      "      \"trials\": 2,\n"
+      "      \"successes\": 1,\n"
+      "      \"success_rate\": {\n"
+      "        \"estimate\": 0.5,\n"
+      "        \"wilson_low\": 0.125,\n"
+      "        \"wilson_high\": 0.875\n"
+      "      },\n"
+      "      \"rounds\": {\n"
+      "        \"mean\": 1100,\n"
+      "        \"stddev\": 0,\n"
+      "        \"min\": 1100,\n"
+      "        \"max\": 1100\n"
+      "      },\n"
+      "      \"messages\": {\n"
+      "        \"mean\": 500,\n"
+      "        \"stddev\": 0,\n"
+      "        \"min\": 500,\n"
+      "        \"max\": 500\n"
+      "      },\n"
+      "      \"correct_fraction\": {\n"
+      "        \"mean\": 1,\n"
+      "        \"stddev\": 0,\n"
+      "        \"min\": 1,\n"
+      "        \"max\": 1\n"
+      "      },\n"
+      "      \"trial_seconds\": {\n"
+      "        \"mean\": 0.5,\n"
+      "        \"stddev\": 0,\n"
+      "        \"min\": 0.5,\n"
+      "        \"max\": 0.5\n"
+      "      },\n"
+      "      \"wall_seconds\": 1.5\n"
+      "    }\n"
+      "  ]\n"
+      "}";
+  EXPECT_EQ(sweep_to_json(known_result()), expected);
+}
+
+TEST(ReportTest, SweepCsvGolden) {
+  const std::string expected =
+      "scenario,n,eps,channel,trials,successes,success_rate,success_low,"
+      "success_high,rounds_mean,rounds_stddev,rounds_min,rounds_max,"
+      "messages_mean,messages_stddev,correct_fraction_mean,wall_seconds\n"
+      "demo,64,0.25,bsc,2,1,0.5,0.125,0.875,1100,0,1100,1100,500,0,1,1.5\n";
+  EXPECT_EQ(sweep_to_csv(known_result()), expected);
+}
+
+TEST(ReportTest, SweepTableMatchesPoints) {
+  const TextTable table = sweep_table(known_result());
+  ASSERT_EQ(table.rows(), 1u);
+  EXPECT_EQ(table.at(0, 0), "64");
+  EXPECT_EQ(table.at(0, 2), "bsc");
+}
+
+TEST(ReportTest, PointKeyIsStable) {
+  const SweepResult result = known_result();
+  EXPECT_EQ(point_key(result, result.points[0]), "demo_n64_eps0.25");
+  SweepResult hetero = known_result();
+  hetero.points[0].config.channel = "heterogeneous";
+  EXPECT_EQ(point_key(hetero, hetero.points[0]),
+            "demo_n64_eps0.25_heterogeneous");
+}
+
+TEST(ReportTest, BenchTrajectorySchema) {
+  const std::string json =
+      sweep_to_bench_json(known_result(), "baseline", "abc1234");
+  EXPECT_NE(json.find("\"bench\": \"flipsim\""), std::string::npos);
+  EXPECT_NE(json.find("\"experiment\": \"baseline\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_rev\": \"abc1234\""), std::string::npos);
+  // Stable metric keys with mandatory unit/higher_is_better.
+  EXPECT_NE(json.find("\"demo_n64_eps0.25_success_rate\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"demo_n64_eps0.25_rounds_mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\": \"rounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"higher_is_better\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"sweep_wall_seconds\""), std::string::npos);
+  // The params block pins reproduction inputs, including the seed.
+  EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
+}
+
+TEST(ReportTest, BenchReportJsonGolden) {
+  BenchReport report;
+  report.id = "E1 demo";
+  report.claim = "a claim";
+  BenchReport::Table table;
+  table.headers = {"n", "rounds"};
+  table.rows = {{"64", "1100"}};
+  table.note = "a note";
+  report.tables.push_back(std::move(table));
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"flip-bench-v1\",\n"
+      "  \"id\": \"E1 demo\",\n"
+      "  \"claim\": \"a claim\",\n"
+      "  \"tables\": [\n"
+      "    {\n"
+      "      \"headers\": [\n"
+      "        \"n\",\n"
+      "        \"rounds\"\n"
+      "      ],\n"
+      "      \"rows\": [\n"
+      "        [\n"
+      "          \"64\",\n"
+      "          \"1100\"\n"
+      "        ]\n"
+      "      ],\n"
+      "      \"note\": \"a note\"\n"
+      "    }\n"
+      "  ]\n"
+      "}";
+  EXPECT_EQ(bench_report_to_json(report), expected);
+}
+
+}  // namespace
+}  // namespace flip::cli

@@ -1,0 +1,111 @@
+#include "util/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+TEST(JsonWriterTest, CompactObject) {
+  JsonWriter json(0);
+  json.begin_object()
+      .field("a", std::uint64_t{1})
+      .field("b", "x")
+      .field("c", true)
+      .end_object();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":"x","c":true})");
+}
+
+TEST(JsonWriterTest, PrettyNestedGolden) {
+  JsonWriter json(2);
+  json.begin_object();
+  json.field("name", "sweep");
+  json.key("values").begin_array().value(1).value(2).end_array();
+  json.key("inner").begin_object().field("ok", false).end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            "{\n"
+            "  \"name\": \"sweep\",\n"
+            "  \"values\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ],\n"
+            "  \"inner\": {\n"
+            "    \"ok\": false\n"
+            "  }\n"
+            "}");
+}
+
+TEST(JsonWriterTest, KeysKeepInsertionOrder) {
+  JsonWriter json(0);
+  json.begin_object()
+      .field("zebra", 1)
+      .field("alpha", 2)
+      .field("mid", 3)
+      .end_object();
+  const std::string& out = json.str();
+  EXPECT_LT(out.find("zebra"), out.find("alpha"));
+  EXPECT_LT(out.find("alpha"), out.find("mid"));
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json(0);
+  json.begin_object().field("k", "a\"b\\c\nd\te").end_object();
+  EXPECT_EQ(json.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json(0);
+  json.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .value(0.5)
+      .end_array();
+  EXPECT_EQ(json.str(), "[null,null,0.5]");
+}
+
+TEST(JsonWriterTest, NumbersAreShortestRoundTrip) {
+  EXPECT_EQ(JsonWriter::number(0.2), "0.2");
+  EXPECT_EQ(JsonWriter::number(1100.0), "1100");
+  EXPECT_EQ(JsonWriter::number(0.25), "0.25");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter json(0);
+  json.value("alone");
+  EXPECT_EQ(json.str(), "\"alone\"");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    JsonWriter json(0);
+    json.begin_object();
+    EXPECT_THROW(json.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json(0);
+    json.begin_object();
+    EXPECT_THROW(json.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter json(0);
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);
+  }
+  {
+    JsonWriter json(0);
+    json.begin_object();
+    EXPECT_THROW(static_cast<void>(json.str()), std::logic_error);
+  }
+  {
+    JsonWriter json(0);
+    json.value(1.0);
+    EXPECT_THROW(json.value(2.0), std::logic_error);  // two top-levels
+  }
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,127 @@
+#include "workload/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace flip {
+namespace {
+
+TEST(RegistryTest, ListIsNonEmptyAndSorted) {
+  const auto infos = ScenarioRegistry::instance().list();
+  ASSERT_GE(infos.size(), 10u);
+  for (std::size_t i = 1; i < infos.size(); ++i) {
+    EXPECT_LT(infos[i - 1]->name, infos[i]->name);
+  }
+  for (const ScenarioInfo* info : infos) {
+    EXPECT_FALSE(info->summary.empty()) << info->name;
+    EXPECT_FALSE(info->problem.empty()) << info->name;
+    EXPECT_GT(info->default_n, 0u) << info->name;
+    EXPECT_GT(info->default_eps, 0.0) << info->name;
+    EXPECT_FALSE(info->channels.empty()) << info->name;
+  }
+}
+
+TEST(RegistryTest, FindAndContains) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  ASSERT_NE(registry.find("broadcast_small"), nullptr);
+  EXPECT_EQ(registry.find("broadcast_small")->problem, "broadcast");
+  EXPECT_TRUE(registry.contains("majority"));
+  EXPECT_FALSE(registry.contains("no_such_scenario"));
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+}
+
+// The registry's whole point: a scenario cannot be registered without
+// being executable. Every entry must construct its TrialFn and survive one
+// full execution at a small population size.
+TEST(RegistryTest, EveryScenarioConstructsAndRuns) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  for (const ScenarioInfo* info : registry.list()) {
+    ScenarioOverrides overrides;
+    overrides.n = 128;  // keep Debug runs fast; every scenario accepts it
+    overrides.eps = 0.3;
+    const TrialFn fn = registry.make(info->name, overrides);
+    ASSERT_TRUE(fn) << info->name;
+    const TrialOutcome outcome = fn(/*seed=*/0xF00D, /*trial=*/0);
+    EXPECT_GT(outcome.rounds, 0.0) << info->name;
+    EXPECT_GT(outcome.messages, 0.0) << info->name;
+    EXPECT_GE(outcome.correct_fraction, 0.0) << info->name;
+    EXPECT_LE(outcome.correct_fraction, 1.0) << info->name;
+  }
+}
+
+TEST(RegistryTest, TrialFnsAreDeterministic) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  ScenarioOverrides overrides;
+  overrides.n = 128;
+  const TrialFn a = registry.make("broadcast_small", overrides);
+  const TrialFn b = registry.make("broadcast_small", overrides);
+  const TrialOutcome oa = a(42, 1);
+  const TrialOutcome ob = b(42, 1);
+  EXPECT_EQ(oa.success, ob.success);
+  EXPECT_DOUBLE_EQ(oa.rounds, ob.rounds);
+  EXPECT_DOUBLE_EQ(oa.messages, ob.messages);
+  EXPECT_DOUBLE_EQ(oa.correct_fraction, ob.correct_fraction);
+}
+
+TEST(RegistryTest, ResolveAppliesDefaultsAndOverrides) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  const ScenarioConfig defaults =
+      registry.resolve("broadcast", ScenarioOverrides{});
+  EXPECT_EQ(defaults.n, 1024u);
+  EXPECT_DOUBLE_EQ(defaults.eps, 0.2);
+  EXPECT_EQ(defaults.channel, kChannelBsc);
+
+  ScenarioOverrides overrides;
+  overrides.n = 512;
+  overrides.eps = 0.25;
+  overrides.channel = std::string(kChannelHeterogeneous);
+  const ScenarioConfig resolved = registry.resolve("broadcast", overrides);
+  EXPECT_EQ(resolved.n, 512u);
+  EXPECT_DOUBLE_EQ(resolved.eps, 0.25);
+  EXPECT_EQ(resolved.channel, kChannelHeterogeneous);
+}
+
+TEST(RegistryTest, ResolveValidates) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  EXPECT_THROW(registry.resolve("no_such_scenario", ScenarioOverrides{}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.make("no_such_scenario", ScenarioOverrides{}),
+               std::invalid_argument);
+
+  ScenarioOverrides bad_channel;
+  bad_channel.channel = std::string(kChannelHeterogeneous);
+  EXPECT_THROW(registry.resolve("majority", bad_channel),
+               std::invalid_argument);
+
+  ScenarioOverrides bad_eps;
+  bad_eps.eps = 0.7;
+  EXPECT_THROW(registry.resolve("broadcast", bad_eps),
+               std::invalid_argument);
+
+  ScenarioOverrides bad_n;
+  bad_n.n = 1;
+  EXPECT_THROW(registry.resolve("broadcast", bad_n), std::invalid_argument);
+}
+
+TEST(RegistryTest, AddRejectsBadEntries) {
+  ScenarioRegistry registry;
+  const auto factory = [](const ScenarioConfig&) {
+    return TrialFn([](std::uint64_t, std::size_t) { return TrialOutcome{}; });
+  };
+  registry.add({"one", "s", "p", 64, 0.2, {"bsc"}}, factory);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_THROW(registry.add({"one", "s", "p", 64, 0.2, {"bsc"}}, factory),
+               std::invalid_argument);  // duplicate
+  EXPECT_THROW(registry.add({"", "s", "p", 64, 0.2, {"bsc"}}, factory),
+               std::invalid_argument);  // empty name
+  EXPECT_THROW(registry.add({"two", "s", "p", 0, 0.2, {"bsc"}}, factory),
+               std::invalid_argument);  // default_n == 0
+  EXPECT_THROW(registry.add({"three", "s", "p", 64, 0.2, {}}, factory),
+               std::invalid_argument);  // no channels
+  EXPECT_THROW(registry.add({"four", "s", "p", 64, 0.2, {"bsc"}}, nullptr),
+               std::invalid_argument);  // no factory
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,254 @@
+// flipsim — the sweep runner: one driver for every registered scenario.
+//
+// Enumerates the workload registry (--list), runs parallel Monte-Carlo
+// sweeps over a (n, eps, channel) grid for one scenario, and emits the
+// results as a human table, CSV, flipsim-sweep-v1 JSON, or the
+// BENCH_*.json trajectory schema from docs/BENCHMARKS.md.
+//
+//   flipsim --list
+//   flipsim --scenario broadcast_small --trials 8 --json
+//   flipsim --scenario broadcast --n 1024,4096 --eps 0.2,0.3 --json out.json
+//   flipsim --scenario broadcast --trials 16
+//       --bench-json bench/results/BENCH_baseline.json
+//       --bench-id baseline --git-rev $(git rev-parse --short HEAD)
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "cli/args.hpp"
+#include "cli/report.hpp"
+#include "cli/sweep.hpp"
+#include "util/table.hpp"
+#include "workload/registry.hpp"
+
+namespace {
+
+struct CliFlags {
+  bool list = false;
+  std::string describe;
+  std::string scenario;
+  std::string n_list;
+  std::string eps_list;
+  std::string channel_list;
+  std::optional<std::size_t> trials;
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> threads;
+  bool json = false;
+  std::string json_path;  // empty with json=true -> stdout
+  bool csv = false;
+  std::string csv_path;
+  std::string bench_json_path;
+  std::string bench_id = "baseline";
+  std::string git_rev = "unknown";
+  bool quiet = false;
+};
+
+int list_scenarios() {
+  flip::TextTable table(
+      {"scenario", "problem", "default n", "default eps", "channels",
+       "summary"});
+  for (const flip::ScenarioInfo* info :
+       flip::ScenarioRegistry::instance().list()) {
+    std::string channels;
+    for (const std::string& channel : info->channels) {
+      if (!channels.empty()) channels += '|';
+      channels += channel;
+    }
+    table.row()
+        .cell(info->name)
+        .cell(info->problem)
+        .cell(info->default_n)
+        .cell(info->default_eps, 2)
+        .cell(channels)
+        .cell(info->summary);
+  }
+  std::cout << table;
+  return 0;
+}
+
+int describe_scenario(const std::string& name) {
+  const flip::ScenarioInfo* info =
+      flip::ScenarioRegistry::instance().find(name);
+  if (info == nullptr) {
+    std::cerr << "error: unknown scenario '" << name
+              << "' (see flipsim --list)\n";
+    return 2;
+  }
+  std::cout << info->name << " — " << info->summary << "\n"
+            << "  problem:     " << info->problem << "\n"
+            << "  default n:   " << info->default_n << "\n"
+            << "  default eps: " << info->default_eps << "\n"
+            << "  channels:   ";
+  for (const std::string& channel : info->channels) {
+    std::cout << ' ' << channel;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  if (!content.empty() && content.back() != '\n') out << '\n';
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  flip::cli::ArgParser parser(
+      "flipsim",
+      "Sweep runner over the workload/scenarios registry. Pick a scenario,\n"
+      "optionally a (n, eps, channel) grid, and one or more output formats.");
+  parser.add_flag("--list", "list registered scenarios and exit",
+                  &flags.list);
+  parser.add_option("--describe", "scenario",
+                    "print one scenario's metadata and exit",
+                    &flags.describe);
+  parser.add_option("--scenario", "name", "the scenario to sweep",
+                    &flags.scenario);
+  parser.add_option("--n", "list",
+                    "comma-separated population sizes (default: scenario's)",
+                    &flags.n_list);
+  parser.add_option("--eps", "list",
+                    "comma-separated channel advantages in (0, 0.5]",
+                    &flags.eps_list);
+  parser.add_option("--channel", "list",
+                    "comma-separated channels (bsc, heterogeneous)",
+                    &flags.channel_list);
+  parser.add_size("--trials", "Monte-Carlo trials per grid point (default 32)",
+                  &flags.trials);
+  parser.add_uint64("--seed", "master seed, decimal or 0x hex (default 0x5eed)",
+                    &flags.seed);
+  parser.add_size("--threads", "worker threads (default: hardware)",
+                  &flags.threads);
+  parser.add_optional_value("--json", "path",
+                            "write flipsim-sweep-v1 JSON (no path: stdout)",
+                            &flags.json_path, &flags.json);
+  parser.add_optional_value("--csv", "path",
+                            "write one CSV row per grid point (no path: "
+                            "stdout)",
+                            &flags.csv_path, &flags.csv);
+  parser.add_option("--bench-json", "path",
+                    "write the docs/BENCHMARKS.md BENCH_*.json trajectory "
+                    "schema to <path>",
+                    &flags.bench_json_path);
+  parser.add_option("--bench-id", "id",
+                    "experiment id for --bench-json (default: baseline)",
+                    &flags.bench_id);
+  parser.add_option("--git-rev", "sha",
+                    "git revision recorded in --bench-json (default: "
+                    "unknown)",
+                    &flags.git_rev);
+  parser.add_flag("--quiet", "suppress the human-readable table",
+                  &flags.quiet);
+
+  if (!parser.parse(argc, argv)) {
+    if (parser.help_requested()) {
+      std::cout << parser.usage();
+      return 0;
+    }
+    std::cerr << "error: " << parser.error() << "\n\n" << parser.usage();
+    return 2;
+  }
+  if (!parser.positionals().empty()) {
+    std::cerr << "error: unexpected argument '" << parser.positionals()[0]
+              << "'\n\n"
+              << parser.usage();
+    return 2;
+  }
+
+  if (flags.list) return list_scenarios();
+  if (!flags.describe.empty()) return describe_scenario(flags.describe);
+  if (flags.scenario.empty()) {
+    std::cerr << "error: --scenario is required (or --list / --describe)\n\n"
+              << parser.usage();
+    return 2;
+  }
+
+  flip::cli::SweepSpec spec;
+  spec.scenario = flags.scenario;
+  std::string error;
+  if (!flags.n_list.empty()) {
+    const auto ns = flip::cli::parse_size_list(flags.n_list, error);
+    if (!ns) {
+      std::cerr << "error: --n: " << error << "\n";
+      return 2;
+    }
+    spec.ns = *ns;
+  }
+  if (!flags.eps_list.empty()) {
+    const auto epss = flip::cli::parse_double_list(flags.eps_list, error);
+    if (!epss) {
+      std::cerr << "error: --eps: " << error << "\n";
+      return 2;
+    }
+    spec.epss = *epss;
+  }
+  if (!flags.channel_list.empty()) {
+    spec.channels = flip::cli::split_list(flags.channel_list);
+    if (spec.channels.empty()) {
+      std::cerr << "error: --channel: empty list\n";
+      return 2;
+    }
+  }
+  if (flags.trials) spec.trials = *flags.trials;
+  if (flags.seed) spec.seed = *flags.seed;
+  if (flags.threads) spec.threads = *flags.threads;
+
+  if (flags.json && flags.json_path.empty() && flags.csv &&
+      flags.csv_path.empty()) {
+    std::cerr << "error: bare --json and --csv would interleave two formats "
+                 "on stdout; give at least one of them a path\n";
+    return 2;
+  }
+
+  try {
+    const flip::cli::SweepResult result = flip::cli::run_sweep(spec);
+
+    // Bare --json/--csv stream to stdout; suppress the table so the
+    // stream stays parseable.
+    const bool json_to_stdout = flags.json && flags.json_path.empty();
+    const bool csv_to_stdout = flags.csv && flags.csv_path.empty();
+    if (!flags.quiet && !json_to_stdout && !csv_to_stdout) {
+      std::cout << "flipsim: " << spec.scenario << ", "
+                << result.points.size() << " grid point(s) x " << spec.trials
+                << " trial(s), " << flip::format_fixed(result.wall_seconds, 2)
+                << " s\n\n"
+                << flip::cli::sweep_table(result);
+    }
+    if (flags.json) {
+      const std::string json = flip::cli::sweep_to_json(result);
+      if (json_to_stdout) {
+        std::cout << json << '\n';
+      } else if (!write_file(flags.json_path, json)) {
+        return 1;
+      }
+    }
+    if (flags.csv) {
+      const std::string csv = flip::cli::sweep_to_csv(result);
+      if (csv_to_stdout) {
+        std::cout << csv;
+      } else if (!write_file(flags.csv_path, csv)) {
+        return 1;
+      }
+    }
+    if (!flags.bench_json_path.empty()) {
+      const std::string json = flip::cli::sweep_to_bench_json(
+          result, flags.bench_id, flags.git_rev);
+      if (!write_file(flags.bench_json_path, json)) return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
