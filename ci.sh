@@ -6,7 +6,9 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S . -DFLIP_WERROR=ON
+# FLIP_BUILD_BENCH is forced ON because the perf gate below needs
+# bench_engine_perf (a stale cache could have it disabled).
+cmake -B "$BUILD_DIR" -S . -DFLIP_WERROR=ON -DFLIP_BUILD_BENCH=ON
 cmake --build "$BUILD_DIR" -j
 # Note: pass -j an explicit value — bare `ctest -j` swallows the next
 # argument as the job count on CMake < 3.29.
@@ -24,6 +26,7 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "flipsim-sweep-v1", doc.get("schema")
 assert doc["scenario"] == "broadcast_small"
+assert doc["engine"] == "batch", doc.get("engine")
 assert doc["points"], "sweep produced no grid points"
 point = doc["points"][0]
 assert point["trials"] == 8
@@ -33,4 +36,19 @@ print("flipsim smoke JSON ok:", sys.argv[1])
 EOF
 else
   echo "python3 not found; skipping flipsim JSON validation" >&2
+fi
+
+# Fast-path perf gate (Release builds only — the batch/classic speedup is
+# an optimization property, meaningless at -O0): re-run the CI-sized
+# engine A/B from docs/PERFORMANCE.md and fail if the measured speedup
+# regressed more than 20% against the committed
+# bench/results/BENCH_engine_perf.json point. The shared script gates the
+# speedup RATIO, not absolute wall-clock, so slower CI machines don't
+# trip it.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")"
+if [ "$BUILD_TYPE" = "Release" ] && command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_engine_perf.py "$BUILD_DIR/bench/bench_engine_perf" \
+    bench/results/BENCH_engine_perf.json "$BUILD_DIR/bench_engine_perf.json"
+else
+  echo "skipping fast-path perf gate (build type: ${BUILD_TYPE:-unknown})"
 fi

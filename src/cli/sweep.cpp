@@ -50,6 +50,7 @@ std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec) {
         overrides.n = n;
         overrides.eps = eps;
         overrides.channel = channel;
+        overrides.engine = spec.engine;
         grid.push_back(registry.resolve(spec.scenario, overrides));
       }
     }
@@ -66,8 +67,13 @@ SweepResult run_sweep(const SweepSpec& spec) {
   // typo fails fast instead of after minutes of simulation.
   const std::vector<ScenarioConfig> grid = expand_grid(spec);
 
-  std::unique_ptr<ThreadPool> own_pool;
-  if (spec.threads != 0) own_pool = std::make_unique<ThreadPool>(spec.threads);
+  // One persistent pool serves every grid cell of every sweep: workers are
+  // spawned once per distinct --threads value and then live for the whole
+  // process, so the per-worker BatchEngine scratch (thread_local) survives
+  // across cells and repeated run_sweep calls instead of being torn down
+  // and re-allocated with a per-sweep pool.
+  ThreadPool* pool =
+      spec.threads != 0 ? &ThreadPool::sized(spec.threads) : nullptr;
 
   SweepResult result;
   result.spec = spec;
@@ -77,7 +83,7 @@ SweepResult run_sweep(const SweepSpec& spec) {
     TrialOptions options;
     options.trials = spec.trials;
     options.master_seed = spec.seed;
-    options.pool = own_pool.get();
+    options.pool = pool;
     SweepPoint point;
     point.config = config;
     point.summary =

@@ -24,6 +24,9 @@ struct SweepSpec {
   std::uint64_t seed = 0x5eedULL;
   /// 0 = the shared pool (hardware concurrency).
   std::size_t threads = 0;
+  /// Substrate every grid point runs on. Identical results either way;
+  /// kClassic is the reference Engine for A/B timing.
+  EngineMode engine = EngineMode::kBatch;
 };
 
 /// One grid point's resolved parameters and aggregated results. Per-point

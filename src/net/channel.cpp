@@ -12,19 +12,10 @@ BinarySymmetricChannel::BinarySymmetricChannel(double eps) : eps_(eps) {
   }
 }
 
-std::optional<Opinion> BinarySymmetricChannel::transmit(Opinion sent,
-                                                        Xoshiro256& rng) {
-  return bernoulli(rng, 0.5 - eps_) ? flip_opinion(sent) : sent;
-}
-
 std::string BinarySymmetricChannel::name() const {
   std::ostringstream os;
   os << "bsc(eps=" << eps_ << ")";
   return os.str();
-}
-
-std::optional<Opinion> PerfectChannel::transmit(Opinion sent, Xoshiro256&) {
-  return sent;
 }
 
 ErasureChannel::ErasureChannel(double eps, double erase_prob)
@@ -35,12 +26,6 @@ ErasureChannel::ErasureChannel(double eps, double erase_prob)
   if (erase_prob < 0.0 || erase_prob >= 1.0) {
     throw std::invalid_argument("ErasureChannel: erase_prob must be in [0, 1)");
   }
-}
-
-std::optional<Opinion> ErasureChannel::transmit(Opinion sent,
-                                                Xoshiro256& rng) {
-  if (bernoulli(rng, erase_prob_)) return std::nullopt;
-  return bernoulli(rng, 0.5 - eps_) ? flip_opinion(sent) : sent;
 }
 
 std::string ErasureChannel::name() const {
@@ -55,12 +40,6 @@ HeterogeneousChannel::HeterogeneousChannel(double eps) : eps_(eps) {
   }
 }
 
-std::optional<Opinion> HeterogeneousChannel::transmit(Opinion sent,
-                                                      Xoshiro256& rng) {
-  const double flip_prob = uniform_unit(rng) * (0.5 - eps_);
-  return bernoulli(rng, flip_prob) ? flip_opinion(sent) : sent;
-}
-
 std::string HeterogeneousChannel::name() const {
   std::ostringstream os;
   os << "heterogeneous(eps_floor=" << eps_ << ")";
@@ -69,15 +48,6 @@ std::string HeterogeneousChannel::name() const {
 
 AdversarialChannel::AdversarialChannel(std::uint64_t flip_budget)
     : budget_left_(flip_budget) {}
-
-std::optional<Opinion> AdversarialChannel::transmit(Opinion sent,
-                                                    Xoshiro256&) {
-  if (budget_left_ > 0) {
-    --budget_left_;
-    return flip_opinion(sent);
-  }
-  return sent;
-}
 
 std::string AdversarialChannel::name() const {
   std::ostringstream os;

@@ -38,8 +38,14 @@ class BinarySymmetricChannel final : public NoiseChannel {
  public:
   explicit BinarySymmetricChannel(double eps);
 
+  // transmit() is defined in-class (here and in the other concrete channels)
+  // so that statically typed callers — the BatchEngine fast path templates —
+  // can devirtualize AND inline the per-message draw. Virtual dispatch
+  // through NoiseChannel& behaves exactly as before.
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
-                                                Xoshiro256& rng) override;
+                                                Xoshiro256& rng) override {
+    return bernoulli(rng, 0.5 - eps_) ? flip_opinion(sent) : sent;
+  }
   [[nodiscard]] double flip_probability() const noexcept override {
     return 0.5 - eps_;
   }
@@ -55,7 +61,9 @@ class BinarySymmetricChannel final : public NoiseChannel {
 class PerfectChannel final : public NoiseChannel {
  public:
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
-                                                Xoshiro256& rng) override;
+                                                Xoshiro256&) override {
+    return sent;
+  }
   [[nodiscard]] double flip_probability() const noexcept override { return 0.0; }
   [[nodiscard]] std::string name() const override { return "perfect"; }
 };
@@ -68,7 +76,10 @@ class ErasureChannel final : public NoiseChannel {
   ErasureChannel(double eps, double erase_prob);
 
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
-                                                Xoshiro256& rng) override;
+                                                Xoshiro256& rng) override {
+    if (bernoulli(rng, erase_prob_)) return std::nullopt;
+    return bernoulli(rng, 0.5 - eps_) ? flip_opinion(sent) : sent;
+  }
   [[nodiscard]] double flip_probability() const noexcept override {
     return 0.5 - eps_;
   }
@@ -92,7 +103,10 @@ class HeterogeneousChannel final : public NoiseChannel {
   explicit HeterogeneousChannel(double eps);
 
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
-                                                Xoshiro256& rng) override;
+                                                Xoshiro256& rng) override {
+    const double flip_prob = uniform_unit(rng) * (0.5 - eps_);
+    return bernoulli(rng, flip_prob) ? flip_opinion(sent) : sent;
+  }
   [[nodiscard]] double flip_probability() const noexcept override {
     return (0.5 - eps_) / 2.0;  // mean of the uniform draw
   }
@@ -113,7 +127,13 @@ class AdversarialChannel final : public NoiseChannel {
   explicit AdversarialChannel(std::uint64_t flip_budget);
 
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
-                                                Xoshiro256& rng) override;
+                                                Xoshiro256&) override {
+    if (budget_left_ > 0) {
+      --budget_left_;
+      return flip_opinion(sent);
+    }
+    return sent;
+  }
   [[nodiscard]] double flip_probability() const noexcept override {
     return budget_left_ > 0 ? 1.0 : 0.0;
   }

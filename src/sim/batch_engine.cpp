@@ -1,0 +1,215 @@
+#include "sim/batch_engine.hpp"
+
+namespace flip {
+
+bool breathe_fast_supported(const Params& params) {
+  if (params.n() >= (std::uint64_t{1} << 31)) return false;
+  const StageTwoSchedule& s2 = params.stage2();
+  // Stage II counters live in 21-bit packed fields; an agent accepts at
+  // most one message per round, so per-phase counts are bounded by the
+  // phase length. (Stage I counts use 63 bits — never a constraint.)
+  return std::max(s2.m, s2.m_final) <= BatchEngine::kFieldMask;
+}
+
+void BatchEngine::prepare_breathe(const Params& params,
+                                  const BreatheConfig& config) {
+  if (config.start_phase > params.stage1().T + 1) {
+    throw std::invalid_argument("BatchEngine: start_phase > T+1");
+  }
+  if (config.initial.empty()) {
+    throw std::invalid_argument("BatchEngine: empty initial set");
+  }
+
+  const std::size_t n = params.n();
+  pop_.reuse(n);
+  slot_.assign(n, 0);
+  acc_.assign(n, 0);
+  touched_.clear();
+  if (touched_.capacity() < n) touched_.reserve(n);
+  opinionated_.clear();
+  if (opinionated_.capacity() < n) opinionated_.reserve(n);
+  activation_buffer_.clear();
+  if (activation_buffer_.capacity() < n) activation_buffer_.reserve(n);
+  send_.clear();
+  if (send_.capacity() < n) send_.reserve(n);
+
+  for (const Seed& seed : config.initial) {
+    if (seed.agent >= n) {
+      throw std::invalid_argument("BatchEngine: seed agent out of range");
+    }
+    if (pop_.has_opinion(seed.agent)) {
+      throw std::invalid_argument("BatchEngine: duplicate seed agent");
+    }
+    pop_.set_opinion(seed.agent, seed.opinion);
+    opinionated_.push_back(seed.agent);
+    send_.push_back(seed.agent |
+                    (seed.opinion == Opinion::kOne ? kSlotBit : 0u));
+  }
+}
+
+BatchEngine::BreatheSchedule BatchEngine::breathe_schedule(
+    const Params& params, const BreatheConfig& config, bool stage1_only) {
+  const StageOneSchedule& s1 = params.stage1();
+  BreatheSchedule schedule;
+  if (config.skip_stage1) {
+    schedule.stage1_offset = s1.total_rounds();
+  } else {
+    schedule.stage1_offset = s1.phase_start(config.start_phase);
+    schedule.stage1_rounds = s1.total_rounds() - schedule.stage1_offset;
+  }
+  schedule.total_rounds =
+      schedule.stage1_rounds + params.stage2().total_rounds();
+  schedule.budget = stage1_only ? schedule.stage1_rounds
+                                : schedule.total_rounds;
+  return schedule;
+}
+
+void BatchEngine::finish_breathe(BreatheFastResult& result,
+                                 Opinion correct) const {
+  result.opinionated = pop_.opinionated();
+  result.success = pop_.unanimous(correct);
+  result.correct_fraction = pop_.correct_fraction(correct);
+  result.final_bias = pop_.bias(correct);
+}
+
+void BatchEngine::finalize_stage1(std::uint64_t phase, Opinion correct,
+                                  std::vector<StageOnePhaseStats>& out) {
+  StageOnePhaseStats stats;
+  stats.phase = phase;
+  stats.newly_activated = activation_buffer_.size();
+  for (const AgentId a : activation_buffer_) {
+    const std::uint64_t kept = acc_[a] >> kKeptShift;
+    const auto opinion = static_cast<Opinion>(kept);
+    pop_.set_opinion(a, opinion);
+    stats.newly_correct += (opinion == correct);
+    acc_[a] = 0;  // reset_phase_counters
+    opinionated_.push_back(a);
+    send_.push_back(a | (kept != 0 ? kSlotBit : 0u));
+  }
+  activation_buffer_.clear();
+  stats.total_activated = opinionated_.size();
+  out.push_back(stats);
+}
+
+void BatchEngine::finalize_stage2(std::uint64_t phase,
+                                  const BreatheConfig& config,
+                                  const StageTwoSchedule& s2,
+                                  Xoshiro256& protocol_rng,
+                                  std::vector<StageTwoPhaseStats>& out) {
+  const std::uint64_t threshold = s2.half_length(phase);
+  const bool prefix_subset =
+      config.stage2_subset == Stage2Subset::kPrefixSubset;
+  StageTwoPhaseStats stats;
+  stats.phase = phase;
+
+  const auto n = static_cast<AgentId>(pop_.size());
+  for (AgentId a = 0; a < n; ++a) {
+    const std::uint64_t w = acc_[a];
+    const std::uint64_t recv = w & kFieldMask;
+    if (recv >= threshold) {
+      // Successful agent: majority over a subset of exactly `threshold`
+      // samples, uniform (hypergeometric draw) or the arrival-order prefix.
+      ++stats.successful;
+      const std::uint64_t ones =
+          prefix_subset
+              ? ((w >> kPrefixShift) & kFieldMask)
+              : hypergeometric_ones(protocol_rng, recv,
+                                    (w >> kOnesShift) & kFieldMask,
+                                    threshold);
+      const Opinion verdict =
+          2 * ones > threshold ? Opinion::kOne : Opinion::kZero;
+      if (!pop_.has_opinion(a)) opinionated_.push_back(a);
+      pop_.set_opinion(a, verdict);
+    }
+  }
+  std::fill(acc_.begin(), acc_.end(), 0);
+
+  // Re-decisions may have flipped opinions anywhere in the sender list:
+  // rebuild it (O(n) once per phase, not per round).
+  send_.clear();
+  for (const AgentId a : opinionated_) {
+    send_.push_back(a |
+                    (pop_.opinion(a) == Opinion::kOne ? kSlotBit : 0u));
+  }
+
+  stats.correct_fraction = pop_.correct_fraction(config.correct);
+  stats.bias = pop_.bias(config.correct);
+  out.push_back(stats);
+}
+
+bool BatchEngine::breathe_packed_supported(const Params& params) {
+  const StageOneSchedule& s1 = params.stage1();
+  const StageTwoSchedule& s2 = params.stage2();
+  return params.n() <= kPackedCount &&
+         std::max({s1.beta_s, s1.beta, s1.beta_f}) <= kPackedCount &&
+         std::max(s2.m, s2.m_final) <= kS2PackedField;
+}
+
+void BatchEngine::finalize_stage1_packed(
+    std::uint64_t phase, Opinion correct,
+    std::vector<StageOnePhaseStats>& out) {
+  StageOnePhaseStats stats;
+  stats.phase = phase;
+  stats.newly_activated = activation_buffer_.size();
+  for (const AgentId a : activation_buffer_) {
+    const std::uint64_t kept = (acc_[a] >> kS1KeptShift) & 1;
+    const auto opinion = static_cast<Opinion>(kept);
+    pop_.set_opinion(a, opinion);
+    stats.newly_correct += (opinion == correct);
+    acc_[a] = kS1HasOpinion;  // reset counters, mirror the new opinion flag
+    opinionated_.push_back(a);
+    send_.push_back(a | (kept != 0 ? kSlotBit : 0u));
+  }
+  activation_buffer_.clear();
+  stats.total_activated = opinionated_.size();
+  out.push_back(stats);
+}
+
+void BatchEngine::finalize_stage2_packed(
+    std::uint64_t phase, const BreatheConfig& config,
+    const StageTwoSchedule& s2, Xoshiro256& protocol_rng,
+    std::vector<StageTwoPhaseStats>& out) {
+  const std::uint64_t threshold = s2.half_length(phase);
+  StageTwoPhaseStats stats;
+  stats.phase = phase;
+
+  // The hypergeometric scan below draws O(threshold) values per successful
+  // agent — across a long run that is within a small factor of the round
+  // loop's own draw count, so the rng state gets the same local-copy
+  // treatment as in the round loop.
+  Xoshiro256 rng = protocol_rng;
+  const auto n = static_cast<AgentId>(pop_.size());
+  for (AgentId a = 0; a < n; ++a) {
+    const std::uint64_t w = acc_[a];
+    const std::uint64_t recv = w & kS2PackedField;
+    if (recv >= threshold) {
+      ++stats.successful;
+      const std::uint64_t ones = hypergeometric_ones(
+          rng, recv, (w >> kS2PackedOnesShift) & kS2PackedField,
+          threshold);
+      const Opinion verdict =
+          2 * ones > threshold ? Opinion::kOne : Opinion::kZero;
+      if (!pop_.has_opinion(a)) opinionated_.push_back(a);
+      pop_.set_opinion(a, verdict);
+    }
+  }
+  protocol_rng = rng;
+  std::fill(acc_.begin(), acc_.end(), 0);
+
+  send_.clear();
+  for (const AgentId a : opinionated_) {
+    send_.push_back(a |
+                    (pop_.opinion(a) == Opinion::kOne ? kSlotBit : 0u));
+  }
+
+  stats.correct_fraction = pop_.correct_fraction(config.correct);
+  stats.bias = pop_.bias(config.correct);
+  out.push_back(stats);
+}
+
+BatchEngine& local_batch_engine() {
+  thread_local BatchEngine engine;
+  return engine;
+}
+
+}  // namespace flip

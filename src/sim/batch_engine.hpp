@@ -1,0 +1,669 @@
+#pragma once
+// Batched fast-path simulation engine.
+//
+// The classic Engine (sim/engine.hpp) pays, per accepted message, a virtual
+// channel call, a virtual protocol deliver, and — per trial — a fresh
+// Mailbox/Population/protocol allocation. BatchEngine removes all of that
+// without changing a single random draw:
+//
+//  * run(): a statically dispatched replica of Engine::run. The protocol
+//    and channel are template parameters (FlipProtocolT / the concrete
+//    channel classes are `final`), so every per-message call devirtualizes
+//    and inlines, and the Mailbox + send buffer persist across trials in
+//    allocation-free reuse mode.
+//  * run_breathe(): a hand-packed structure-of-arrays implementation of
+//    Engine + BreatheProtocol for the paper's two-stage protocol — the hot
+//    workload behind broadcast / majority / boost. Mailbox slots collapse to
+//    one uint32 per agent (arrival count + reservoir bit), Stage II sample
+//    counters to one uint64 per agent (recv | ones | prefix-ones), and the
+//    per-phase sender list is kept materialized so a round never re-reads
+//    opinions. At n = 100k this shrinks the per-round working set from
+//    ~5 MB (L3) to ~1.6 MB (L2-resident).
+//
+// Exactness contract: both paths consume the engine and protocol rng
+// streams in EXACTLY the order the classic path does, so for the same
+// (seed, trial) they produce bit-identical Metrics, opinions, and phase
+// stats. tests/batch_engine_test.cpp enforces this for every registry
+// entry; treat any divergence as a bug in this file.
+//
+// One BatchEngine is meant to live per worker thread and run a whole block
+// of K trials of a scenario cell back to back (see local_batch_engine());
+// every buffer is sized once and recycled, so trials after the first are
+// allocation-free.
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "core/breathe.hpp"
+#include "core/params.hpp"
+#include "net/channel.hpp"
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/metrics.hpp"
+#include "sim/population.hpp"
+#include "util/rng.hpp"
+
+namespace flip {
+
+/// Compile-time shape of a Flip-model protocol: everything the round loop
+/// calls, without requiring inheritance from Protocol. Every Protocol
+/// subclass satisfies it; the templates dispatch statically, so passing the
+/// concrete (`final`) type devirtualizes the whole loop.
+template <typename P>
+concept FlipProtocolT = requires(P p, const P cp, Round r, AgentId a,
+                                 Opinion o, std::vector<Message>& out) {
+  { p.collect_sends(r, out) };
+  { p.deliver(a, o, r) };
+  { p.end_round(r) };
+  { cp.done(r) } -> std::convertible_to<bool>;
+  { cp.current_bias() } -> std::convertible_to<double>;
+  { cp.current_opinionated() } -> std::convertible_to<std::size_t>;
+};
+
+/// Everything one run_breathe() execution yields. Mirrors what the classic
+/// path exposes through Metrics + BreatheProtocol introspection.
+struct BreatheFastResult {
+  Metrics metrics;
+  Round protocol_rounds = 0;  ///< scheduled budget this run executed under
+  bool success = false;  ///< every agent ended holding the correct opinion
+  std::size_t opinionated = 0;
+  double correct_fraction = 0.0;
+  double final_bias = 0.0;
+  std::vector<StageOnePhaseStats> stage1;
+  std::vector<StageTwoPhaseStats> stage2;
+};
+
+/// True iff run_breathe() can pack this schedule's counters (Stage II phase
+/// lengths must fit the 21-bit packed fields, agent ids 31 bits). Callers
+/// fall back to the classic Engine when this is false.
+[[nodiscard]] bool breathe_fast_supported(const Params& params);
+
+namespace detail {
+
+/// Per-message flip draw for the packed fast path, replaying the channel's
+/// transmit() draws exactly. BscFlip turns `uniform_unit(rng) < p` into an
+/// integer compare: with k = rng() >> 11, u = k * 2^-53 < p iff
+/// k < ceil(p * 2^53) (p * 2^53 is an exact power-of-two scaling, so no
+/// rounding is involved anywhere). One draw, no int-to-double conversion.
+struct BscFlip {
+  std::uint64_t threshold;
+  explicit BscFlip(const BinarySymmetricChannel& channel)
+      : threshold(static_cast<std::uint64_t>(
+            std::ceil((0.5 - channel.eps()) * 0x1.0p53))) {}
+  bool operator()(Xoshiro256& rng) const noexcept {
+    return (rng() >> 11) < threshold;
+  }
+};
+
+/// HeterogeneousChannel::transmit, minus the optional: same two draws in
+/// the same order (bernoulli skips its draw when the sampled probability
+/// is exactly zero, as the real channel does).
+struct HeterogeneousFlip {
+  double eps;
+  explicit HeterogeneousFlip(const HeterogeneousChannel& channel)
+      : eps(channel.eps()) {}
+  bool operator()(Xoshiro256& rng) const noexcept {
+    const double flip_prob = uniform_unit(rng) * (0.5 - eps);
+    return bernoulli(rng, flip_prob);
+  }
+};
+
+inline BscFlip make_flip(const BinarySymmetricChannel& channel) {
+  return BscFlip(channel);
+}
+inline HeterogeneousFlip make_flip(const HeterogeneousChannel& channel) {
+  return HeterogeneousFlip(channel);
+}
+
+// Packed-layout constants, shared structurally by the loop helpers below
+// and by BatchEngine (which aliases them): send-list entries carry the
+// opinion in bit 31 next to a 31-bit agent id; mailbox slots carry a
+// 24-bit arrival count with the reservoir-kept opinion in bit 24.
+inline constexpr std::uint32_t kSendBit = 0x8000'0000u;
+inline constexpr std::uint32_t kPackedCount = (1u << 24) - 1;
+inline constexpr std::uint32_t kPackedBit = 1u << 24;
+// route_sends moves the opinion from send-list position to slot position
+// with one shift; keep the two layouts in lockstep.
+static_assert(kSendBit >> 7 == kPackedBit);
+
+// The two per-message loops of the packed path live in their own
+// deliberately-not-inlined functions: inside the (large) round loop they
+// would compete for registers with all the surrounding phase state, and a
+// spill inside a 100M-iteration loop costs more than a call per round.
+
+/// Routes one round of sends into the packed mailbox slots. Returns the
+/// number of touched recipients (appended to `tdata` in touch order).
+[[gnu::noinline]] inline std::size_t route_sends(
+    const std::uint32_t* __restrict__ sd, std::size_t nsend,
+    std::uint32_t* __restrict__ slot, std::uint32_t* __restrict__ tdata,
+    std::uint64_t n_minus_1, Xoshiro256& rng_ref) {
+  Xoshiro256 rng = rng_ref;  // state in registers for the whole round
+  std::size_t tsize = 0;
+  for (std::size_t i = 0; i < nsend; ++i) {
+    const std::uint32_t e = sd[i];
+    const std::uint32_t sender = e & ~kSendBit;
+    // Opinion bit from send-list position 31 to slot position 24.
+    const std::uint32_t mbit = (e & kSendBit) >> 7;
+    auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
+    to += (to >= sender);
+    const std::uint32_t w = slot[to];
+    const std::uint32_t count = w & kPackedCount;
+    tdata[tsize] = to;  // branchless append: store always, bump on miss
+    tsize += (count == 0);
+    if (count == 0) {
+      slot[to] = 1 | mbit;
+    } else {
+      // Reservoir step, identical to Mailbox::push_to.
+      const std::uint32_t next = count + 1;
+      const std::uint32_t kept =
+          uniform_index(rng, next) == 0 ? mbit : (w & kPackedBit);
+      slot[to] = next | kept;
+    }
+  }
+  rng_ref = rng;
+  return tsize;
+}
+
+/// Delivers one Stage II round: clears each touched slot, applies the
+/// channel flip, and bumps the packed recv/ones counters. Returns the
+/// number of flipped messages.
+template <typename FlipFn>
+[[gnu::noinline]] inline std::uint64_t deliver_stage2(
+    const std::uint32_t* __restrict__ tdata, std::size_t tsize,
+    std::uint32_t* __restrict__ slot, std::uint64_t* __restrict__ acc,
+    FlipFn flips, Xoshiro256& rng_ref) {
+  Xoshiro256 rng = rng_ref;
+  std::uint64_t flipped = 0;
+  for (std::size_t i = 0; i < tsize; ++i) {
+    if (i + 16 < tsize) {
+      __builtin_prefetch(&slot[tdata[i + 16]], 1);
+      __builtin_prefetch(&acc[tdata[i + 16]], 1);
+    }
+    const std::uint32_t to = tdata[i];
+    const std::uint32_t w = slot[to];
+    slot[to] = 0;
+    const bool sent_one = (w & kPackedBit) != 0;
+    const bool flip = flips(rng);
+    flipped += flip;
+    std::uint64_t v = acc[to] + 1;  // ++recv
+    if (sent_one != flip) v += std::uint64_t{1} << 32;  // ++ones
+    acc[to] = v;
+  }
+  rng_ref = rng;
+  return flipped;
+}
+
+}  // namespace detail
+
+class BatchEngine {
+ public:
+  BatchEngine() = default;
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Statically dispatched replica of Engine::run for population n: same
+  /// loop, same rng draw order, identical Metrics — but with `protocol` and
+  /// `channel` as concrete types every per-message call inlines, and the
+  /// mailbox/send buffers reused across calls.
+  template <FlipProtocolT P, typename C>
+  Metrics run(std::size_t n, P& protocol, C& channel, Xoshiro256& rng,
+              Round max_rounds, EngineOptions options = {}) {
+    mailbox_.reuse(n);
+    send_buffer_.clear();
+    if (send_buffer_.capacity() < n) send_buffer_.reserve(n);
+
+    Metrics metrics;
+    for (Round r = 0; r < max_rounds; ++r) {
+      send_buffer_.clear();
+      protocol.collect_sends(r, send_buffer_);
+
+      mailbox_.reset();
+      for (const Message& msg : send_buffer_) {
+        if (msg.sender >= mailbox_.population()) {
+          throw std::out_of_range("BatchEngine: sender id out of range");
+        }
+        mailbox_.push(msg, rng);
+      }
+      metrics.messages_sent += send_buffer_.size();
+
+      for (AgentId to : mailbox_.recipients()) {
+        const Message& msg = mailbox_.accepted(to);
+        const std::optional<Opinion> seen = channel.transmit(msg.bit, rng);
+        if (!seen) {
+          ++metrics.erased;
+          continue;
+        }
+        if (*seen != msg.bit) ++metrics.flipped;
+        ++metrics.delivered;
+        protocol.deliver(to, *seen, r);
+      }
+      metrics.dropped += mailbox_.dropped_this_round();
+
+      protocol.end_round(r);
+      metrics.rounds = r + 1;
+
+      if (options.probe_every != 0 && r % options.probe_every == 0) {
+        metrics.bias_series.push_back({r, protocol.current_bias()});
+        metrics.activated_series.push_back(
+            {r, static_cast<double>(protocol.current_opinionated())});
+      }
+
+      if (protocol.done(r)) break;
+    }
+    return metrics;
+  }
+
+  /// The packed SoA fast path for the two-stage breathe protocol. Runs one
+  /// execution; call in a loop for a block of trials (all buffers recycle).
+  /// `stage1_only` truncates the budget to Stage I, like run_broadcast's
+  /// stage1_only switch. Precondition: breathe_fast_supported(params).
+  ///
+  /// Dispatches to the single-cell packed loop (one uint64 of state per
+  /// agent — one random access per message instead of three) whenever the
+  /// schedule's counters fit and the channel is a pure flip channel;
+  /// otherwise runs the wide layout. Either way the rng draw sequence is
+  /// the classic engine's, draw for draw.
+  template <typename Channel>
+  BreatheFastResult run_breathe(const Params& params,
+                                const BreatheConfig& config, Channel& channel,
+                                Xoshiro256& engine_rng,
+                                Xoshiro256& protocol_rng, bool stage1_only,
+                                EngineOptions options = {}) {
+    constexpr bool kFlipOnly =
+        std::is_same_v<Channel, BinarySymmetricChannel> ||
+        std::is_same_v<Channel, HeterogeneousChannel>;
+    if constexpr (kFlipOnly) {
+      if (config.stage2_subset == Stage2Subset::kUniformSubset &&
+          breathe_packed_supported(params)) {
+        return run_breathe_packed(params, config, channel, engine_rng,
+                                  protocol_rng, stage1_only, options);
+      }
+    }
+    return run_breathe_wide(params, config, channel, engine_rng, protocol_rng,
+                            stage1_only, options);
+  }
+
+ private:
+  /// Wide layout: separate mailbox-slot and counter arrays, 21-bit Stage II
+  /// fields, arbitrary channels, prefix-subset tracking. The fallback when
+  /// the packed cell does not fit.
+  template <typename Channel>
+  BreatheFastResult run_breathe_wide(const Params& params,
+                                     const BreatheConfig& config,
+                                     Channel& channel, Xoshiro256& engine_rng,
+                                     Xoshiro256& protocol_rng,
+                                     bool stage1_only,
+                                     EngineOptions options = {}) {
+    const StageOneSchedule& s1 = params.stage1();
+    const StageTwoSchedule& s2 = params.stage2();
+    prepare_breathe(params, config);
+    const auto [stage1_offset, stage1_rounds, total_rounds, budget] =
+        breathe_schedule(params, config, stage1_only);
+
+    BreatheFastResult result;
+    result.protocol_rounds = budget;
+    Metrics& metrics = result.metrics;
+
+    const auto n = static_cast<std::uint32_t>(params.n());
+    const std::uint64_t n_minus_1 = n - 1;
+    const bool uniform_pick =
+        config.stage1_pick == Stage1Pick::kUniformMessage;
+
+    for (Round r = 0; r < budget; ++r) {
+      const bool in_s1 = r < stage1_rounds;
+
+      // --- collect + route. The sender list is kept materialized across a
+      // phase (opinions only change at phase boundaries), so the classic
+      // collect_sends pass disappears: one sequential read per message.
+      const std::size_t nsend = send_.size();
+      metrics.messages_sent += nsend;
+      for (std::size_t i = 0; i < nsend; ++i) {
+        const std::uint32_t e = send_[i];
+        const auto sender = static_cast<AgentId>(e & ~kSlotBit);
+        const std::uint32_t bit = e & kSlotBit;
+        auto to = static_cast<AgentId>(uniform_index(engine_rng, n_minus_1));
+        to += static_cast<AgentId>(to >= sender);
+        const std::uint32_t slot = slot_[to];
+        const std::uint32_t count = slot & ~kSlotBit;
+        if (count == 0) {
+          touched_.push_back(to);
+          slot_[to] = 1u | bit;
+        } else {
+          // Reservoir step, identical to Mailbox::push_to.
+          const std::uint32_t next = count + 1;
+          const std::uint32_t kept =
+              uniform_index(engine_rng, next) == 0 ? bit : (slot & kSlotBit);
+          slot_[to] = next | kept;
+        }
+      }
+
+      // --- deliver, in touch order, with the round's phase state hoisted
+      // out of the per-message loop. Slots are cleared as they are read
+      // (the classic path clears them at the top of the next round).
+      if (in_s1) {
+        for (const AgentId to : touched_) {
+          const std::uint32_t slot = slot_[to];
+          slot_[to] = 0;
+          const auto sent =
+              static_cast<Opinion>((slot & kSlotBit) != 0);
+          const std::optional<Opinion> seen =
+              channel.transmit(sent, engine_rng);
+          if (!seen) {
+            ++metrics.erased;
+            continue;
+          }
+          metrics.flipped += (*seen != sent);
+          ++metrics.delivered;
+          if (pop_.has_opinion(to)) continue;  // Stage I ignores these
+          const std::uint64_t w = acc_[to];
+          const std::uint64_t recv = (w & kS1RecvMask) + 1;
+          if (recv == 1) activation_buffer_.push_back(to);
+          std::uint64_t kept;
+          if (uniform_pick) {
+            kept = (recv == 1 || uniform_index(protocol_rng, recv) == 0)
+                       ? static_cast<std::uint64_t>(*seen)
+                       : (w >> kKeptShift);
+          } else {
+            kept = recv == 1 ? static_cast<std::uint64_t>(*seen)
+                             : (w >> kKeptShift);
+          }
+          acc_[to] = recv | (kept << kKeptShift);
+        }
+      } else {
+        const std::uint64_t threshold =
+            s2.half_length(s2.phase_of_round(r - stage1_rounds));
+        for (const AgentId to : touched_) {
+          const std::uint32_t slot = slot_[to];
+          slot_[to] = 0;
+          const auto sent =
+              static_cast<Opinion>((slot & kSlotBit) != 0);
+          const std::optional<Opinion> seen =
+              channel.transmit(sent, engine_rng);
+          if (!seen) {
+            ++metrics.erased;
+            continue;
+          }
+          metrics.flipped += (*seen != sent);
+          ++metrics.delivered;
+          std::uint64_t w = acc_[to] + 1;  // ++recv
+          if (*seen == Opinion::kOne) {
+            w += (std::uint64_t{1} << kOnesShift) +
+                 ((w & kFieldMask) <= threshold
+                      ? (std::uint64_t{1} << kPrefixShift)
+                      : 0);
+          }
+          acc_[to] = w;
+        }
+      }
+      metrics.dropped += nsend - touched_.size();
+      touched_.clear();
+
+      // --- end of round: phase boundaries, probes, termination.
+      if (in_s1) {
+        const Round sr = r + stage1_offset;
+        const std::uint64_t phase = s1.phase_of_round(sr);
+        if (sr + 1 == s1.phase_end(phase)) {
+          finalize_stage1(phase, config.correct, result.stage1);
+        }
+      } else {
+        const Round sr = r - stage1_rounds;
+        const std::uint64_t phase = s2.phase_of_round(sr);
+        if (sr + 1 == s2.phase_start(phase) + s2.phase_length(phase)) {
+          finalize_stage2(phase, config, s2, protocol_rng, result.stage2);
+        }
+      }
+      metrics.rounds = r + 1;
+
+      if (options.probe_every != 0 && r % options.probe_every == 0) {
+        metrics.bias_series.push_back({r, pop_.bias(config.correct)});
+        metrics.activated_series.push_back(
+            {r, static_cast<double>(pop_.opinionated())});
+      }
+
+      if (r + 1 >= total_rounds) break;
+    }
+
+    finish_breathe(result, config.correct);
+    return result;
+  }
+
+  /// Packed layout: the route loop touches ONE uint32 mailbox slot per
+  /// message (arrival count in bits 0..23, reservoir-kept opinion in bit
+  /// 24) — a 400 KB array at n = 100k, small enough that the
+  /// collision-branch's gating load almost always hits L2 — and the
+  /// delivery loop touches that slot plus one uint64 counter word, both
+  /// software-prefetched through the touched list:
+  ///
+  ///   Stage I counters:  bits 0..23 recv count, bit 32 kept opinion,
+  ///                      bit 33 has-opinion (mirror of pop_, maintained
+  ///                      at phase boundaries)
+  ///   Stage II counters: bits 0..14 recv count, bits 32..46 ones count
+  ///
+  /// Stage I fields are wiped by the one fill() at the stage boundary.
+  template <typename Channel>
+  BreatheFastResult run_breathe_packed(const Params& params,
+                                       const BreatheConfig& config,
+                                       Channel& channel,
+                                       Xoshiro256& engine_rng,
+                                       Xoshiro256& protocol_rng,
+                                       bool stage1_only,
+                                       const EngineOptions& options) {
+    const StageOneSchedule& s1 = params.stage1();
+    const StageTwoSchedule& s2 = params.stage2();
+    prepare_breathe(params, config);
+    const auto [stage1_offset, stage1_rounds, total_rounds, budget] =
+        breathe_schedule(params, config, stage1_only);
+
+    BreatheFastResult result;
+    result.protocol_rounds = budget;
+    Metrics& metrics = result.metrics;
+
+    const std::size_t n = params.n();
+    touched_.resize(n);  // indexed directly; size managed per round
+    if (stage1_rounds > 0) {
+      // Seeds behave as opinionated from round 0. (Under skip_stage1 the
+      // Stage II field layout owns these bits, so the flag must stay
+      // clear — Stage I never runs.)
+      for (const Seed& seed : config.initial) {
+        acc_[seed.agent] = kS1HasOpinion;
+      }
+    }
+
+    const auto flips = detail::make_flip(channel);
+    const std::uint64_t n_minus_1 = n - 1;
+    const bool uniform_pick =
+        config.stage1_pick == Stage1Pick::kUniformMessage;
+    std::uint32_t* const __restrict__ slot = slot_.data();
+    std::uint64_t* const __restrict__ acc = acc_.data();
+    AgentId* const __restrict__ tdata = touched_.data();
+
+    // Work on LOCAL rng copies: through the caller's references, every
+    // draw's 256-bit state update would have to round-trip through memory
+    // (stores through the state arrays may alias it), lengthening the
+    // serial rng dependency chain that paces both loops. Written back
+    // before returning.
+    Xoshiro256 erng = engine_rng;
+    Xoshiro256 prng = protocol_rng;
+
+    // Counter locals: acc stores are uint64 writes that could legally
+    // alias Metrics' uint64 fields, so counting into metrics directly
+    // would force a reload/store per message.
+    std::uint64_t messages = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t flipped = 0;
+    std::uint64_t dropped = 0;
+
+    for (Round r = 0; r < budget; ++r) {
+      const bool in_s1 = r < stage1_rounds;
+
+      const std::size_t nsend = send_.size();
+      messages += nsend;
+      const std::size_t tsize = detail::route_sends(
+          send_.data(), nsend, slot, tdata, n_minus_1, erng);
+      dropped += nsend - tsize;
+
+      if (in_s1) {
+        for (std::size_t i = 0; i < tsize; ++i) {
+          if (i + 16 < tsize) {
+            __builtin_prefetch(&slot[tdata[i + 16]], 1);
+            __builtin_prefetch(&acc[tdata[i + 16]], 1);
+          }
+          const AgentId to = tdata[i];
+          const std::uint32_t w = slot[to];
+          slot[to] = 0;
+          const bool sent_one = (w & kPackedBit) != 0;
+          const bool flip = flips(erng);
+          flipped += flip;
+          ++delivered;
+          const bool seen_one = sent_one != flip;
+          const std::uint64_t v = acc[to];
+          if (v & kS1HasOpinion) continue;  // Stage I ignores opinionated
+          const std::uint64_t recv = (v & kPackedCount) + 1;
+          if (recv == 1) activation_buffer_.push_back(to);
+          std::uint64_t kept;
+          if (uniform_pick) {
+            kept = (recv == 1 || uniform_index(prng, recv) == 0)
+                       ? static_cast<std::uint64_t>(seen_one)
+                       : ((v >> kS1KeptShift) & 1);
+          } else {
+            kept = recv == 1 ? static_cast<std::uint64_t>(seen_one)
+                             : ((v >> kS1KeptShift) & 1);
+          }
+          acc[to] = recv | (kept << kS1KeptShift);
+        }
+      } else {
+        flipped += detail::deliver_stage2(tdata, tsize, slot, acc, flips,
+                                          erng);
+        delivered += tsize;
+      }
+
+      if (in_s1) {
+        const Round sr = r + stage1_offset;
+        const std::uint64_t phase = s1.phase_of_round(sr);
+        if (sr + 1 == s1.phase_end(phase)) {
+          finalize_stage1_packed(phase, config.correct, result.stage1);
+        }
+        if (r + 1 == stage1_rounds) {
+          // Stage boundary: Stage I counter fields retire, Stage II
+          // counters must start from zero.
+          std::fill(acc_.begin(), acc_.end(), 0);
+        }
+      } else {
+        const Round sr = r - stage1_rounds;
+        const std::uint64_t phase = s2.phase_of_round(sr);
+        if (sr + 1 == s2.phase_start(phase) + s2.phase_length(phase)) {
+          finalize_stage2_packed(phase, config, s2, prng, result.stage2);
+        }
+      }
+      metrics.rounds = r + 1;
+
+      if (options.probe_every != 0 && r % options.probe_every == 0) {
+        metrics.bias_series.push_back({r, pop_.bias(config.correct)});
+        metrics.activated_series.push_back(
+            {r, static_cast<double>(pop_.opinionated())});
+      }
+
+      if (r + 1 >= total_rounds) break;
+    }
+
+    metrics.messages_sent = messages;
+    metrics.delivered = delivered;
+    metrics.flipped = flipped;
+    metrics.dropped = dropped;
+    engine_rng = erng;
+    protocol_rng = prng;
+
+    finish_breathe(result, config.correct);
+    return result;
+  }
+
+  // Packed layouts. Slot: arrival count in bits 0..30, reservoir-kept bit
+  // in bit 31. Stage I accumulator: recv count in bits 0..62, kept bit in
+  // bit 63. Stage II accumulator: recv | ones | prefix-ones as three 21-bit
+  // fields (phase lengths are bounded by breathe_fast_supported).
+  static constexpr std::uint32_t kSlotBit = detail::kSendBit;
+  static constexpr int kKeptShift = 63;
+  static constexpr std::uint64_t kS1RecvMask =
+      (std::uint64_t{1} << kKeptShift) - 1;
+  static constexpr int kOnesShift = 21;
+  static constexpr int kPrefixShift = 42;
+  static constexpr std::uint64_t kFieldMask = (std::uint64_t{1} << 21) - 1;
+
+  // Packed-path layout (run_breathe_packed): the detail:: mailbox-slot
+  // constants, plus Stage I kept/has-opinion flags at bits 32/33 of the
+  // counter word and the Stage II ones count at bits 32..46.
+  static constexpr std::uint32_t kPackedCount = detail::kPackedCount;
+  static constexpr std::uint32_t kPackedBit = detail::kPackedBit;
+  static constexpr int kS1KeptShift = 32;
+  static constexpr std::uint64_t kS1HasOpinion = std::uint64_t{1} << 33;
+  static constexpr int kS2PackedOnesShift = 32;
+  static constexpr std::uint64_t kS2PackedField = (std::uint64_t{1} << 15) - 1;
+
+  friend bool breathe_fast_supported(const Params& params);
+
+  /// True iff every counter of `params`'s schedule fits the single-cell
+  /// packed fields (population in the 24-bit arrival count, Stage II phase
+  /// lengths in 15 bits).
+  [[nodiscard]] static bool breathe_packed_supported(const Params& params);
+
+  /// Validates the config (same rules as BreatheProtocol's constructor),
+  /// resets all per-trial state, and seeds the initial set.
+  void prepare_breathe(const Params& params, const BreatheConfig& config);
+
+  /// The round layout both layouts run under — one copy of the
+  /// skip_stage1/start_phase arithmetic that BreatheProtocol's constructor
+  /// also performs, so the layouts cannot drift from each other.
+  struct BreatheSchedule {
+    Round stage1_offset = 0;
+    Round stage1_rounds = 0;
+    Round total_rounds = 0;
+    Round budget = 0;  ///< rounds this run executes (stage1_only truncates)
+  };
+  static BreatheSchedule breathe_schedule(const Params& params,
+                                          const BreatheConfig& config,
+                                          bool stage1_only);
+
+  /// Fills the end-of-run population summary fields of `result`.
+  void finish_breathe(BreatheFastResult& result, Opinion correct) const;
+
+  void finalize_stage1(std::uint64_t phase, Opinion correct,
+                       std::vector<StageOnePhaseStats>& out);
+  void finalize_stage2(std::uint64_t phase, const BreatheConfig& config,
+                       const StageTwoSchedule& s2, Xoshiro256& protocol_rng,
+                       std::vector<StageTwoPhaseStats>& out);
+  void finalize_stage1_packed(std::uint64_t phase, Opinion correct,
+                              std::vector<StageOnePhaseStats>& out);
+  void finalize_stage2_packed(std::uint64_t phase,
+                              const BreatheConfig& config,
+                              const StageTwoSchedule& s2,
+                              Xoshiro256& protocol_rng,
+                              std::vector<StageTwoPhaseStats>& out);
+
+  // Generic-path scratch.
+  Mailbox mailbox_{2};
+  std::vector<Message> send_buffer_;
+
+  // Breathe fast-path scratch (structure-of-arrays, persistent).
+  Population pop_{2};
+  std::vector<std::uint32_t> slot_;  ///< packed mailbox slot per agent
+  std::vector<std::uint64_t> acc_;   ///< packed sample counters per agent
+  std::vector<AgentId> touched_;
+  std::vector<AgentId> opinionated_;
+  std::vector<AgentId> activation_buffer_;
+  std::vector<std::uint32_t> send_;  ///< agent id | opinion bit (bit 31)
+};
+
+/// The calling thread's persistent BatchEngine. Worker threads of the
+/// shared ThreadPool live for the whole process, so a sweep's grid cells
+/// all recycle the same per-worker scratch.
+BatchEngine& local_batch_engine();
+
+}  // namespace flip

@@ -4,6 +4,12 @@
 
 namespace flip {
 
+std::optional<EngineMode> parse_engine_mode(std::string_view name) noexcept {
+  if (name == "batch") return EngineMode::kBatch;
+  if (name == "classic") return EngineMode::kClassic;
+  return std::nullopt;
+}
+
 Engine::Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
                EngineOptions options)
     : mailbox_(n), channel_(channel), rng_(rng), options_(options) {

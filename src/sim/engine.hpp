@@ -10,7 +10,9 @@
 // implementations (collect_sends fills a flat buffer) while the engine stays
 // generic over protocols and channels.
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/channel.hpp"
@@ -57,6 +59,22 @@ struct EngineOptions {
   /// (0 = never). Probing costs one virtual call per probe, not per agent.
   Round probe_every = 0;
 };
+
+/// Which simulation substrate a workload runs on. kBatch is the
+/// statically-dispatched fast path (sim/batch_engine.hpp); it consumes rng
+/// streams in exactly the same order as the classic Engine, so the two modes
+/// produce identical metrics for the same (seed, trial) — kClassic exists to
+/// prove that, and to time the difference.
+enum class EngineMode { kBatch, kClassic };
+
+[[nodiscard]] constexpr std::string_view engine_mode_name(
+    EngineMode mode) noexcept {
+  return mode == EngineMode::kBatch ? "batch" : "classic";
+}
+
+/// Parses "batch" / "classic"; nullopt on anything else.
+[[nodiscard]] std::optional<EngineMode> parse_engine_mode(
+    std::string_view name) noexcept;
 
 class Engine {
  public:

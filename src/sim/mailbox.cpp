@@ -10,30 +10,21 @@ Mailbox::Mailbox(std::size_t n)
   touched_.reserve(n);
 }
 
-void Mailbox::push(const Message& msg, Xoshiro256& rng) {
-  // Uniform over the n-1 agents other than the sender.
-  auto to = static_cast<AgentId>(
-      uniform_index(rng, arrival_count_.size() - 1));
-  if (to >= msg.sender) ++to;
-  push_to(to, msg, rng);
-}
-
-void Mailbox::push_to(AgentId to, const Message& msg, Xoshiro256& rng) {
-  ++pushed_;
-  const std::uint32_t k = ++arrival_count_[to];
-  if (k == 1) {
-    touched_.push_back(to);
-    kept_[to] = msg;
-  } else if (uniform_index(rng, k) == 0) {
-    // Reservoir step: the k-th arrival replaces the kept one w.p. 1/k,
-    // making the kept message uniform among all k arrivals.
-    kept_[to] = msg;
-  }
-}
-
 void Mailbox::reset() noexcept {
   for (AgentId a : touched_) arrival_count_[a] = 0;
   touched_.clear();
+  pushed_ = 0;
+}
+
+void Mailbox::reuse(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("Mailbox: need n >= 2");
+  // Growing (or shrinking within capacity) zero-fills only what a fresh
+  // construction would: arrival counts. kept_ entries are written before
+  // they are read (a recipient's slot is assigned on first touch).
+  arrival_count_.assign(n, 0);
+  kept_.resize(n, Message{0, Opinion::kZero});
+  touched_.clear();
+  if (touched_.capacity() < n) touched_.reserve(n);
   pushed_ = 0;
 }
 

@@ -24,12 +24,30 @@ class Mailbox {
   explicit Mailbox(std::size_t n);
 
   /// Routes one message from `msg.sender` to a uniformly random other agent,
-  /// applying the reservoir acceptance rule at the destination.
-  void push(const Message& msg, Xoshiro256& rng);
+  /// applying the reservoir acceptance rule at the destination. Defined
+  /// inline: this is the per-message hot path of every engine round.
+  void push(const Message& msg, Xoshiro256& rng) {
+    // Uniform over the n-1 agents other than the sender.
+    auto to = static_cast<AgentId>(
+        uniform_index(rng, arrival_count_.size() - 1));
+    if (to >= msg.sender) ++to;
+    push_to(to, msg, rng);
+  }
 
   /// Delivers a message directly to `to` (used by tests and by baselines
   /// that model non-anonymous delivery); same acceptance rule applies.
-  void push_to(AgentId to, const Message& msg, Xoshiro256& rng);
+  void push_to(AgentId to, const Message& msg, Xoshiro256& rng) {
+    ++pushed_;
+    const std::uint32_t k = ++arrival_count_[to];
+    if (k == 1) {
+      touched_.push_back(to);
+      kept_[to] = msg;
+    } else if (uniform_index(rng, k) == 0) {
+      // Reservoir step: the k-th arrival replaces the kept one w.p. 1/k,
+      // making the kept message uniform among all k arrivals.
+      kept_[to] = msg;
+    }
+  }
 
   /// Recipients that accepted a message this round, in touch order.
   [[nodiscard]] const std::vector<AgentId>& recipients() const noexcept {
@@ -57,6 +75,12 @@ class Mailbox {
 
   /// Clears round state. Must be called between rounds.
   void reset() noexcept;
+
+  /// Allocation-free re-initialization for a (possibly different) population:
+  /// equivalent to constructing Mailbox(n) but reusing the touched/accepted
+  /// buffers, so a long-lived engine pays no heap churn between trials.
+  /// Throws std::invalid_argument if n < 2, like the constructor.
+  void reuse(std::size_t n);
 
   [[nodiscard]] std::size_t population() const noexcept {
     return arrival_count_.size();

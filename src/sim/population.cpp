@@ -8,6 +8,14 @@ Population::Population(std::size_t n) : has_opinion_(n, 0), opinion_(n, 0) {
   if (n < 2) throw std::invalid_argument("Population: need n >= 2");
 }
 
+void Population::reuse(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("Population: need n >= 2");
+  has_opinion_.assign(n, 0);
+  opinion_.assign(n, 0);
+  opinionated_ = 0;
+  ones_ = 0;
+}
+
 std::optional<Opinion> Population::opinion_of(AgentId a) const {
   if (!has_opinion(a)) return std::nullopt;
   return opinion(a);

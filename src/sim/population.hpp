@@ -17,6 +17,11 @@ class Population {
   /// n agents, all initially opinion-less. Precondition: n >= 2.
   explicit Population(std::size_t n);
 
+  /// Allocation-free re-initialization: equivalent to constructing
+  /// Population(n) but reusing the per-agent buffers. Used by the batch
+  /// fast path to recycle one population across many trials.
+  void reuse(std::size_t n);
+
   [[nodiscard]] std::size_t size() const noexcept { return opinion_.size(); }
 
   [[nodiscard]] bool has_opinion(AgentId a) const {

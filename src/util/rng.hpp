@@ -98,15 +98,39 @@ class Xoshiro256 {
 /// always the same engine, which is what makes trials replayable.
 Xoshiro256 make_stream(std::uint64_t seed, std::uint64_t stream);
 
+// The three draw primitives below are defined inline: they sit on the
+// engine's per-message path (recipient choice, reservoir acceptance, channel
+// flip), and an out-of-line definition would put a call boundary inside the
+// hot loop of every simulation.
+
 /// Uniform integer in [0, n). Unbiased (Lemire's rejection method).
 /// Precondition: n > 0.
-std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n);
-
-/// True with probability p (clamped to [0,1]).
-bool bernoulli(Xoshiro256& rng, double p);
+inline std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) {
+  std::uint64_t x = rng();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = rng();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
 
 /// Uniform double in [0, 1) with 53 random bits.
-double uniform_unit(Xoshiro256& rng);
+inline double uniform_unit(Xoshiro256& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// True with probability p (clamped to [0,1]).
+inline bool bernoulli(Xoshiro256& rng, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_unit(rng) < p;
+}
 
 /// Hypergeometric draw: picks `take` items uniformly without replacement
 /// from `total` items of which `ones` are marked, and returns how many

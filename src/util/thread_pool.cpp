@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace flip {
 
@@ -100,6 +101,21 @@ void ThreadPool::parallel_for(std::size_t count,
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool& ThreadPool::sized(std::size_t threads) {
+  if (threads == 0) return shared();
+  static std::mutex cache_mutex;
+  // Deliberately leaked: sized pools may be requested from static
+  // destructors of other translation units, so their lifetime must not
+  // depend on static destruction order. The OS reclaims the threads.
+  static auto* cache = new std::vector<std::unique_ptr<ThreadPool>>();
+  std::lock_guard lock(cache_mutex);
+  for (const auto& pool : *cache) {
+    if (pool->size() == threads) return *pool;
+  }
+  cache->push_back(std::make_unique<ThreadPool>(threads));
+  return *cache->back();
 }
 
 }  // namespace flip

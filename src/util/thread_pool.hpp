@@ -34,6 +34,13 @@ class ThreadPool {
   /// Process-wide shared pool for callers that don't manage their own.
   static ThreadPool& shared();
 
+  /// Process-wide pool with exactly `threads` workers (0 = shared()).
+  /// Pools are created on first use and then persist, so repeated sweeps
+  /// with the same --threads reuse one set of workers — and with them every
+  /// thread_local per-worker scratch — instead of spawning and joining a
+  /// fresh pool each time.
+  static ThreadPool& sized(std::size_t threads);
+
  private:
   void worker_loop();
 

@@ -10,6 +10,7 @@
 #include "baselines/voter.hpp"
 #include "core/theory.hpp"
 #include "net/channel.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/engine.hpp"
 #include "util/math.hpp"
 #include "workload/scenarios.hpp"
@@ -33,7 +34,23 @@ BroadcastScenario broadcast_from(const ScenarioConfig& config) {
   scenario.n = config.n;
   scenario.eps = config.eps;
   scenario.heterogeneous_noise = config.channel == kChannelHeterogeneous;
+  scenario.engine = config.engine;
   return scenario;
+}
+
+/// Runs an Engine-style protocol on the substrate `config.engine` names:
+/// the classic virtual-dispatch Engine, or the calling thread's persistent
+/// BatchEngine with `protocol`/`channel` statically typed (devirtualized).
+/// Both consume `rng` identically, so the metrics are the same.
+template <typename P, typename C>
+Metrics run_on(const ScenarioConfig& config, P& protocol, C& channel,
+               Xoshiro256& rng, Round max_rounds) {
+  if (config.engine == EngineMode::kBatch) {
+    return local_batch_engine().run(config.n, protocol, channel, rng,
+                                    max_rounds);
+  }
+  Engine engine(config.n, channel, rng);
+  return engine.run(protocol, max_rounds);
 }
 
 void register_builtin(ScenarioRegistry& registry) {
@@ -94,6 +111,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.eps = config.eps;
         scenario.initial_set = std::max<std::size_t>(64, config.n / 16);
         scenario.majority_bias = 0.25;
+        scenario.engine = config.engine;
         return majority_trial_fn(scenario);
       });
 
@@ -105,6 +123,7 @@ void register_builtin(ScenarioRegistry& registry) {
         BoostScenario scenario;
         scenario.n = config.n;
         scenario.eps = config.eps;
+        scenario.engine = config.engine;
         return boost_trial_fn(scenario);
       });
 
@@ -116,6 +135,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.n = config.n;
         scenario.eps = config.eps;
         scenario.max_skew = 8;
+        scenario.engine = config.engine;
         return desync_trial_fn(scenario);
       });
 
@@ -128,6 +148,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.n = config.n;
         scenario.eps = config.eps;
         scenario.use_clock_sync = true;
+        scenario.engine = config.engine;
         return desync_trial_fn(scenario);
       });
 
@@ -140,14 +161,14 @@ void register_builtin(ScenarioRegistry& registry) {
           const double unit = theory::round_unit(config.n, config.eps);
           BinarySymmetricChannel channel(config.eps);
           auto rng = baseline_rng(seed, trial, 0);
-          Engine engine(config.n, channel, rng);
           SilentConfig silent;
           silent.samples_needed =
               next_odd(static_cast<std::uint64_t>(unit));
           silent.max_rounds = static_cast<Round>(
               64.0 * static_cast<double>(config.n) * unit);
           SilentListeningProtocol protocol(config.n, silent);
-          const Metrics metrics = engine.run(protocol, silent.max_rounds);
+          const Metrics metrics =
+              run_on(config, protocol, channel, rng, silent.max_rounds);
           TrialOutcome outcome;
           outcome.correct_fraction =
               protocol.population().correct_fraction(Opinion::kOne);
@@ -167,12 +188,12 @@ void register_builtin(ScenarioRegistry& registry) {
         return TrialFn([config](std::uint64_t seed, std::size_t trial) {
           BinarySymmetricChannel channel(config.eps);
           auto rng = baseline_rng(seed, trial, 0);
-          Engine engine(config.n, channel, rng);
           ForwardConfig forward;
           forward.initial = {Seed{0, Opinion::kOne}};
           forward.stop_when_all_informed = true;
           ForwardGossipProtocol protocol(config.n, forward);
-          const Metrics metrics = engine.run(protocol, Round{1} << 20);
+          const Metrics metrics =
+              run_on(config, protocol, channel, rng, Round{1} << 20);
           TrialOutcome outcome;
           outcome.success = protocol.population().unanimous(Opinion::kOne);
           outcome.correct_fraction =
@@ -192,12 +213,12 @@ void register_builtin(ScenarioRegistry& registry) {
           const double unit = theory::round_unit(config.n, config.eps);
           BinarySymmetricChannel channel(config.eps);
           auto rng = baseline_rng(seed, trial, 0);
-          Engine engine(config.n, channel, rng);
           VoterConfig voter;
           voter.zealots = {Seed{0, Opinion::kOne}};
           voter.duration = static_cast<Round>(16.0 * unit);
           NoisyVoterProtocol protocol(config.n, voter);
-          const Metrics metrics = engine.run(protocol, voter.duration);
+          const Metrics metrics =
+              run_on(config, protocol, channel, rng, voter.duration);
           TrialOutcome outcome;
           outcome.success = protocol.population().unanimous(Opinion::kOne);
           outcome.correct_fraction =
@@ -342,6 +363,7 @@ ScenarioConfig ScenarioRegistry::resolve(std::string_view name,
   config.n = o.n.value_or(entry.info.default_n);
   config.eps = o.eps.value_or(entry.info.default_eps);
   config.channel = o.channel.value_or(entry.info.channels.front());
+  config.engine = o.engine.value_or(EngineMode::kBatch);
   if (config.n < 2) {
     throw std::invalid_argument("scenario '" + entry.info.name +
                                 "': n must be >= 2");

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/engine.hpp"
 #include "sim/trial.hpp"
 
 namespace flip {
@@ -38,6 +39,10 @@ struct ScenarioConfig {
   std::size_t n = 0;
   double eps = 0.0;
   std::string channel;
+  /// Substrate the factory should run on. Results are identical either way
+  /// (the fast path replays the classic rng streams exactly); kClassic
+  /// exists for A/B timing and the equivalence tests.
+  EngineMode engine = EngineMode::kBatch;
 };
 
 /// Optional overrides for the registry's defaults (empty = default).
@@ -45,6 +50,7 @@ struct ScenarioOverrides {
   std::optional<std::size_t> n;
   std::optional<double> eps;
   std::optional<std::string> channel;
+  std::optional<EngineMode> engine;
 };
 
 using ScenarioFactory = std::function<TrialFn(const ScenarioConfig&)>;

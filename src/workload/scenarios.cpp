@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "net/channel.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/engine.hpp"
 
 namespace flip {
@@ -24,6 +25,67 @@ Xoshiro256 protocol_rng(std::uint64_t seed, std::size_t trial) {
 }
 Xoshiro256 setup_rng(std::uint64_t seed, std::size_t trial) {
   return make_stream(seed, kStreamsPerTrial * trial + 2);
+}
+
+// Shared scenario -> (Params, BreatheConfig) derivation, used by both the
+// classic and fast twins of each run_* function so the two substrates can
+// never drift apart in setup. Validation happens before Params::calibrated,
+// preserving the original exception order.
+
+BreatheConfig broadcast_breathe_config(const BroadcastScenario& scenario) {
+  BreatheConfig config = broadcast_config(scenario.correct);
+  config.stage1_pick = scenario.stage1_pick;
+  config.stage2_subset = scenario.stage2_subset;
+  return config;
+}
+
+Params majority_params(const MajorityScenario& scenario) {
+  if (!(scenario.majority_bias > 0.0) || scenario.majority_bias > 0.5) {
+    throw std::invalid_argument("run_majority: majority_bias not in (0, 0.5]");
+  }
+  return Params::calibrated(scenario.n, scenario.eps, scenario.tuning);
+}
+
+BreatheConfig majority_breathe_config(const Params& params,
+                                      const MajorityScenario& scenario) {
+  // majority-bias = (A_B - A_notB) / (2|A|)  =>  A_B = |A| (1/2 + bias).
+  const auto correct_count = static_cast<std::size_t>(
+      std::llround((0.5 + scenario.majority_bias) *
+                   static_cast<double>(scenario.initial_set)));
+  return majority_config(params, scenario.initial_set, correct_count,
+                         scenario.correct);
+}
+
+Params boost_params(const BoostScenario& scenario) {
+  if (!(scenario.initial_bias > 0.0) || scenario.initial_bias > 0.5) {
+    throw std::invalid_argument("run_boost: initial_bias not in (0, 0.5]");
+  }
+  return Params::calibrated(scenario.n, scenario.eps, scenario.tuning);
+}
+
+BreatheConfig boost_breathe_config(const Params& params,
+                                   const BoostScenario& scenario) {
+  const auto correct_count = static_cast<std::size_t>(
+      std::llround((0.5 + scenario.initial_bias) *
+                   static_cast<double>(scenario.n)));
+  BreatheConfig config =
+      majority_config(params, scenario.n, correct_count, scenario.correct);
+  config.skip_stage1 = true;
+  return config;
+}
+
+/// Maps a BreatheFastResult onto the RunDetail shape run_broadcast &co
+/// produce from the classic protocol's introspection.
+RunDetail fast_to_detail(BreatheFastResult&& fast) {
+  RunDetail detail;
+  detail.protocol_rounds = fast.protocol_rounds;
+  detail.metrics = std::move(fast.metrics);
+  detail.success = fast.success;
+  detail.correct_fraction = fast.correct_fraction;
+  detail.final_bias = fast.final_bias;
+  detail.stage1 = std::move(fast.stage1);
+  detail.stage2 = std::move(fast.stage2);
+  return detail;
 }
 
 }  // namespace
@@ -53,10 +115,8 @@ RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
   options.probe_every = scenario.probe_every;
   Engine engine(scenario.n, *channel, eng_rng, options);
 
-  BreatheConfig config = broadcast_config(scenario.correct);
-  config.stage1_pick = scenario.stage1_pick;
-  config.stage2_subset = scenario.stage2_subset;
-  BreatheProtocol protocol(params, std::move(config), pro_rng);
+  BreatheProtocol protocol(params, broadcast_breathe_config(scenario),
+                           pro_rng);
   RunDetail detail;
   const Round budget = scenario.stage1_only ? protocol.stage1_rounds()
                                             : protocol.total_rounds();
@@ -74,26 +134,45 @@ RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
   return detail;
 }
 
-RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
-                    std::size_t trial) {
-  if (!(scenario.initial_bias > 0.0) || scenario.initial_bias > 0.5) {
-    throw std::invalid_argument("run_boost: initial_bias not in (0, 0.5]");
-  }
+RunDetail run_broadcast_fast(const BroadcastScenario& scenario,
+                             std::uint64_t seed, std::size_t trial) {
   const Params params = Params::calibrated(scenario.n, scenario.eps,
                                            scenario.tuning);
-  const auto correct_count = static_cast<std::size_t>(
-      std::llround((0.5 + scenario.initial_bias) *
-                   static_cast<double>(scenario.n)));
+  if (!breathe_fast_supported(params)) {
+    return run_broadcast(scenario, seed, trial);
+  }
+  auto eng_rng = engine_rng(seed, trial);
+  auto pro_rng = protocol_rng(seed, trial);
+  EngineOptions options;
+  options.probe_every = scenario.probe_every;
 
-  BreatheConfig config =
-      majority_config(params, scenario.n, correct_count, scenario.correct);
-  config.skip_stage1 = true;
+  const BreatheConfig config = broadcast_breathe_config(scenario);
+  BatchEngine& engine = local_batch_engine();
+  BreatheFastResult fast;
+  if (scenario.heterogeneous_noise) {
+    HeterogeneousChannel channel(scenario.eps);
+    fast = engine.run_breathe(params, config, channel, eng_rng, pro_rng,
+                              scenario.stage1_only, options);
+  } else {
+    BinarySymmetricChannel channel(scenario.eps);
+    fast = engine.run_breathe(params, config, channel, eng_rng, pro_rng,
+                              scenario.stage1_only, options);
+  }
+  const std::size_t opinionated = fast.opinionated;
+  RunDetail detail = fast_to_detail(std::move(fast));
+  if (scenario.stage1_only) detail.success = opinionated == scenario.n;
+  return detail;
+}
 
+RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
+                    std::size_t trial) {
+  const Params params = boost_params(scenario);
   auto eng_rng = engine_rng(seed, trial);
   auto pro_rng = protocol_rng(seed, trial);
   BinarySymmetricChannel channel(scenario.eps);
   Engine engine(scenario.n, channel, eng_rng);
-  BreatheProtocol protocol(params, std::move(config), pro_rng);
+  BreatheProtocol protocol(params, boost_breathe_config(params, scenario),
+                           pro_rng);
 
   RunDetail detail;
   detail.protocol_rounds = protocol.total_rounds();
@@ -106,28 +185,31 @@ RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
   return detail;
 }
 
+RunDetail run_boost_fast(const BoostScenario& scenario, std::uint64_t seed,
+                         std::size_t trial) {
+  const Params params = boost_params(scenario);
+  if (!breathe_fast_supported(params)) {
+    return run_boost(scenario, seed, trial);
+  }
+  auto eng_rng = engine_rng(seed, trial);
+  auto pro_rng = protocol_rng(seed, trial);
+  BinarySymmetricChannel channel(scenario.eps);
+  return fast_to_detail(local_batch_engine().run_breathe(
+      params, boost_breathe_config(params, scenario), channel, eng_rng,
+      pro_rng, /*stage1_only=*/false));
+}
+
 RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
                        std::size_t trial) {
-  if (!(scenario.majority_bias > 0.0) || scenario.majority_bias > 0.5) {
-    throw std::invalid_argument("run_majority: majority_bias not in (0, 0.5]");
-  }
-  const Params params = Params::calibrated(scenario.n, scenario.eps,
-                                           scenario.tuning);
-  // majority-bias = (A_B - A_notB) / (2|A|)  =>  A_B = |A| (1/2 + bias).
-  const auto correct_count = static_cast<std::size_t>(
-      std::llround((0.5 + scenario.majority_bias) *
-                   static_cast<double>(scenario.initial_set)));
-
+  const Params params = majority_params(scenario);
   auto eng_rng = engine_rng(seed, trial);
   auto pro_rng = protocol_rng(seed, trial);
   BinarySymmetricChannel channel(scenario.eps);
   Engine engine(scenario.n, channel, eng_rng);
 
-  BreatheProtocol protocol(
-      params,
-      majority_config(params, scenario.initial_set, correct_count,
-                      scenario.correct),
-      pro_rng);
+  BreatheProtocol protocol(params,
+                           majority_breathe_config(params, scenario),
+                           pro_rng);
   RunDetail detail;
   detail.protocol_rounds = protocol.total_rounds();
   detail.metrics = engine.run(protocol, protocol.total_rounds());
@@ -140,8 +222,27 @@ RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
   return detail;
 }
 
-RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
-                     std::size_t trial) {
+RunDetail run_majority_fast(const MajorityScenario& scenario,
+                            std::uint64_t seed, std::size_t trial) {
+  const Params params = majority_params(scenario);
+  if (!breathe_fast_supported(params)) {
+    return run_majority(scenario, seed, trial);
+  }
+  auto eng_rng = engine_rng(seed, trial);
+  auto pro_rng = protocol_rng(seed, trial);
+  BinarySymmetricChannel channel(scenario.eps);
+  return fast_to_detail(local_batch_engine().run_breathe(
+      params, majority_breathe_config(params, scenario), channel, eng_rng,
+      pro_rng, /*stage1_only=*/false));
+}
+
+namespace {
+
+/// Shared body of run_desync / run_desync_fast: identical setup and rng
+/// streams; only the round-loop substrate differs (virtual Engine vs the
+/// statically-dispatched BatchEngine loop).
+RunDetail run_desync_impl(const DesyncScenario& scenario, std::uint64_t seed,
+                          std::size_t trial, bool batch) {
   const Params params = Params::calibrated(scenario.n, scenario.eps,
                                            scenario.tuning);
   auto eng_rng = engine_rng(seed, trial);
@@ -178,12 +279,18 @@ RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
   }
 
   BinarySymmetricChannel channel(scenario.eps);
-  Engine engine(scenario.n, channel, eng_rng);
   DesyncBreatheProtocol protocol(params, std::move(config), pro_rng);
 
   detail.protocol_rounds = protocol.total_rounds();
   detail.desync_overhead = protocol.desync_overhead();
-  detail.metrics = engine.run(protocol, protocol.total_rounds());
+  if (batch) {
+    detail.metrics = local_batch_engine().run(scenario.n, protocol, channel,
+                                              eng_rng,
+                                              protocol.total_rounds());
+  } else {
+    Engine engine(scenario.n, channel, eng_rng);
+    detail.metrics = engine.run(protocol, protocol.total_rounds());
+  }
   detail.metrics.rounds += detail.clock_sync_rounds;
   detail.metrics.messages_sent += detail.clock_sync_messages;
   detail.success = protocol.succeeded();
@@ -193,27 +300,47 @@ RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
   return detail;
 }
 
+}  // namespace
+
+RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
+                     std::size_t trial) {
+  return run_desync_impl(scenario, seed, trial, /*batch=*/false);
+}
+
+RunDetail run_desync_fast(const DesyncScenario& scenario, std::uint64_t seed,
+                          std::size_t trial) {
+  return run_desync_impl(scenario, seed, trial, /*batch=*/true);
+}
+
 TrialFn broadcast_trial_fn(BroadcastScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(run_broadcast(scenario, seed, trial));
+    return to_outcome(scenario.engine == EngineMode::kBatch
+                          ? run_broadcast_fast(scenario, seed, trial)
+                          : run_broadcast(scenario, seed, trial));
   };
 }
 
 TrialFn majority_trial_fn(MajorityScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(run_majority(scenario, seed, trial));
+    return to_outcome(scenario.engine == EngineMode::kBatch
+                          ? run_majority_fast(scenario, seed, trial)
+                          : run_majority(scenario, seed, trial));
   };
 }
 
 TrialFn boost_trial_fn(BoostScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(run_boost(scenario, seed, trial));
+    return to_outcome(scenario.engine == EngineMode::kBatch
+                          ? run_boost_fast(scenario, seed, trial)
+                          : run_boost(scenario, seed, trial));
   };
 }
 
 TrialFn desync_trial_fn(DesyncScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(run_desync(scenario, seed, trial));
+    return to_outcome(scenario.engine == EngineMode::kBatch
+                          ? run_desync_fast(scenario, seed, trial)
+                          : run_desync(scenario, seed, trial));
   };
 }
 

@@ -31,6 +31,10 @@ struct BroadcastScenario {
   /// Replace the BSC with the "at most 1/2 - eps" heterogeneous channel
   /// (Section 1.3.2's exact wording; the guarantee must survive).
   bool heterogeneous_noise = false;
+  /// Simulation substrate. kBatch (the default) runs the SoA fast path of
+  /// sim/batch_engine.hpp, which produces identical results per (seed,
+  /// trial); kClassic forces the reference Engine + BreatheProtocol.
+  EngineMode engine = EngineMode::kBatch;
 };
 
 /// Noisy majority-consensus (Corollary 2.18): |A| = initial_set agents with
@@ -42,6 +46,7 @@ struct MajorityScenario {
   double majority_bias = 0.25;
   Tuning tuning{};
   Opinion correct = Opinion::kOne;
+  EngineMode engine = EngineMode::kBatch;
 };
 
 /// Stage II in isolation (Lemma 2.14 / bench E7): the whole population is
@@ -52,6 +57,7 @@ struct BoostScenario {
   double initial_bias = 0.02;  ///< delta_1 in (0, 0.5]
   Tuning tuning{};
   Opinion correct = Opinion::kOne;
+  EngineMode engine = EngineMode::kBatch;
 };
 
 /// Section 3 broadcast without a global clock.
@@ -70,6 +76,9 @@ struct DesyncScenario {
   Attribution attribution = Attribution::kLocalWindow;
   Tuning tuning{};
   Opinion correct = Opinion::kOne;
+  /// kBatch routes the run through BatchEngine's statically-dispatched
+  /// generic loop (the desync protocol has no SoA specialization yet).
+  EngineMode engine = EngineMode::kBatch;
 };
 
 /// Everything one execution yields; TrialOutcome is derived from this.
@@ -92,7 +101,8 @@ struct RunDetail {
 [[nodiscard]] TrialOutcome to_outcome(const RunDetail& detail);
 
 /// Runs one broadcast execution with rng streams derived from
-/// (seed, trial). Deterministic: same inputs, same result.
+/// (seed, trial), on the classic reference Engine. Deterministic: same
+/// inputs, same result.
 RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
                         std::size_t trial);
 
@@ -105,7 +115,23 @@ RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
 RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
                      std::size_t trial);
 
-/// TrialFn adapters for the Monte-Carlo harness.
+// Fast-path twins: same scenario, same (seed, trial), same RunDetail —
+// executed on the calling thread's persistent BatchEngine. The breathe
+// scenarios use the SoA specialization (falling back to the classic path
+// when breathe_fast_supported() rejects the schedule); desync uses the
+// statically-dispatched generic loop. tests/batch_engine_test.cpp holds
+// each twin to exact equality against its classic counterpart.
+RunDetail run_broadcast_fast(const BroadcastScenario& scenario,
+                             std::uint64_t seed, std::size_t trial);
+RunDetail run_majority_fast(const MajorityScenario& scenario,
+                            std::uint64_t seed, std::size_t trial);
+RunDetail run_boost_fast(const BoostScenario& scenario, std::uint64_t seed,
+                         std::size_t trial);
+RunDetail run_desync_fast(const DesyncScenario& scenario, std::uint64_t seed,
+                          std::size_t trial);
+
+/// TrialFn adapters for the Monte-Carlo harness. Each dispatches on the
+/// scenario's `engine` field.
 TrialFn broadcast_trial_fn(BroadcastScenario scenario);
 TrialFn majority_trial_fn(MajorityScenario scenario);
 TrialFn boost_trial_fn(BoostScenario scenario);

@@ -1,0 +1,276 @@
+// Exactness contract of the batched fast path (sim/batch_engine.hpp):
+// for the same (seed, trial), the BatchEngine substrates must produce
+// BIT-IDENTICAL results to the classic Engine — same Metrics counters,
+// same phase statistics, same probe series, same outcome doubles. No
+// tolerance anywhere: the fast path replays the same random draws in the
+// same order, so any difference is a bug.
+
+#include "sim/batch_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/population.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/registry.hpp"
+#include "workload/scenarios.hpp"
+
+namespace flip {
+namespace {
+
+void expect_series_eq(const std::vector<Sample>& classic,
+                      const std::vector<Sample>& fast, const char* what) {
+  ASSERT_EQ(classic.size(), fast.size()) << what;
+  for (std::size_t i = 0; i < classic.size(); ++i) {
+    EXPECT_EQ(classic[i].round, fast[i].round) << what << " @" << i;
+    EXPECT_EQ(classic[i].value, fast[i].value) << what << " @" << i;
+  }
+}
+
+void expect_metrics_eq(const Metrics& classic, const Metrics& fast) {
+  EXPECT_EQ(classic.rounds, fast.rounds);
+  EXPECT_EQ(classic.messages_sent, fast.messages_sent);
+  EXPECT_EQ(classic.delivered, fast.delivered);
+  EXPECT_EQ(classic.dropped, fast.dropped);
+  EXPECT_EQ(classic.erased, fast.erased);
+  EXPECT_EQ(classic.flipped, fast.flipped);
+  expect_series_eq(classic.bias_series, fast.bias_series, "bias_series");
+  expect_series_eq(classic.activated_series, fast.activated_series,
+                   "activated_series");
+}
+
+void expect_detail_eq(const RunDetail& classic, const RunDetail& fast) {
+  expect_metrics_eq(classic.metrics, fast.metrics);
+  EXPECT_EQ(classic.success, fast.success);
+  EXPECT_EQ(classic.correct_fraction, fast.correct_fraction);
+  EXPECT_EQ(classic.final_bias, fast.final_bias);
+  EXPECT_EQ(classic.protocol_rounds, fast.protocol_rounds);
+  ASSERT_EQ(classic.stage1.size(), fast.stage1.size());
+  for (std::size_t i = 0; i < classic.stage1.size(); ++i) {
+    EXPECT_EQ(classic.stage1[i].phase, fast.stage1[i].phase);
+    EXPECT_EQ(classic.stage1[i].newly_activated,
+              fast.stage1[i].newly_activated);
+    EXPECT_EQ(classic.stage1[i].newly_correct, fast.stage1[i].newly_correct);
+    EXPECT_EQ(classic.stage1[i].total_activated,
+              fast.stage1[i].total_activated);
+  }
+  ASSERT_EQ(classic.stage2.size(), fast.stage2.size());
+  for (std::size_t i = 0; i < classic.stage2.size(); ++i) {
+    EXPECT_EQ(classic.stage2[i].phase, fast.stage2[i].phase);
+    EXPECT_EQ(classic.stage2[i].successful, fast.stage2[i].successful);
+    EXPECT_EQ(classic.stage2[i].correct_fraction,
+              fast.stage2[i].correct_fraction);
+    EXPECT_EQ(classic.stage2[i].bias, fast.stage2[i].bias);
+  }
+  EXPECT_EQ(classic.desync_overhead, fast.desync_overhead);
+  EXPECT_EQ(classic.clock_sync_rounds, fast.clock_sync_rounds);
+  EXPECT_EQ(classic.clock_sync_messages, fast.clock_sync_messages);
+  EXPECT_EQ(classic.measured_skew, fast.measured_skew);
+}
+
+// --- Deep equivalence on the breathe SoA specialization -----------------
+
+TEST(BatchEngineTest, BroadcastIdenticalToClassic) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.probe_every = 16;  // exercises the probe path too
+  for (std::size_t trial = 0; trial < 3; ++trial) {
+    expect_detail_eq(run_broadcast(scenario, 0x5eed, trial),
+                     run_broadcast_fast(scenario, 0x5eed, trial));
+  }
+}
+
+TEST(BatchEngineTest, BroadcastHeterogeneousIdenticalToClassic) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.heterogeneous_noise = true;
+  expect_detail_eq(run_broadcast(scenario, 0xfeed, 0),
+                   run_broadcast_fast(scenario, 0xfeed, 0));
+}
+
+TEST(BatchEngineTest, BroadcastStage1OnlyIdenticalToClassic) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.stage1_only = true;
+  expect_detail_eq(run_broadcast(scenario, 0x5eed, 0),
+                   run_broadcast_fast(scenario, 0x5eed, 0));
+}
+
+TEST(BatchEngineTest, BroadcastVariantRulesIdenticalToClassic) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.stage1_pick = Stage1Pick::kFirstMessage;
+  scenario.stage2_subset = Stage2Subset::kPrefixSubset;
+  expect_detail_eq(run_broadcast(scenario, 0x5eed, 1),
+                   run_broadcast_fast(scenario, 0x5eed, 1));
+}
+
+TEST(BatchEngineTest, MajorityIdenticalToClassic) {
+  MajorityScenario scenario;
+  scenario.n = 256;
+  scenario.initial_set = 32;
+  for (std::size_t trial = 0; trial < 2; ++trial) {
+    expect_detail_eq(run_majority(scenario, 0x5eed, trial),
+                     run_majority_fast(scenario, 0x5eed, trial));
+  }
+}
+
+TEST(BatchEngineTest, BoostIdenticalToClassic) {
+  BoostScenario scenario;
+  scenario.n = 512;
+  scenario.initial_bias = 0.05;
+  expect_detail_eq(run_boost(scenario, 0x5eed, 0),
+                   run_boost_fast(scenario, 0x5eed, 0));
+}
+
+TEST(BatchEngineTest, DesyncIdenticalToClassic) {
+  DesyncScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.max_skew = 8;
+  expect_detail_eq(run_desync(scenario, 0x5eed, 0),
+                   run_desync_fast(scenario, 0x5eed, 0));
+}
+
+// A final phase longer than 2^15 rounds overflows the packed Stage II
+// counter fields but still fits the wide layout's 21-bit fields, so this
+// exercises run_breathe_wide's uniform-subset (hypergeometric) Stage II —
+// the one fast-path branch the small default schedules never reach.
+TEST(BatchEngineTest, WideLayoutUniformSubsetIdenticalToClassic) {
+  Tuning tuning;
+  tuning.final_mult = 300.0;  // m_final ~40k: > 2^15, < 2^21
+  ASSERT_TRUE(breathe_fast_supported(
+      Params::calibrated(256, 0.3, tuning)));
+
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.tuning = tuning;
+  expect_detail_eq(run_broadcast(scenario, 0x5eed, 0),
+                   run_broadcast_fast(scenario, 0x5eed, 0));
+
+  BoostScenario boost;
+  boost.n = 256;
+  boost.eps = 0.3;
+  boost.initial_bias = 0.05;
+  boost.tuning = tuning;
+  expect_detail_eq(run_boost(boost, 0x5eed, 1),
+                   run_boost_fast(boost, 0x5eed, 1));
+}
+
+// Trials on one BatchEngine recycle its buffers; interleaving different
+// scenario shapes through the same thread-local engine must not leak state
+// between runs.
+TEST(BatchEngineTest, ScratchReuseAcrossMixedTrialsIsClean) {
+  BroadcastScenario big;
+  big.n = 512;
+  big.eps = 0.25;
+  BroadcastScenario small;
+  small.n = 128;
+  small.eps = 0.3;
+  const RunDetail fresh_small = run_broadcast_fast(small, 0x5eed, 0);
+  (void)run_broadcast_fast(big, 0x5eed, 0);       // dirty the scratch, larger n
+  const RunDetail reused_small = run_broadcast_fast(small, 0x5eed, 0);
+  expect_detail_eq(fresh_small, reused_small);
+}
+
+// --- Every registry entry: batch and classic modes agree exactly --------
+
+TEST(BatchEngineTest, EveryRegistryEntryIdenticalOutcomes) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  for (const ScenarioInfo* info : registry.list()) {
+    ScenarioOverrides batch_overrides;
+    batch_overrides.n = std::min<std::size_t>(info->default_n, 256);
+    batch_overrides.engine = EngineMode::kBatch;
+    ScenarioOverrides classic_overrides = batch_overrides;
+    classic_overrides.engine = EngineMode::kClassic;
+
+    const TrialFn batch_fn = registry.make(info->name, batch_overrides);
+    const TrialFn classic_fn = registry.make(info->name, classic_overrides);
+    for (std::size_t trial = 0; trial < 2; ++trial) {
+      const TrialOutcome batch = batch_fn(0x5eed, trial);
+      const TrialOutcome classic = classic_fn(0x5eed, trial);
+      EXPECT_EQ(classic.success, batch.success) << info->name << " " << trial;
+      EXPECT_EQ(classic.rounds, batch.rounds) << info->name << " " << trial;
+      EXPECT_EQ(classic.messages, batch.messages)
+          << info->name << " " << trial;
+      EXPECT_EQ(classic.correct_fraction, batch.correct_fraction)
+          << info->name << " " << trial;
+    }
+  }
+}
+
+// --- Support predicate and fallback -------------------------------------
+
+TEST(BatchEngineTest, SupportPredicateAcceptsExperimentSchedules) {
+  EXPECT_TRUE(breathe_fast_supported(Params::calibrated(1024, 0.2)));
+  EXPECT_TRUE(breathe_fast_supported(Params::calibrated(100000, 0.2)));
+}
+
+TEST(BatchEngineTest, SupportPredicateRejectsOverlongPhases) {
+  // eps = 0.003 gives Stage II phases of ~4M rounds — past the 21-bit
+  // packed counter fields, so the fast path must decline (and the trial
+  // fns fall back to the classic engine).
+  EXPECT_FALSE(breathe_fast_supported(Params::calibrated(1024, 0.003)));
+}
+
+// --- Reuse modes behave like fresh construction -------------------------
+
+TEST(BatchEngineTest, MailboxReuseMatchesFreshConstruction) {
+  Xoshiro256 rng_fresh(42);
+  Xoshiro256 rng_reused(42);
+  Mailbox fresh(64);
+  Mailbox reused(8);
+  reused.push(Message{1, Opinion::kOne}, rng_reused);  // dirty it
+  Xoshiro256 discard(7);
+  reused.reuse(64);
+  rng_reused = Xoshiro256(42);
+  for (AgentId a = 0; a < 64; ++a) {
+    fresh.push(Message{a, Opinion::kOne}, rng_fresh);
+    reused.push(Message{a, Opinion::kOne}, rng_reused);
+  }
+  ASSERT_EQ(fresh.recipients().size(), reused.recipients().size());
+  EXPECT_EQ(fresh.pushed_this_round(), reused.pushed_this_round());
+  EXPECT_EQ(fresh.dropped_this_round(), reused.dropped_this_round());
+  for (std::size_t i = 0; i < fresh.recipients().size(); ++i) {
+    const AgentId to = fresh.recipients()[i];
+    EXPECT_EQ(to, reused.recipients()[i]);
+    EXPECT_EQ(fresh.arrivals(to), reused.arrivals(to));
+    EXPECT_EQ(fresh.accepted(to).sender, reused.accepted(to).sender);
+  }
+}
+
+TEST(BatchEngineTest, MailboxReuseRejectsTinyPopulations) {
+  Mailbox mailbox(8);
+  EXPECT_THROW(mailbox.reuse(1), std::invalid_argument);
+}
+
+TEST(BatchEngineTest, PopulationReuseClearsEverything) {
+  Population pop(8);
+  pop.set_opinion(3, Opinion::kOne);
+  pop.set_opinion(4, Opinion::kZero);
+  pop.reuse(16);
+  EXPECT_EQ(pop.size(), 16u);
+  EXPECT_EQ(pop.opinionated(), 0u);
+  EXPECT_EQ(pop.count(Opinion::kOne), 0u);
+  EXPECT_FALSE(pop.has_opinion(3));
+}
+
+// --- Persistent sized pools ---------------------------------------------
+
+TEST(BatchEngineTest, SizedPoolsArePersistentAndCachedBySize) {
+  ThreadPool& a = ThreadPool::sized(3);
+  ThreadPool& b = ThreadPool::sized(3);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(&ThreadPool::sized(0), &ThreadPool::shared());
+  EXPECT_NE(&ThreadPool::sized(2), &a);
+}
+
+}  // namespace
+}  // namespace flip

@@ -227,6 +227,7 @@ TEST(ReportTest, SweepJsonGolden) {
       "  \"trials_per_point\": 2,\n"
       "  \"seed\": 7,\n"
       "  \"threads\": 0,\n"
+      "  \"engine\": \"batch\",\n"
       "  \"grid_points\": 1,\n"
       "  \"wall_seconds\": 2,\n"
       "  \"points\": [\n"

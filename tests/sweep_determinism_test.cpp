@@ -1,0 +1,68 @@
+// Determinism of the parallel sweep harness: per-trial seeds are derived
+// from (master seed, trial index) — never from the worker that happened to
+// run the trial — so thread count and engine substrate must not change a
+// single statistic. These tests pin the ISSUE's reproducibility contract:
+// `--threads 1` and `--threads 8` sweeps agree exactly, and so do
+// `--engine batch` and `--engine classic`.
+
+#include <gtest/gtest.h>
+
+#include "cli/sweep.hpp"
+
+namespace flip::cli {
+namespace {
+
+void expect_points_eq(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const TrialSummary& s = a.points[i].summary;
+    const TrialSummary& t = b.points[i].summary;
+    EXPECT_EQ(s.trials, t.trials) << "point " << i;
+    EXPECT_EQ(s.successes, t.successes) << "point " << i;
+    EXPECT_EQ(s.success.estimate, t.success.estimate) << "point " << i;
+    EXPECT_EQ(s.rounds.mean(), t.rounds.mean()) << "point " << i;
+    EXPECT_EQ(s.rounds.min(), t.rounds.min()) << "point " << i;
+    EXPECT_EQ(s.rounds.max(), t.rounds.max()) << "point " << i;
+    EXPECT_EQ(s.messages.mean(), t.messages.mean()) << "point " << i;
+    EXPECT_EQ(s.correct_fraction.mean(), t.correct_fraction.mean())
+        << "point " << i;
+  }
+}
+
+TEST(SweepDeterminismTest, ThreadCountDoesNotChangeResults) {
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.ns = {128, 256};
+  spec.trials = 6;
+  spec.threads = 1;
+  const SweepResult serial = run_sweep(spec);
+  spec.threads = 8;
+  const SweepResult parallel = run_sweep(spec);
+  expect_points_eq(serial, parallel);
+}
+
+TEST(SweepDeterminismTest, ThreadCountDoesNotChangeBaselineResults) {
+  SweepSpec spec;
+  spec.scenario = "baseline_forward";
+  spec.ns = {128};
+  spec.trials = 8;
+  spec.threads = 1;
+  const SweepResult serial = run_sweep(spec);
+  spec.threads = 8;
+  const SweepResult parallel = run_sweep(spec);
+  expect_points_eq(serial, parallel);
+}
+
+TEST(SweepDeterminismTest, EngineSubstratesAgreeOnSweepResults) {
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.trials = 4;
+  spec.engine = EngineMode::kBatch;
+  const SweepResult batch = run_sweep(spec);
+  spec.engine = EngineMode::kClassic;
+  const SweepResult classic = run_sweep(spec);
+  expect_points_eq(batch, classic);
+}
+
+}  // namespace
+}  // namespace flip::cli

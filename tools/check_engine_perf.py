@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fast-path perf gate: fail if the batch/classic speedup regressed >20%.
+
+Usage: check_engine_perf.py <bench_engine_perf-binary> <committed-json> <out-json>
+
+Runs the CI-sized engine A/B (n=1024, 8 trials, 8 threads) and compares the
+measured batch/classic speedup against the committed reference point in
+bench/results/BENCH_engine_perf.json. The speedup RATIO is gated, not
+absolute wall-clock, so slower CI machines don't trip it; the benchmark is
+run twice and the better ratio is kept, because a single ~0.2 s sample on a
+shared runner can eat a scheduling stall. Shared by ci.sh and ci.yml so the
+two CI paths cannot drift. Methodology: docs/PERFORMANCE.md.
+"""
+
+import json
+import subprocess
+import sys
+
+GATE_N = 1024
+RUNS = 2
+TOLERANCE = 0.8  # >20% regression fails
+
+
+def speedup_from(path, n):
+    with open(path) as f:
+        doc = json.load(f)
+    for table in doc["tables"]:
+        cols = {name: i for i, name in enumerate(table["headers"])}
+        for row in table["rows"]:
+            if row[cols["n"]] == str(n):
+                return float(row[cols["speedup"]])
+    raise SystemExit(f"{path}: no n={n} row")
+
+
+def main():
+    if len(sys.argv) != 4:
+        raise SystemExit(__doc__)
+    bench, committed_path, out_path = sys.argv[1:]
+
+    best = 0.0
+    best_report = None
+    for _ in range(RUNS):
+        subprocess.run(
+            [bench, "--n", str(GATE_N), "--trials", "8", "--threads", "8",
+             "--json", out_path],
+            check=True, stdout=subprocess.DEVNULL)
+        measured = speedup_from(out_path, GATE_N)
+        if measured > best:
+            best = measured
+            with open(out_path) as f:
+                best_report = f.read()
+    # Keep the run the gate decision is based on as the artifact, so the
+    # uploaded JSON can never contradict the printed verdict.
+    with open(out_path, "w") as f:
+        f.write(best_report)
+
+    committed = speedup_from(committed_path, GATE_N)
+    floor = TOLERANCE * committed
+    if best < floor:
+        raise SystemExit(
+            f"fast-path regression: batch/classic speedup {best:.2f} fell "
+            f"below {TOLERANCE} x committed {committed:.2f} "
+            f"(floor {floor:.2f})")
+    print(f"fast-path speedup ok: {best:.2f}x "
+          f"(committed {committed:.2f}x, floor {floor:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ struct CliFlags {
   std::optional<std::size_t> trials;
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> threads;
+  std::string engine = "batch";
   bool json = false;
   std::string json_path;  // empty with json=true -> stdout
   bool csv = false;
@@ -130,6 +131,10 @@ int main(int argc, char** argv) {
                     &flags.seed);
   parser.add_size("--threads", "worker threads (default: hardware)",
                   &flags.threads);
+  parser.add_option("--engine", "mode",
+                    "simulation substrate: batch (SoA fast path, default) "
+                    "or classic (reference Engine); results are identical",
+                    &flags.engine);
   parser.add_optional_value("--json", "path",
                             "write flipsim-sweep-v1 JSON (no path: stdout)",
                             &flags.json_path, &flags.json);
@@ -203,6 +208,13 @@ int main(int argc, char** argv) {
   if (flags.trials) spec.trials = *flags.trials;
   if (flags.seed) spec.seed = *flags.seed;
   if (flags.threads) spec.threads = *flags.threads;
+  if (const auto mode = flip::parse_engine_mode(flags.engine)) {
+    spec.engine = *mode;
+  } else {
+    std::cerr << "error: --engine: unknown mode '" << flags.engine
+              << "' (batch | classic)\n";
+    return 2;
+  }
 
   if (flags.json && flags.json_path.empty() && flags.csv &&
       flags.csv_path.empty()) {
