@@ -49,6 +49,29 @@ BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt"
 if [ "$BUILD_TYPE" = "Release" ] && command -v python3 >/dev/null 2>&1; then
   python3 tools/check_engine_perf.py "$BUILD_DIR/bench/bench_engine_perf" \
     bench/results/BENCH_engine_perf.json "$BUILD_DIR/bench_engine_perf.json"
+  # Sharded-engine gate: single-trial shard scaling at the CI size. The
+  # script is hardware-aware (docstring): it gates the committed speedup
+  # on machines with a matching committed core count, and bounded shard
+  # OVERHEAD everywhere else, so 1-core and 64-core runners both get a
+  # meaningful check.
+  python3 tools/check_engine_perf.py --shards "$BUILD_DIR/bench/bench_shards" \
+    bench/results/BENCH_shards.json "$BUILD_DIR/bench_shards.json"
 else
-  echo "skipping fast-path perf gate (build type: ${BUILD_TYPE:-unknown})"
+  echo "skipping perf gates (build type: ${BUILD_TYPE:-unknown})"
+fi
+
+# ThreadSanitizer pass over the sharded engine: the intra-trial shard
+# phases and the helping ThreadPool wait are the only cross-thread code in
+# the repo; race-check them under a dedicated instrumented build. Skip
+# with FLIP_SKIP_TSAN=1 (e.g. toolchains without tsan runtimes).
+if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFLIP_TSAN=ON -DFLIP_BUILD_BENCH=OFF -DFLIP_BUILD_EXAMPLES=OFF \
+    -DFLIP_BUILD_TOOLS=OFF
+  cmake --build "$TSAN_DIR" -j
+  (cd "$TSAN_DIR" && ctest --output-on-failure -j "$(nproc)" \
+    -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest')
+else
+  echo "skipping ThreadSanitizer pass (FLIP_SKIP_TSAN=1)"
 fi

@@ -36,6 +36,7 @@ std::string sweep_to_json(const SweepResult& result) {
       .field("seed", result.spec.seed)
       .field("threads", static_cast<std::uint64_t>(result.spec.threads))
       .field("engine", std::string(engine_mode_name(result.spec.engine)))
+      .field("shards", static_cast<std::uint64_t>(result.spec.shards))
       .field("grid_points", static_cast<std::uint64_t>(result.points.size()))
       .field("wall_seconds", result.wall_seconds);
   json.key("points").begin_array();
@@ -164,6 +165,7 @@ std::string sweep_to_bench_json(const SweepResult& result,
              static_cast<std::uint64_t>(result.spec.trials))
       .field("seed", result.spec.seed)
       .field("engine", std::string(engine_mode_name(result.spec.engine)))
+      .field("shards", static_cast<std::uint64_t>(result.spec.shards))
       .field("grid_points", static_cast<std::uint64_t>(result.points.size()))
       .end_object();
   json.end_object();

@@ -51,6 +51,7 @@ std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec) {
         overrides.eps = eps;
         overrides.channel = channel;
         overrides.engine = spec.engine;
+        overrides.shards = spec.shards;
         grid.push_back(registry.resolve(spec.scenario, overrides));
       }
     }

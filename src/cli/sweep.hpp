@@ -27,6 +27,10 @@ struct SweepSpec {
   /// Substrate every grid point runs on. Identical results either way;
   /// kClassic is the reference Engine for A/B timing.
   EngineMode engine = EngineMode::kBatch;
+  /// Intra-trial shards per execution (batch breathe scenarios). Results
+  /// are bit-identical for every value — sharding buys wall-clock on big
+  /// single trials, threads buy throughput across trials.
+  std::size_t shards = 1;
 };
 
 /// One grid point's resolved parameters and aggregated results. Per-point

@@ -13,9 +13,13 @@ double StageOnePhaseStats::layer_bias() const noexcept {
 
 BreatheProtocol::BreatheProtocol(const Params& params, BreatheConfig config,
                                  Xoshiro256& rng)
+    : BreatheProtocol(params, std::move(config), StreamKey{rng(), rng()}) {}
+
+BreatheProtocol::BreatheProtocol(const Params& params, BreatheConfig config,
+                                 const StreamKey& key)
     : params_(params),
       config_(std::move(config)),
-      rng_(rng),
+      key_(key),
       pop_(params.n()),
       state_(params.n()),
       prefix_ones_(params.n(), 0) {
@@ -85,11 +89,22 @@ void BreatheProtocol::deliver(AgentId to, Opinion bit, Round r) {
     ++st.recv_count;
     if (config_.stage1_pick == Stage1Pick::kFirstMessage) {
       if (st.recv_count == 1) st.kept = bit;
-    } else if (st.recv_count == 1 ||
-               uniform_index(rng_, st.recv_count) == 0) {
+    } else {
       // Reservoir: the kept message stays uniform among all messages this
-      // agent accepted during its activation phase (Stage I rule).
-      st.kept = bit;
+      // agent accepted during its activation phase (Stage I rule). The
+      // replace/keep coin for the k-th accept comes from the agent's OWN
+      // per-round stream (an agent accepts at most one message per round,
+      // so (round, agent) keys each accept uniquely), which keeps the
+      // decision independent of every other agent's draws.
+      if (r != protocol_round_cached_) {
+        protocol_round_key_ =
+            round_stream_key(key_, RngPurpose::kProtocol, r);
+        protocol_round_cached_ = r;
+      }
+      CounterRng rng(protocol_round_key_, to);
+      if (st.recv_count == 1 || uniform_index(rng, st.recv_count) == 0) {
+        st.kept = bit;
+      }
     }
   } else {
     ++st.recv_count;
@@ -143,6 +158,11 @@ void BreatheProtocol::finalize_stage2_phase(std::uint64_t phase) {
   StageTwoPhaseStats stats;
   stats.phase = phase;
 
+  // Each agent's subset draw comes from its own (phase, agent, kSubset)
+  // stream: the scan order of this loop carries no randomness, so the
+  // batch engine may run it shard-parallel and still match exactly.
+  const StreamKey subset_key =
+      round_stream_key(key_, RngPurpose::kSubset, phase);
   for (AgentId a = 0; a < pop_.size(); ++a) {
     AgentState& st = state_[a];
     if (st.recv_count >= threshold) {
@@ -150,10 +170,12 @@ void BreatheProtocol::finalize_stage2_phase(std::uint64_t phase) {
       // samples (odd, so never tied) — uniformly random per the paper's
       // rule, or the arrival-order prefix under Remark 2.10's variant.
       ++stats.successful;
-      const std::uint64_t ones =
-          config_.stage2_subset == Stage2Subset::kPrefixSubset
-              ? prefix_ones_[a]
-              : sample_subset_ones(st.recv_count, st.ones_count, threshold);
+      std::uint64_t ones = prefix_ones_[a];
+      if (config_.stage2_subset != Stage2Subset::kPrefixSubset) {
+        CounterRng rng(subset_key, a);
+        ones = hypergeometric_ones(rng, st.recv_count, st.ones_count,
+                                   threshold);
+      }
       const Opinion verdict =
           2 * ones > threshold ? Opinion::kOne : Opinion::kZero;
       if (!pop_.has_opinion(a)) opinionated_.push_back(a);
@@ -166,12 +188,6 @@ void BreatheProtocol::finalize_stage2_phase(std::uint64_t phase) {
   stats.correct_fraction = pop_.correct_fraction(config_.correct);
   stats.bias = pop_.bias(config_.correct);
   stage2_stats_.push_back(stats);
-}
-
-std::uint64_t BreatheProtocol::sample_subset_ones(std::uint64_t total,
-                                                  std::uint64_t ones,
-                                                  std::uint64_t take) {
-  return hypergeometric_ones(rng_, total, ones, take);
 }
 
 bool BreatheProtocol::done(Round r) const { return r + 1 >= total_rounds_; }

@@ -92,8 +92,16 @@ struct StageTwoPhaseStats {
 
 class BreatheProtocol final : public Protocol {
  public:
-  /// The protocol draws its own randomness (reservoir choices, majority
-  /// subsets) from `rng`, which must outlive the protocol.
+  /// The protocol draws its own randomness from counter-based per-agent
+  /// streams derived from `key` (one trial's protocol key): the Stage I
+  /// message pick from (round, agent, RngPurpose::kProtocol), the Stage II
+  /// majority subset from (phase, agent, RngPurpose::kSubset). Pure
+  /// per-agent keying is what lets the batch engine replay these draws
+  /// shard-by-shard and still match this reference bit for bit.
+  BreatheProtocol(const Params& params, BreatheConfig config,
+                  const StreamKey& key);
+
+  /// Convenience: derives the protocol key from two draws of `rng`.
   BreatheProtocol(const Params& params, BreatheConfig config, Xoshiro256& rng);
 
   // Protocol interface -------------------------------------------------
@@ -138,14 +146,13 @@ class BreatheProtocol final : public Protocol {
   void finalize_stage1_phase(std::uint64_t phase);
   void finalize_stage2_phase(std::uint64_t phase);
 
-  /// Draws the number of One-samples in a uniform subset of size `take`
-  /// from `total` samples of which `ones` are One (hypergeometric).
-  std::uint64_t sample_subset_ones(std::uint64_t total, std::uint64_t ones,
-                                   std::uint64_t take);
-
   Params params_;
   BreatheConfig config_;
-  Xoshiro256& rng_;
+  StreamKey key_;
+  /// kProtocol round key cache: deliver() is called once per accepted
+  /// message, but the key only changes once per round.
+  StreamKey protocol_round_key_{};
+  Round protocol_round_cached_ = ~Round{0};
   Population pop_;
   std::vector<AgentState> state_;
   /// Ones among each agent's first `threshold` samples of the current

@@ -3,6 +3,13 @@
 // channel with crossover probability 1/2 - eps applied independently to
 // every received message. Alternative channels (perfect, erasure,
 // budget-bounded adversarial) exist for baselines, ablations and tests.
+//
+// Every channel exposes transmit() twice: once drawing from a sequential
+// Xoshiro256 stream (legacy callers, statistical tests) and once from a
+// counter-keyed CounterRng — the engines key that stream by
+// (trial, round, recipient, RngPurpose::kChannel), which is what makes the
+// noise independent of delivery order, thread count, and shard count. Both
+// overloads share one template body per channel, so they cannot drift.
 
 #include <memory>
 #include <optional>
@@ -24,6 +31,10 @@ class NoiseChannel {
   /// (only ErasureChannel ever erases).
   [[nodiscard]] virtual std::optional<Opinion> transmit(Opinion sent,
                                                         Xoshiro256& rng) = 0;
+  /// Counter-keyed twin: same distribution, drawn from the recipient's
+  /// per-round stream. Engines call this one.
+  [[nodiscard]] virtual std::optional<Opinion> transmit(Opinion sent,
+                                                        CounterRng& rng) = 0;
 
   /// Nominal per-message flip probability (for reporting; the adversarial
   /// channel reports its worst-case rate).
@@ -44,6 +55,14 @@ class BinarySymmetricChannel final : public NoiseChannel {
   // through NoiseChannel& behaves exactly as before.
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
                                                 Xoshiro256& rng) override {
+    return transmit_with(sent, rng);
+  }
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                CounterRng& rng) override {
+    return transmit_with(sent, rng);
+  }
+  template <typename Rng>
+  [[nodiscard]] std::optional<Opinion> transmit_with(Opinion sent, Rng& rng) {
     return bernoulli(rng, 0.5 - eps_) ? flip_opinion(sent) : sent;
   }
   [[nodiscard]] double flip_probability() const noexcept override {
@@ -61,7 +80,15 @@ class BinarySymmetricChannel final : public NoiseChannel {
 class PerfectChannel final : public NoiseChannel {
  public:
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
-                                                Xoshiro256&) override {
+                                                Xoshiro256& rng) override {
+    return transmit_with(sent, rng);
+  }
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                CounterRng& rng) override {
+    return transmit_with(sent, rng);
+  }
+  template <typename Rng>
+  [[nodiscard]] std::optional<Opinion> transmit_with(Opinion sent, Rng&) {
     return sent;
   }
   [[nodiscard]] double flip_probability() const noexcept override { return 0.0; }
@@ -77,6 +104,14 @@ class ErasureChannel final : public NoiseChannel {
 
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
                                                 Xoshiro256& rng) override {
+    return transmit_with(sent, rng);
+  }
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                CounterRng& rng) override {
+    return transmit_with(sent, rng);
+  }
+  template <typename Rng>
+  [[nodiscard]] std::optional<Opinion> transmit_with(Opinion sent, Rng& rng) {
     if (bernoulli(rng, erase_prob_)) return std::nullopt;
     return bernoulli(rng, 0.5 - eps_) ? flip_opinion(sent) : sent;
   }
@@ -104,6 +139,14 @@ class HeterogeneousChannel final : public NoiseChannel {
 
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
                                                 Xoshiro256& rng) override {
+    return transmit_with(sent, rng);
+  }
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                CounterRng& rng) override {
+    return transmit_with(sent, rng);
+  }
+  template <typename Rng>
+  [[nodiscard]] std::optional<Opinion> transmit_with(Opinion sent, Rng& rng) {
     const double flip_prob = uniform_unit(rng) * (0.5 - eps_);
     return bernoulli(rng, flip_prob) ? flip_opinion(sent) : sent;
   }
@@ -121,18 +164,20 @@ class HeterogeneousChannel final : public NoiseChannel {
 /// while it has budget left (the worst case for protocols that trust early
 /// messages), then behaves perfectly. Not part of the paper's model; used by
 /// failure-injection tests to show which guarantees do NOT survive
-/// non-stochastic noise. Stateful: one instance per trial.
+/// non-stochastic noise. Stateful: one instance per trial — and, unlike the
+/// stochastic channels, inherently order-dependent (the budget is spent in
+/// delivery order), so it is excluded from the shard-invariance contract.
 class AdversarialChannel final : public NoiseChannel {
  public:
   explicit AdversarialChannel(std::uint64_t flip_budget);
 
   [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
                                                 Xoshiro256&) override {
-    if (budget_left_ > 0) {
-      --budget_left_;
-      return flip_opinion(sent);
-    }
-    return sent;
+    return transmit_spend(sent);
+  }
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                CounterRng&) override {
+    return transmit_spend(sent);
   }
   [[nodiscard]] double flip_probability() const noexcept override {
     return budget_left_ > 0 ? 1.0 : 0.0;
@@ -143,6 +188,14 @@ class AdversarialChannel final : public NoiseChannel {
   [[nodiscard]] std::string name() const override;
 
  private:
+  [[nodiscard]] std::optional<Opinion> transmit_spend(Opinion sent) {
+    if (budget_left_ > 0) {
+      --budget_left_;
+      return flip_opinion(sent);
+    }
+    return sent;
+  }
+
   std::uint64_t budget_left_;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/batch_engine.hpp"
 
+#include <memory>
+
 namespace flip {
 
 bool breathe_fast_supported(const Params& params) {
@@ -8,11 +10,12 @@ bool breathe_fast_supported(const Params& params) {
   // Stage II counters live in 21-bit packed fields; an agent accepts at
   // most one message per round, so per-phase counts are bounded by the
   // phase length. (Stage I counts use 63 bits — never a constraint.)
-  return std::max(s2.m, s2.m_final) <= BatchEngine::kFieldMask;
+  return std::max(s2.m, s2.m_final) <= detail::kFieldMask;
 }
 
 void BatchEngine::prepare_breathe(const Params& params,
-                                  const BreatheConfig& config) {
+                                  const BreatheConfig& config,
+                                  const BreatheRunOptions& options) {
   if (config.start_phase > params.stage1().T + 1) {
     throw std::invalid_argument("BatchEngine: start_phase > T+1");
   }
@@ -21,17 +24,42 @@ void BatchEngine::prepare_breathe(const Params& params,
   }
 
   const std::size_t n = params.n();
+  // Cap the shard count at n/2 so every block holds >= 2 agents: tinier
+  // shards are pure overhead, and the fastdiv reciprocal below wraps to 0
+  // at block size 1. Results are shard-invariant, so clamping is harmless.
+  shards_ = std::clamp<std::size_t>(options.shards, 1,
+                                    std::max<std::size_t>(1, n / 2));
+  pool_ = options.pool;
+  shard_block_ = (n + shards_ - 1) / shards_;
+  shard_mul_ = ~std::uint64_t{0} / shard_block_ + 1;
+
   pop_.reuse(n);
-  slot_.assign(n, 0);
   acc_.assign(n, 0);
-  touched_.clear();
-  if (touched_.capacity() < n) touched_.reserve(n);
-  opinionated_.clear();
-  if (opinionated_.capacity() < n) opinionated_.reserve(n);
-  activation_buffer_.clear();
-  if (activation_buffer_.capacity() < n) activation_buffer_.reserve(n);
-  send_.clear();
-  if (send_.capacity() < n) send_.reserve(n);
+  slot_.assign(n, detail::kEmptySlot);
+
+  shard_.resize(shards_);
+  for (ShardScratch& sh : shard_) {
+    sh.send.clear();
+    // touched is indexed directly by the branchless combine append, which
+    // stores BEFORE it knows whether the arrival is a duplicate — once
+    // every agent of the block is touched, further duplicates keep
+    // rewriting one slot past the live region, so size to block + 1.
+    sh.touched.resize(shard_block_ + 1);
+    sh.touched_count = 0;
+    sh.activation.clear();
+    if (sh.activation.capacity() < shard_block_) {
+      sh.activation.reserve(shard_block_);
+    }
+    sh.opinionated.clear();
+    if (sh.opinionated.capacity() < shard_block_) {
+      sh.opinionated.reserve(shard_block_);
+    }
+    sh.out.resize(shards_);
+    for (auto& bucket : sh.out) bucket.clear();
+    sh.delta = {};
+    sh.successful = 0;
+    sh.flipped = 0;
+  }
 
   for (const Seed& seed : config.initial) {
     if (seed.agent >= n) {
@@ -41,9 +69,10 @@ void BatchEngine::prepare_breathe(const Params& params,
       throw std::invalid_argument("BatchEngine: duplicate seed agent");
     }
     pop_.set_opinion(seed.agent, seed.opinion);
-    opinionated_.push_back(seed.agent);
-    send_.push_back(seed.agent |
-                    (seed.opinion == Opinion::kOne ? kSlotBit : 0u));
+    ShardScratch& sh = shard_[shard_of(seed.agent)];
+    sh.opinionated.push_back(seed.agent);
+    sh.send.push_back(seed.agent |
+                      (seed.opinion == Opinion::kOne ? detail::kSendBit : 0u));
   }
 }
 
@@ -74,142 +103,118 @@ void BatchEngine::finish_breathe(BreatheFastResult& result,
 
 void BatchEngine::finalize_stage1(std::uint64_t phase, Opinion correct,
                                   std::vector<StageOnePhaseStats>& out) {
+  // Phase-end work is O(#newly activated): run it sequentially, shard by
+  // shard, so the Population aggregates need no merging. No draws happen
+  // here, so the shard iteration order is observable only through list
+  // order — which nothing downstream depends on (senders are keyed by id).
   StageOnePhaseStats stats;
   stats.phase = phase;
-  stats.newly_activated = activation_buffer_.size();
-  for (const AgentId a : activation_buffer_) {
-    const std::uint64_t kept = acc_[a] >> kKeptShift;
-    const auto opinion = static_cast<Opinion>(kept);
-    pop_.set_opinion(a, opinion);
-    stats.newly_correct += (opinion == correct);
-    acc_[a] = 0;  // reset_phase_counters
-    opinionated_.push_back(a);
-    send_.push_back(a | (kept != 0 ? kSlotBit : 0u));
+  for (ShardScratch& sh : shard_) {
+    stats.newly_activated += sh.activation.size();
+    for (const AgentId a : sh.activation) {
+      const std::uint64_t kept = acc_[a] >> detail::kKeptShift;
+      const auto opinion = static_cast<Opinion>(kept);
+      pop_.set_opinion(a, opinion);
+      stats.newly_correct += (opinion == correct);
+      acc_[a] = 0;  // reset_phase_counters
+      sh.opinionated.push_back(a);
+      sh.send.push_back(a | (kept != 0 ? detail::kSendBit : 0u));
+    }
+    sh.activation.clear();
+    stats.total_activated += sh.opinionated.size();
   }
-  activation_buffer_.clear();
-  stats.total_activated = opinionated_.size();
   out.push_back(stats);
 }
 
 void BatchEngine::finalize_stage2(std::uint64_t phase,
                                   const BreatheConfig& config,
                                   const StageTwoSchedule& s2,
-                                  Xoshiro256& protocol_rng,
                                   std::vector<StageTwoPhaseStats>& out) {
   const std::uint64_t threshold = s2.half_length(phase);
   const bool prefix_subset =
       config.stage2_subset == Stage2Subset::kPrefixSubset;
+  // Each successful agent's majority-subset draw is O(threshold) words from
+  // its own (phase, agent, kSubset) stream, so the scan parallelizes over
+  // shards: per-shard counter deltas are merged (exact integer sums) after
+  // the barrier, in shard order.
+  const StreamKey subset_key =
+      round_stream_key(trial_key_, RngPurpose::kSubset, phase);
+  const std::size_t n = pop_.size();
+  for_each_shard([&](std::size_t d) {
+    ShardScratch& sh = shard_[d];
+    sh.delta = {};
+    sh.successful = 0;
+    const auto lo = static_cast<AgentId>(d * shard_block_);
+    const auto hi = static_cast<AgentId>(
+        std::min(n, (d + 1) * shard_block_));
+    for (AgentId a = lo; a < hi; ++a) {
+      const std::uint64_t w = acc_[a];
+      const std::uint64_t recv = w & detail::kFieldMask;
+      if (recv >= threshold) {
+        // Successful agent: majority over a subset of exactly `threshold`
+        // samples, uniform (hypergeometric draw) or the arrival-order
+        // prefix.
+        ++sh.successful;
+        std::uint64_t ones = (w >> detail::kPrefixShift) & detail::kFieldMask;
+        if (!prefix_subset) {
+          CounterRng rng(subset_key, a);
+          ones = hypergeometric_ones(
+              rng, recv, (w >> detail::kOnesShift) & detail::kFieldMask,
+              threshold);
+        }
+        const Opinion verdict =
+            2 * ones > threshold ? Opinion::kOne : Opinion::kZero;
+        if (!pop_.has_opinion(a)) sh.opinionated.push_back(a);
+        pop_.set_opinion_counted(a, verdict, sh.delta);
+      }
+      acc_[a] = 0;
+    }
+    // Re-decisions may have flipped opinions anywhere in this shard's
+    // range: rebuild its sender list (O(range) once per phase, not per
+    // round).
+    sh.send.clear();
+    for (const AgentId a : sh.opinionated) {
+      sh.send.push_back(
+          a | (pop_.opinion(a) == Opinion::kOne ? detail::kSendBit : 0u));
+    }
+  });
+
   StageTwoPhaseStats stats;
   stats.phase = phase;
-
-  const auto n = static_cast<AgentId>(pop_.size());
-  for (AgentId a = 0; a < n; ++a) {
-    const std::uint64_t w = acc_[a];
-    const std::uint64_t recv = w & kFieldMask;
-    if (recv >= threshold) {
-      // Successful agent: majority over a subset of exactly `threshold`
-      // samples, uniform (hypergeometric draw) or the arrival-order prefix.
-      ++stats.successful;
-      const std::uint64_t ones =
-          prefix_subset
-              ? ((w >> kPrefixShift) & kFieldMask)
-              : hypergeometric_ones(protocol_rng, recv,
-                                    (w >> kOnesShift) & kFieldMask,
-                                    threshold);
-      const Opinion verdict =
-          2 * ones > threshold ? Opinion::kOne : Opinion::kZero;
-      if (!pop_.has_opinion(a)) opinionated_.push_back(a);
-      pop_.set_opinion(a, verdict);
-    }
+  for (const ShardScratch& sh : shard_) {
+    pop_.apply(sh.delta);
+    stats.successful += sh.successful;
   }
-  std::fill(acc_.begin(), acc_.end(), 0);
-
-  // Re-decisions may have flipped opinions anywhere in the sender list:
-  // rebuild it (O(n) once per phase, not per round).
-  send_.clear();
-  for (const AgentId a : opinionated_) {
-    send_.push_back(a |
-                    (pop_.opinion(a) == Opinion::kOne ? kSlotBit : 0u));
-  }
-
   stats.correct_fraction = pop_.correct_fraction(config.correct);
   stats.bias = pop_.bias(config.correct);
   out.push_back(stats);
 }
 
-bool BatchEngine::breathe_packed_supported(const Params& params) {
-  const StageOneSchedule& s1 = params.stage1();
-  const StageTwoSchedule& s2 = params.stage2();
-  return params.n() <= kPackedCount &&
-         std::max({s1.beta_s, s1.beta, s1.beta_f}) <= kPackedCount &&
-         std::max(s2.m, s2.m_final) <= kS2PackedField;
+namespace {
+
+/// Per-thread stack of persistent engines. Depth 0 is the common case;
+/// deeper entries exist only when the helping ThreadPool wait makes a
+/// thread pick up another trial while its own engine is mid-run.
+struct LocalEngines {
+  std::vector<std::unique_ptr<BatchEngine>> engines;
+  std::size_t depth = 0;
+};
+
+LocalEngines& local_engines() {
+  thread_local LocalEngines engines;
+  return engines;
 }
 
-void BatchEngine::finalize_stage1_packed(
-    std::uint64_t phase, Opinion correct,
-    std::vector<StageOnePhaseStats>& out) {
-  StageOnePhaseStats stats;
-  stats.phase = phase;
-  stats.newly_activated = activation_buffer_.size();
-  for (const AgentId a : activation_buffer_) {
-    const std::uint64_t kept = (acc_[a] >> kS1KeptShift) & 1;
-    const auto opinion = static_cast<Opinion>(kept);
-    pop_.set_opinion(a, opinion);
-    stats.newly_correct += (opinion == correct);
-    acc_[a] = kS1HasOpinion;  // reset counters, mirror the new opinion flag
-    opinionated_.push_back(a);
-    send_.push_back(a | (kept != 0 ? kSlotBit : 0u));
+}  // namespace
+
+BatchEngineLease::BatchEngineLease() {
+  LocalEngines& local = local_engines();
+  if (local.depth == local.engines.size()) {
+    local.engines.push_back(std::make_unique<BatchEngine>());
   }
-  activation_buffer_.clear();
-  stats.total_activated = opinionated_.size();
-  out.push_back(stats);
+  engine_ = local.engines[local.depth++].get();
 }
 
-void BatchEngine::finalize_stage2_packed(
-    std::uint64_t phase, const BreatheConfig& config,
-    const StageTwoSchedule& s2, Xoshiro256& protocol_rng,
-    std::vector<StageTwoPhaseStats>& out) {
-  const std::uint64_t threshold = s2.half_length(phase);
-  StageTwoPhaseStats stats;
-  stats.phase = phase;
-
-  // The hypergeometric scan below draws O(threshold) values per successful
-  // agent — across a long run that is within a small factor of the round
-  // loop's own draw count, so the rng state gets the same local-copy
-  // treatment as in the round loop.
-  Xoshiro256 rng = protocol_rng;
-  const auto n = static_cast<AgentId>(pop_.size());
-  for (AgentId a = 0; a < n; ++a) {
-    const std::uint64_t w = acc_[a];
-    const std::uint64_t recv = w & kS2PackedField;
-    if (recv >= threshold) {
-      ++stats.successful;
-      const std::uint64_t ones = hypergeometric_ones(
-          rng, recv, (w >> kS2PackedOnesShift) & kS2PackedField,
-          threshold);
-      const Opinion verdict =
-          2 * ones > threshold ? Opinion::kOne : Opinion::kZero;
-      if (!pop_.has_opinion(a)) opinionated_.push_back(a);
-      pop_.set_opinion(a, verdict);
-    }
-  }
-  protocol_rng = rng;
-  std::fill(acc_.begin(), acc_.end(), 0);
-
-  send_.clear();
-  for (const AgentId a : opinionated_) {
-    send_.push_back(a |
-                    (pop_.opinion(a) == Opinion::kOne ? kSlotBit : 0u));
-  }
-
-  stats.correct_fraction = pop_.correct_fraction(config.correct);
-  stats.bias = pop_.bias(config.correct);
-  out.push_back(stats);
-}
-
-BatchEngine& local_batch_engine() {
-  thread_local BatchEngine engine;
-  return engine;
-}
+BatchEngineLease::~BatchEngineLease() { --local_engines().depth; }
 
 }  // namespace flip

@@ -1,10 +1,11 @@
 #pragma once
-// Batched fast-path simulation engine.
+// Batched fast-path simulation engine, with optional intra-trial sharding.
 //
 // The classic Engine (sim/engine.hpp) pays, per accepted message, a virtual
 // channel call, a virtual protocol deliver, and — per trial — a fresh
-// Mailbox/Population/protocol allocation. BatchEngine removes all of that
-// without changing a single random draw:
+// Mailbox/Population/protocol allocation. BatchEngine removes all of that,
+// and on top partitions one trial's agents into S shards that execute each
+// round's route and deliver phases in parallel:
 //
 //  * run(): a statically dispatched replica of Engine::run. The protocol
 //    and channel are template parameters (FlipProtocolT / the concrete
@@ -13,21 +14,33 @@
 //    allocation-free reuse mode.
 //  * run_breathe(): a hand-packed structure-of-arrays implementation of
 //    Engine + BreatheProtocol for the paper's two-stage protocol — the hot
-//    workload behind broadcast / majority / boost. Mailbox slots collapse to
-//    one uint32 per agent (arrival count + reservoir bit), Stage II sample
-//    counters to one uint64 per agent (recv | ones | prefix-ones), and the
-//    per-phase sender list is kept materialized so a round never re-reads
-//    opinions. At n = 100k this shrinks the per-round working set from
-//    ~5 MB (L3) to ~1.6 MB (L2-resident).
+//    workload behind broadcast / majority / boost. Each round runs two
+//    shard-parallel phases over the persistent ThreadPool workers:
+//      route   — every shard walks its own materialized sender list, draws
+//                each sender's recipient + acceptance priority from the
+//                sender's counter stream, and scatters the message into the
+//                destination shard's inbox bucket;
+//      deliver — every shard min-combines the arrivals for its agent range
+//                (smallest (priority, sender) pair wins — a commutative
+//                reduction, so any arrival order gives the same winner),
+//                then applies the recipient-keyed channel flip and bumps
+//                the packed per-agent counters.
+//    Phase ends merge shard partials in shard order (integer sums, so the
+//    merge is exact) and run the per-agent Stage II subset draws
+//    shard-parallel from per-agent streams.
 //
-// Exactness contract: both paths consume the engine and protocol rng
-// streams in EXACTLY the order the classic path does, so for the same
-// (seed, trial) they produce bit-identical Metrics, opinions, and phase
-// stats. tests/batch_engine_test.cpp enforces this for every registry
-// entry; treat any divergence as a bug in this file.
+// Exactness contract: every random draw comes from the counter-based
+// per-agent stream named by (trial key, round, agent, purpose) — see
+// util/rng.hpp — never from a shared sequential stream. A draw is a pure
+// function of its key, so for the same (seed, trial) the classic Engine,
+// this engine with 1 shard, and this engine with any other shard count
+// produce bit-identical Metrics, opinions, and phase stats, on any thread
+// count. tests/batch_engine_test.cpp enforces classic == batch for every
+// registry entry and shard-count invariance for the breathe scenarios;
+// treat any divergence as a bug in this file.
 //
 // One BatchEngine is meant to live per worker thread and run a whole block
-// of K trials of a scenario cell back to back (see local_batch_engine());
+// of K trials of a scenario cell back to back (see BatchEngineLease);
 // every buffer is sized once and recycled, so trials after the first are
 // allocation-free.
 
@@ -49,6 +62,7 @@
 #include "sim/metrics.hpp"
 #include "sim/population.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flip {
 
@@ -80,6 +94,17 @@ struct BreatheFastResult {
   std::vector<StageTwoPhaseStats> stage2;
 };
 
+/// Execution knobs for run_breathe().
+struct BreatheRunOptions {
+  EngineOptions engine;
+  /// Agent partitions per round phase. Results are bit-identical for every
+  /// value (the determinism contract); >1 buys wall-clock on multi-core.
+  std::size_t shards = 1;
+  /// Workers the shard phases run on; nullptr (or shards <= 1) runs them
+  /// inline on the calling thread.
+  ThreadPool* pool = nullptr;
+};
+
 /// True iff run_breathe() can pack this schedule's counters (Stage II phase
 /// lengths must fit the 21-bit packed fields, agent ids 31 bits). Callers
 /// fall back to the classic Engine when this is false.
@@ -87,29 +112,31 @@ struct BreatheFastResult {
 
 namespace detail {
 
-/// Per-message flip draw for the packed fast path, replaying the channel's
-/// transmit() draws exactly. BscFlip turns `uniform_unit(rng) < p` into an
-/// integer compare: with k = rng() >> 11, u = k * 2^-53 < p iff
-/// k < ceil(p * 2^53) (p * 2^53 is an exact power-of-two scaling, so no
-/// rounding is involved anywhere). One draw, no int-to-double conversion.
+/// Per-message flip draw for the packed fast path, producing exactly the
+/// decision the channel's transmit() makes from the same stream. BscFlip
+/// turns `uniform_unit(rng) < p` into an integer compare: with
+/// k = rng() >> 11, u = k * 2^-53 < p iff k < ceil(p * 2^53) (p * 2^53 is
+/// an exact power-of-two scaling, so no rounding is involved anywhere).
+/// One draw, no int-to-double conversion.
 struct BscFlip {
   std::uint64_t threshold;
   explicit BscFlip(const BinarySymmetricChannel& channel)
       : threshold(static_cast<std::uint64_t>(
             std::ceil((0.5 - channel.eps()) * 0x1.0p53))) {}
-  bool operator()(Xoshiro256& rng) const noexcept {
+  template <typename Rng>
+  bool operator()(Rng& rng) const noexcept {
     return (rng() >> 11) < threshold;
   }
 };
 
-/// HeterogeneousChannel::transmit, minus the optional: same two draws in
-/// the same order (bernoulli skips its draw when the sampled probability
-/// is exactly zero, as the real channel does).
+/// HeterogeneousChannel::transmit, minus the optional: same draws from the
+/// same per-recipient stream.
 struct HeterogeneousFlip {
   double eps;
   explicit HeterogeneousFlip(const HeterogeneousChannel& channel)
       : eps(channel.eps()) {}
-  bool operator()(Xoshiro256& rng) const noexcept {
+  template <typename Rng>
+  bool operator()(Rng& rng) const noexcept {
     const double flip_prob = uniform_unit(rng) * (0.5 - eps);
     return bernoulli(rng, flip_prob);
   }
@@ -122,81 +149,179 @@ inline HeterogeneousFlip make_flip(const HeterogeneousChannel& channel) {
   return HeterogeneousFlip(channel);
 }
 
-// Packed-layout constants, shared structurally by the loop helpers below
-// and by BatchEngine (which aliases them): send-list entries carry the
-// opinion in bit 31 next to a 31-bit agent id; mailbox slots carry a
-// 24-bit arrival count with the reservoir-kept opinion in bit 24.
+// Packed-layout constants. Send-list entries carry the opinion in bit 31
+// next to a 31-bit agent id; the per-agent acceptance slot holds one
+// acceptance_word (sim/mailbox.hpp): priority | opinion bit | sender.
 inline constexpr std::uint32_t kSendBit = 0x8000'0000u;
-inline constexpr std::uint32_t kPackedCount = (1u << 24) - 1;
-inline constexpr std::uint32_t kPackedBit = 1u << 24;
-// route_sends moves the opinion from send-list position to slot position
-// with one shift; keep the two layouts in lockstep.
-static_assert(kSendBit >> 7 == kPackedBit);
+inline constexpr std::uint32_t kAgentMask = ~kSendBit;
+/// Slot sentinel for "no arrival yet": the maximum word, which no real
+/// acceptance_word equals (its sender field would be 2^31 - 1 >= n).
+inline constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
 
-// The two per-message loops of the packed path live in their own
-// deliberately-not-inlined functions: inside the (large) round loop they
-// would compete for registers with all the surrounding phase state, and a
-// spill inside a 100M-iteration loop costs more than a call per round.
+// Per-agent counter layouts. Stage I accumulator: recv count in bits
+// 0..62, kept bit in bit 63. Stage II accumulator: recv | ones |
+// prefix-ones as three 21-bit fields (phase lengths are bounded by
+// breathe_fast_supported).
+inline constexpr int kKeptShift = 63;
+inline constexpr std::uint64_t kS1RecvMask =
+    (std::uint64_t{1} << kKeptShift) - 1;
+inline constexpr int kOnesShift = 21;
+inline constexpr int kPrefixShift = 42;
+inline constexpr std::uint64_t kFieldMask = (std::uint64_t{1} << 21) - 1;
 
-/// Routes one round of sends into the packed mailbox slots. Returns the
-/// number of touched recipients (appended to `tdata` in touch order).
-[[gnu::noinline]] inline std::size_t route_sends(
-    const std::uint32_t* __restrict__ sd, std::size_t nsend,
-    std::uint32_t* __restrict__ slot, std::uint32_t* __restrict__ tdata,
-    std::uint64_t n_minus_1, Xoshiro256& rng_ref) {
-  Xoshiro256 rng = rng_ref;  // state in registers for the whole round
-  std::size_t tsize = 0;
-  for (std::size_t i = 0; i < nsend; ++i) {
-    const std::uint32_t e = sd[i];
-    const std::uint32_t sender = e & ~kSendBit;
-    // Opinion bit from send-list position 31 to slot position 24.
-    const std::uint32_t mbit = (e & kSendBit) >> 7;
-    auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
-    to += (to >= sender);
-    const std::uint32_t w = slot[to];
-    const std::uint32_t count = w & kPackedCount;
-    tdata[tsize] = to;  // branchless append: store always, bump on miss
-    tsize += (count == 0);
-    if (count == 0) {
-      slot[to] = 1 | mbit;
-    } else {
-      // Reservoir step, identical to Mailbox::push_to.
-      const std::uint32_t next = count + 1;
-      const std::uint32_t kept =
-          uniform_index(rng, next) == 0 ? mbit : (w & kPackedBit);
-      slot[to] = next | kept;
-    }
-  }
-  rng_ref = rng;
+/// One routed message in flight between a source and a destination shard.
+struct RoutedMsg {
+  std::uint64_t word;  ///< acceptance_word: priority | opinion bit | sender
+  std::uint32_t to;    ///< recipient
+};
+
+// The per-message loops live in their own deliberately-not-inlined
+// functions: inside the (large) templated round loop they would compete
+// for registers with all the surrounding phase state, and a spill inside a
+// 100M-iteration loop costs more than a call per round.
+
+/// The min-combine acceptance step: keeps the smallest acceptance_word.
+/// Commutative + associative, hence identical for any arrival order and
+/// any shard partition. Returns the new touched count (branchless append:
+/// store always, bump on first arrival — the sentinel is the max word, so
+/// the min-compare alone also decides first-touch wins).
+inline std::size_t combine(std::uint32_t to, std::uint64_t word,
+                           std::uint64_t* __restrict__ slot,
+                           AgentId* __restrict__ tdata, std::size_t tsize) {
+  const std::uint64_t cur = slot[to];
+  tdata[tsize] = to;
+  tsize += cur == kEmptySlot;
+  if (word < cur) slot[to] = word;
   return tsize;
 }
 
-/// Delivers one Stage II round: clears each touched slot, applies the
-/// channel flip, and bumps the packed recv/ones counters. Returns the
-/// number of flipped messages.
+/// Routes one shard's senders and min-combines in place (the single-shard
+/// fast path: no bucket materialization). Returns the touched count.
+[[gnu::noinline]] inline std::size_t route_combine(
+    const std::uint32_t* __restrict__ send, std::size_t nsend,
+    std::uint64_t n_minus_1, const StreamKey rkey,
+    std::uint64_t* __restrict__ slot, AgentId* __restrict__ tdata) {
+  std::size_t tsize = 0;
+  for (std::size_t i = 0; i < nsend; ++i) {
+    const std::uint32_t e = send[i];
+    const std::uint32_t sender = e & kAgentMask;
+    CounterRng rng(rkey, sender);
+    auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
+    to += (to >= sender);
+    tsize = combine(to, acceptance_word(rng(), (e & kSendBit) | sender),
+                    slot, tdata, tsize);
+  }
+  return tsize;
+}
+
+/// Routes one shard's senders into per-destination-shard buckets (the
+/// multi-shard route phase; `shard_mul` is the fastdiv reciprocal of the
+/// shard block size).
+[[gnu::noinline]] inline void route_scatter(
+    const std::uint32_t* __restrict__ send, std::size_t nsend,
+    std::uint64_t n_minus_1, const StreamKey rkey, std::uint64_t shard_mul,
+    std::vector<RoutedMsg>* __restrict__ out) {
+  for (std::size_t i = 0; i < nsend; ++i) {
+    const std::uint32_t e = send[i];
+    const std::uint32_t sender = e & kAgentMask;
+    CounterRng rng(rkey, sender);
+    auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
+    to += (to >= sender);
+    const auto dst = static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(to) * shard_mul) >> 64);
+    out[dst].push_back(
+        RoutedMsg{acceptance_word(rng(), (e & kSendBit) | sender), to});
+  }
+}
+
+/// Min-combines one inbound bucket into a destination shard's slots.
+/// Returns the updated touched count.
+[[gnu::noinline]] inline std::size_t combine_bucket(
+    const RoutedMsg* __restrict__ msgs, std::size_t count,
+    std::uint64_t* __restrict__ slot, AgentId* __restrict__ tdata,
+    std::size_t tsize) {
+  for (std::size_t i = 0; i < count; ++i) {
+    tsize = combine(msgs[i].to, msgs[i].word, slot, tdata, tsize);
+  }
+  return tsize;
+}
+
+/// Delivers one Stage II round for one shard's touched recipients: clears
+/// each meta slot, applies the recipient-keyed channel flip, and bumps the
+/// packed recv/ones/prefix counters. Returns the number of flipped
+/// messages.
 template <typename FlipFn>
 [[gnu::noinline]] inline std::uint64_t deliver_stage2(
-    const std::uint32_t* __restrict__ tdata, std::size_t tsize,
-    std::uint32_t* __restrict__ slot, std::uint64_t* __restrict__ acc,
-    FlipFn flips, Xoshiro256& rng_ref) {
-  Xoshiro256 rng = rng_ref;
+    const AgentId* __restrict__ tdata, std::size_t tsize,
+    const StreamKey ckey, std::uint64_t threshold,
+    std::uint64_t* __restrict__ slot, std::uint64_t* __restrict__ acc,
+    FlipFn flips) {
   std::uint64_t flipped = 0;
   for (std::size_t i = 0; i < tsize; ++i) {
     if (i + 16 < tsize) {
       __builtin_prefetch(&slot[tdata[i + 16]], 1);
       __builtin_prefetch(&acc[tdata[i + 16]], 1);
     }
-    const std::uint32_t to = tdata[i];
-    const std::uint32_t w = slot[to];
-    slot[to] = 0;
-    const bool sent_one = (w & kPackedBit) != 0;
+    const AgentId to = tdata[i];
+    const std::uint64_t m = slot[to];
+    slot[to] = kEmptySlot;
+    const bool sent_one = (m & kSendBit) != 0;
+    CounterRng rng(ckey, to);
     const bool flip = flips(rng);
     flipped += flip;
-    std::uint64_t v = acc[to] + 1;  // ++recv
-    if (sent_one != flip) v += std::uint64_t{1} << 32;  // ++ones
-    acc[to] = v;
+    std::uint64_t w = acc[to] + 1;  // ++recv
+    if (sent_one != flip) {
+      w += (std::uint64_t{1} << kOnesShift) +
+           ((w & kFieldMask) <= threshold ? (std::uint64_t{1} << kPrefixShift)
+                                          : 0);
+    }
+    acc[to] = w;
   }
-  rng_ref = rng;
+  return flipped;
+}
+
+/// Delivers one Stage I round for one shard's touched recipients: channel
+/// flip, then the protocol's activation bookkeeping and (under the uniform
+/// pick rule) the keyed reservoir decision. Returns the flip count.
+template <typename FlipFn>
+[[gnu::noinline]] inline std::uint64_t deliver_stage1(
+    const AgentId* __restrict__ tdata, std::size_t tsize,
+    const StreamKey ckey, const StreamKey pkey, bool uniform_pick,
+    const std::uint8_t* __restrict__ has_opinion,
+    std::uint64_t* __restrict__ slot, std::uint64_t* __restrict__ acc,
+    std::vector<AgentId>& activation, FlipFn flips) {
+  std::uint64_t flipped = 0;
+  for (std::size_t i = 0; i < tsize; ++i) {
+    if (i + 16 < tsize) {
+      __builtin_prefetch(&slot[tdata[i + 16]], 1);
+      __builtin_prefetch(&acc[tdata[i + 16]], 1);
+    }
+    const AgentId to = tdata[i];
+    const std::uint64_t m = slot[to];
+    slot[to] = kEmptySlot;
+    const bool sent_one = (m & kSendBit) != 0;
+    CounterRng rng(ckey, to);
+    const bool flip = flips(rng);
+    flipped += flip;
+    const bool seen_one = sent_one != flip;
+    if (has_opinion[to]) continue;  // Stage I ignores opinionated agents
+    const std::uint64_t v = acc[to];
+    const std::uint64_t recv = (v & kS1RecvMask) + 1;
+    if (recv == 1) activation.push_back(to);
+    std::uint64_t kept;
+    if (uniform_pick) {
+      // Same decision BreatheProtocol::deliver makes from the same
+      // (round, agent, kProtocol) stream.
+      CounterRng prng(pkey, to);
+      kept = (recv == 1 || uniform_index(prng, recv) == 0)
+                 ? static_cast<std::uint64_t>(seen_one)
+                 : (v >> kKeptShift);
+    } else {
+      kept = recv == 1 ? static_cast<std::uint64_t>(seen_one)
+                       : (v >> kKeptShift);
+    }
+    acc[to] = recv | (kept << kKeptShift);
+  }
   return flipped;
 }
 
@@ -210,11 +335,11 @@ class BatchEngine {
   BatchEngine& operator=(const BatchEngine&) = delete;
 
   /// Statically dispatched replica of Engine::run for population n: same
-  /// loop, same rng draw order, identical Metrics — but with `protocol` and
+  /// counter-keyed draws, identical Metrics — but with `protocol` and
   /// `channel` as concrete types every per-message call inlines, and the
   /// mailbox/send buffers reused across calls.
   template <FlipProtocolT P, typename C>
-  Metrics run(std::size_t n, P& protocol, C& channel, Xoshiro256& rng,
+  Metrics run(std::size_t n, P& protocol, C& channel, const StreamKey& key,
               Round max_rounds, EngineOptions options = {}) {
     mailbox_.reuse(n);
     send_buffer_.clear();
@@ -226,16 +351,24 @@ class BatchEngine {
       protocol.collect_sends(r, send_buffer_);
 
       mailbox_.reset();
+      const StreamKey route_key = round_stream_key(key, RngPurpose::kRoute, r);
       for (const Message& msg : send_buffer_) {
         if (msg.sender >= mailbox_.population()) {
           throw std::out_of_range("BatchEngine: sender id out of range");
         }
-        mailbox_.push(msg, rng);
+        CounterRng rng(route_key, msg.sender);
+        auto to = static_cast<AgentId>(uniform_index(rng, n - 1));
+        if (to >= msg.sender) ++to;
+        mailbox_.offer(to, msg.sender, msg.bit,
+                       acceptance_word(rng(), msg.bit, msg.sender));
       }
       metrics.messages_sent += send_buffer_.size();
 
+      const StreamKey channel_key =
+          round_stream_key(key, RngPurpose::kChannel, r);
       for (AgentId to : mailbox_.recipients()) {
         const Message& msg = mailbox_.accepted(to);
+        CounterRng rng(channel_key, to);
         const std::optional<Opinion> seen = channel.transmit(msg.bit, rng);
         if (!seen) {
           ++metrics.erased;
@@ -261,50 +394,20 @@ class BatchEngine {
     return metrics;
   }
 
-  /// The packed SoA fast path for the two-stage breathe protocol. Runs one
+  /// The sharded SoA fast path for the two-stage breathe protocol. Runs one
   /// execution; call in a loop for a block of trials (all buffers recycle).
   /// `stage1_only` truncates the budget to Stage I, like run_broadcast's
   /// stage1_only switch. Precondition: breathe_fast_supported(params).
-  ///
-  /// Dispatches to the single-cell packed loop (one uint64 of state per
-  /// agent — one random access per message instead of three) whenever the
-  /// schedule's counters fit and the channel is a pure flip channel;
-  /// otherwise runs the wide layout. Either way the rng draw sequence is
-  /// the classic engine's, draw for draw.
+  /// Results are identical for every options.shards / pool combination.
   template <typename Channel>
   BreatheFastResult run_breathe(const Params& params,
                                 const BreatheConfig& config, Channel& channel,
-                                Xoshiro256& engine_rng,
-                                Xoshiro256& protocol_rng, bool stage1_only,
-                                EngineOptions options = {}) {
-    constexpr bool kFlipOnly =
-        std::is_same_v<Channel, BinarySymmetricChannel> ||
-        std::is_same_v<Channel, HeterogeneousChannel>;
-    if constexpr (kFlipOnly) {
-      if (config.stage2_subset == Stage2Subset::kUniformSubset &&
-          breathe_packed_supported(params)) {
-        return run_breathe_packed(params, config, channel, engine_rng,
-                                  protocol_rng, stage1_only, options);
-      }
-    }
-    return run_breathe_wide(params, config, channel, engine_rng, protocol_rng,
-                            stage1_only, options);
-  }
-
- private:
-  /// Wide layout: separate mailbox-slot and counter arrays, 21-bit Stage II
-  /// fields, arbitrary channels, prefix-subset tracking. The fallback when
-  /// the packed cell does not fit.
-  template <typename Channel>
-  BreatheFastResult run_breathe_wide(const Params& params,
-                                     const BreatheConfig& config,
-                                     Channel& channel, Xoshiro256& engine_rng,
-                                     Xoshiro256& protocol_rng,
-                                     bool stage1_only,
-                                     EngineOptions options = {}) {
+                                const StreamKey& trial_key, bool stage1_only,
+                                const BreatheRunOptions& options = {}) {
     const StageOneSchedule& s1 = params.stage1();
     const StageTwoSchedule& s2 = params.stage2();
-    prepare_breathe(params, config);
+    trial_key_ = trial_key;
+    prepare_breathe(params, config, options);
     const auto [stage1_offset, stage1_rounds, total_rounds, budget] =
         breathe_schedule(params, config, stage1_only);
 
@@ -312,99 +415,86 @@ class BatchEngine {
     result.protocol_rounds = budget;
     Metrics& metrics = result.metrics;
 
-    const auto n = static_cast<std::uint32_t>(params.n());
+    const std::size_t n = params.n();
     const std::uint64_t n_minus_1 = n - 1;
     const bool uniform_pick =
         config.stage1_pick == Stage1Pick::kUniformMessage;
+    const auto flips = detail::make_flip(channel);
+    const std::size_t shards = shards_;
+
+    std::uint64_t* const __restrict__ acc = acc_.data();
+    std::uint64_t* const __restrict__ slot = slot_.data();
 
     for (Round r = 0; r < budget; ++r) {
       const bool in_s1 = r < stage1_rounds;
+      const StreamKey route_key =
+          round_stream_key(trial_key_, RngPurpose::kRoute, r);
+      const StreamKey channel_key =
+          round_stream_key(trial_key_, RngPurpose::kChannel, r);
+      const StreamKey protocol_key =
+          round_stream_key(trial_key_, RngPurpose::kProtocol, r);
+      const std::uint64_t threshold =
+          in_s1 ? 0 : s2.half_length(s2.phase_of_round(r - stage1_rounds));
 
-      // --- collect + route. The sender list is kept materialized across a
-      // phase (opinions only change at phase boundaries), so the classic
-      // collect_sends pass disappears: one sequential read per message.
-      const std::size_t nsend = send_.size();
+      std::uint64_t nsend = 0;
+      for (const ShardScratch& sh : shard_) nsend += sh.send.size();
       metrics.messages_sent += nsend;
-      for (std::size_t i = 0; i < nsend; ++i) {
-        const std::uint32_t e = send_[i];
-        const auto sender = static_cast<AgentId>(e & ~kSlotBit);
-        const std::uint32_t bit = e & kSlotBit;
-        auto to = static_cast<AgentId>(uniform_index(engine_rng, n_minus_1));
-        to += static_cast<AgentId>(to >= sender);
-        const std::uint32_t slot = slot_[to];
-        const std::uint32_t count = slot & ~kSlotBit;
-        if (count == 0) {
-          touched_.push_back(to);
-          slot_[to] = 1u | bit;
-        } else {
-          // Reservoir step, identical to Mailbox::push_to.
-          const std::uint32_t next = count + 1;
-          const std::uint32_t kept =
-              uniform_index(engine_rng, next) == 0 ? bit : (slot & kSlotBit);
-          slot_[to] = next | kept;
-        }
-      }
 
-      // --- deliver, in touch order, with the round's phase state hoisted
-      // out of the per-message loop. Slots are cleared as they are read
-      // (the classic path clears them at the top of the next round).
-      if (in_s1) {
-        for (const AgentId to : touched_) {
-          const std::uint32_t slot = slot_[to];
-          slot_[to] = 0;
-          const auto sent =
-              static_cast<Opinion>((slot & kSlotBit) != 0);
-          const std::optional<Opinion> seen =
-              channel.transmit(sent, engine_rng);
-          if (!seen) {
-            ++metrics.erased;
-            continue;
-          }
-          metrics.flipped += (*seen != sent);
-          ++metrics.delivered;
-          if (pop_.has_opinion(to)) continue;  // Stage I ignores these
-          const std::uint64_t w = acc_[to];
-          const std::uint64_t recv = (w & kS1RecvMask) + 1;
-          if (recv == 1) activation_buffer_.push_back(to);
-          std::uint64_t kept;
-          if (uniform_pick) {
-            kept = (recv == 1 || uniform_index(protocol_rng, recv) == 0)
-                       ? static_cast<std::uint64_t>(*seen)
-                       : (w >> kKeptShift);
-          } else {
-            kept = recv == 1 ? static_cast<std::uint64_t>(*seen)
-                             : (w >> kKeptShift);
-          }
-          acc_[to] = recv | (kept << kKeptShift);
+      // --- route phase: every shard walks its own sender list. The sender
+      // list is kept materialized across a phase (opinions only change at
+      // phase boundaries), so the classic collect_sends pass disappears.
+      // Single shard min-combines in place (no bucket materialization);
+      // multiple shards scatter into per-destination buckets.
+      for_each_shard([&](std::size_t s) {
+        ShardScratch& sh = shard_[s];
+        if (shards == 1) {
+          sh.touched_count = detail::route_combine(
+              sh.send.data(), sh.send.size(), n_minus_1, route_key, slot,
+              sh.touched.data());
+        } else {
+          detail::route_scatter(sh.send.data(), sh.send.size(), n_minus_1,
+                                route_key, shard_mul_, sh.out.data());
         }
-      } else {
-        const std::uint64_t threshold =
-            s2.half_length(s2.phase_of_round(r - stage1_rounds));
-        for (const AgentId to : touched_) {
-          const std::uint32_t slot = slot_[to];
-          slot_[to] = 0;
-          const auto sent =
-              static_cast<Opinion>((slot & kSlotBit) != 0);
-          const std::optional<Opinion> seen =
-              channel.transmit(sent, engine_rng);
-          if (!seen) {
-            ++metrics.erased;
-            continue;
+      });
+
+      // --- deliver phase: each shard owns a contiguous agent range. It
+      // min-combines the arrivals destined for that range (scanning the
+      // source buckets; order cannot matter), then flips + counts.
+      for_each_shard([&](std::size_t d) {
+        ShardScratch& sh = shard_[d];
+        if (shards > 1) {
+          std::size_t tsize = 0;
+          for (ShardScratch& src : shard_) {
+            std::vector<detail::RoutedMsg>& bucket = src.out[d];
+            tsize = detail::combine_bucket(bucket.data(), bucket.size(),
+                                           slot, sh.touched.data(), tsize);
+            bucket.clear();
           }
-          metrics.flipped += (*seen != sent);
-          ++metrics.delivered;
-          std::uint64_t w = acc_[to] + 1;  // ++recv
-          if (*seen == Opinion::kOne) {
-            w += (std::uint64_t{1} << kOnesShift) +
-                 ((w & kFieldMask) <= threshold
-                      ? (std::uint64_t{1} << kPrefixShift)
-                      : 0);
-          }
-          acc_[to] = w;
+          sh.touched_count = tsize;
         }
+
+        if (in_s1) {
+          sh.flipped = detail::deliver_stage1(
+              sh.touched.data(), sh.touched_count, channel_key, protocol_key,
+              uniform_pick, pop_.has_opinion_data(), slot, acc,
+              sh.activation, flips);
+        } else {
+          sh.flipped = detail::deliver_stage2(sh.touched.data(),
+                                              sh.touched_count, channel_key,
+                                              threshold, slot, acc, flips);
+        }
+      });
+
+      // --- merge the round's shard partials (integer sums: exact in any
+      // order; summed in shard order anyway).
+      std::uint64_t delivered = 0;
+      for (ShardScratch& sh : shard_) {
+        delivered += sh.touched_count;
+        metrics.flipped += sh.flipped;
+        sh.touched_count = 0;
       }
-      metrics.dropped += nsend - touched_.size();
-      touched_.clear();
+      metrics.delivered += delivered;
+      metrics.dropped += nsend - delivered;
 
       // --- end of round: phase boundaries, probes, termination.
       if (in_s1) {
@@ -417,12 +507,13 @@ class BatchEngine {
         const Round sr = r - stage1_rounds;
         const std::uint64_t phase = s2.phase_of_round(sr);
         if (sr + 1 == s2.phase_start(phase) + s2.phase_length(phase)) {
-          finalize_stage2(phase, config, s2, protocol_rng, result.stage2);
+          finalize_stage2(phase, config, s2, result.stage2);
         }
       }
       metrics.rounds = r + 1;
 
-      if (options.probe_every != 0 && r % options.probe_every == 0) {
+      if (options.engine.probe_every != 0 &&
+          r % options.engine.probe_every == 0) {
         metrics.bias_series.push_back({r, pop_.bias(config.correct)});
         metrics.activated_series.push_back(
             {r, static_cast<double>(pop_.opinionated())});
@@ -435,192 +526,57 @@ class BatchEngine {
     return result;
   }
 
-  /// Packed layout: the route loop touches ONE uint32 mailbox slot per
-  /// message (arrival count in bits 0..23, reservoir-kept opinion in bit
-  /// 24) — a 400 KB array at n = 100k, small enough that the
-  /// collision-branch's gating load almost always hits L2 — and the
-  /// delivery loop touches that slot plus one uint64 counter word, both
-  /// software-prefetched through the touched list:
-  ///
-  ///   Stage I counters:  bits 0..23 recv count, bit 32 kept opinion,
-  ///                      bit 33 has-opinion (mirror of pop_, maintained
-  ///                      at phase boundaries)
-  ///   Stage II counters: bits 0..14 recv count, bits 32..46 ones count
-  ///
-  /// Stage I fields are wiped by the one fill() at the stage boundary.
-  template <typename Channel>
-  BreatheFastResult run_breathe_packed(const Params& params,
-                                       const BreatheConfig& config,
-                                       Channel& channel,
-                                       Xoshiro256& engine_rng,
-                                       Xoshiro256& protocol_rng,
-                                       bool stage1_only,
-                                       const EngineOptions& options) {
-    const StageOneSchedule& s1 = params.stage1();
-    const StageTwoSchedule& s2 = params.stage2();
-    prepare_breathe(params, config);
-    const auto [stage1_offset, stage1_rounds, total_rounds, budget] =
-        breathe_schedule(params, config, stage1_only);
+ private:
+  /// Per-shard scratch: the shard's materialized sender list, its touched /
+  /// activation / opinionated lists (agents in the shard's range), its
+  /// outgoing per-destination buckets, and its round/phase partials.
+  struct ShardScratch {
+    std::vector<std::uint32_t> send;  ///< sender id | opinion bit (bit 31)
+    /// Recipients touched this round, sized to the shard's block up front
+    /// and indexed directly (branchless append in the combine loops).
+    std::vector<AgentId> touched;
+    std::size_t touched_count = 0;
+    std::vector<AgentId> activation;
+    std::vector<AgentId> opinionated;
+    std::vector<std::vector<detail::RoutedMsg>> out;
+    Population::Delta delta;        ///< stage II finalize partial
+    std::uint64_t successful = 0;   ///< stage II finalize partial
+    std::uint64_t flipped = 0;      ///< per-round partial
+  };
 
-    BreatheFastResult result;
-    result.protocol_rounds = budget;
-    Metrics& metrics = result.metrics;
+  // The Stage I fields of an agent (detail:: layout constants) are zeroed
+  // when it activates, and every agent that ever received in Stage I
+  // activates at its phase end, so Stage II starts from all-zero counters
+  // without a stage-boundary wipe.
 
-    const std::size_t n = params.n();
-    touched_.resize(n);  // indexed directly; size managed per round
-    if (stage1_rounds > 0) {
-      // Seeds behave as opinionated from round 0. (Under skip_stage1 the
-      // Stage II field layout owns these bits, so the flag must stay
-      // clear — Stage I never runs.)
-      for (const Seed& seed : config.initial) {
-        acc_[seed.agent] = kS1HasOpinion;
-      }
-    }
-
-    const auto flips = detail::make_flip(channel);
-    const std::uint64_t n_minus_1 = n - 1;
-    const bool uniform_pick =
-        config.stage1_pick == Stage1Pick::kUniformMessage;
-    std::uint32_t* const __restrict__ slot = slot_.data();
-    std::uint64_t* const __restrict__ acc = acc_.data();
-    AgentId* const __restrict__ tdata = touched_.data();
-
-    // Work on LOCAL rng copies: through the caller's references, every
-    // draw's 256-bit state update would have to round-trip through memory
-    // (stores through the state arrays may alias it), lengthening the
-    // serial rng dependency chain that paces both loops. Written back
-    // before returning.
-    Xoshiro256 erng = engine_rng;
-    Xoshiro256 prng = protocol_rng;
-
-    // Counter locals: acc stores are uint64 writes that could legally
-    // alias Metrics' uint64 fields, so counting into metrics directly
-    // would force a reload/store per message.
-    std::uint64_t messages = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t flipped = 0;
-    std::uint64_t dropped = 0;
-
-    for (Round r = 0; r < budget; ++r) {
-      const bool in_s1 = r < stage1_rounds;
-
-      const std::size_t nsend = send_.size();
-      messages += nsend;
-      const std::size_t tsize = detail::route_sends(
-          send_.data(), nsend, slot, tdata, n_minus_1, erng);
-      dropped += nsend - tsize;
-
-      if (in_s1) {
-        for (std::size_t i = 0; i < tsize; ++i) {
-          if (i + 16 < tsize) {
-            __builtin_prefetch(&slot[tdata[i + 16]], 1);
-            __builtin_prefetch(&acc[tdata[i + 16]], 1);
-          }
-          const AgentId to = tdata[i];
-          const std::uint32_t w = slot[to];
-          slot[to] = 0;
-          const bool sent_one = (w & kPackedBit) != 0;
-          const bool flip = flips(erng);
-          flipped += flip;
-          ++delivered;
-          const bool seen_one = sent_one != flip;
-          const std::uint64_t v = acc[to];
-          if (v & kS1HasOpinion) continue;  // Stage I ignores opinionated
-          const std::uint64_t recv = (v & kPackedCount) + 1;
-          if (recv == 1) activation_buffer_.push_back(to);
-          std::uint64_t kept;
-          if (uniform_pick) {
-            kept = (recv == 1 || uniform_index(prng, recv) == 0)
-                       ? static_cast<std::uint64_t>(seen_one)
-                       : ((v >> kS1KeptShift) & 1);
-          } else {
-            kept = recv == 1 ? static_cast<std::uint64_t>(seen_one)
-                             : ((v >> kS1KeptShift) & 1);
-          }
-          acc[to] = recv | (kept << kS1KeptShift);
-        }
-      } else {
-        flipped += detail::deliver_stage2(tdata, tsize, slot, acc, flips,
-                                          erng);
-        delivered += tsize;
-      }
-
-      if (in_s1) {
-        const Round sr = r + stage1_offset;
-        const std::uint64_t phase = s1.phase_of_round(sr);
-        if (sr + 1 == s1.phase_end(phase)) {
-          finalize_stage1_packed(phase, config.correct, result.stage1);
-        }
-        if (r + 1 == stage1_rounds) {
-          // Stage boundary: Stage I counter fields retire, Stage II
-          // counters must start from zero.
-          std::fill(acc_.begin(), acc_.end(), 0);
-        }
-      } else {
-        const Round sr = r - stage1_rounds;
-        const std::uint64_t phase = s2.phase_of_round(sr);
-        if (sr + 1 == s2.phase_start(phase) + s2.phase_length(phase)) {
-          finalize_stage2_packed(phase, config, s2, prng, result.stage2);
-        }
-      }
-      metrics.rounds = r + 1;
-
-      if (options.probe_every != 0 && r % options.probe_every == 0) {
-        metrics.bias_series.push_back({r, pop_.bias(config.correct)});
-        metrics.activated_series.push_back(
-            {r, static_cast<double>(pop_.opinionated())});
-      }
-
-      if (r + 1 >= total_rounds) break;
-    }
-
-    metrics.messages_sent = messages;
-    metrics.delivered = delivered;
-    metrics.flipped = flipped;
-    metrics.dropped = dropped;
-    engine_rng = erng;
-    protocol_rng = prng;
-
-    finish_breathe(result, config.correct);
-    return result;
+  [[nodiscard]] std::size_t shard_of(std::uint32_t agent) const noexcept {
+    // Exact division by the invariant block size via one multiply
+    // (Lemire's fastdiv: exact for all 32-bit dividends).
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(agent) * shard_mul_) >> 64);
   }
 
-  // Packed layouts. Slot: arrival count in bits 0..30, reservoir-kept bit
-  // in bit 31. Stage I accumulator: recv count in bits 0..62, kept bit in
-  // bit 63. Stage II accumulator: recv | ones | prefix-ones as three 21-bit
-  // fields (phase lengths are bounded by breathe_fast_supported).
-  static constexpr std::uint32_t kSlotBit = detail::kSendBit;
-  static constexpr int kKeptShift = 63;
-  static constexpr std::uint64_t kS1RecvMask =
-      (std::uint64_t{1} << kKeptShift) - 1;
-  static constexpr int kOnesShift = 21;
-  static constexpr int kPrefixShift = 42;
-  static constexpr std::uint64_t kFieldMask = (std::uint64_t{1} << 21) - 1;
-
-  // Packed-path layout (run_breathe_packed): the detail:: mailbox-slot
-  // constants, plus Stage I kept/has-opinion flags at bits 32/33 of the
-  // counter word and the Stage II ones count at bits 32..46.
-  static constexpr std::uint32_t kPackedCount = detail::kPackedCount;
-  static constexpr std::uint32_t kPackedBit = detail::kPackedBit;
-  static constexpr int kS1KeptShift = 32;
-  static constexpr std::uint64_t kS1HasOpinion = std::uint64_t{1} << 33;
-  static constexpr int kS2PackedOnesShift = 32;
-  static constexpr std::uint64_t kS2PackedField = (std::uint64_t{1} << 15) - 1;
-
-  friend bool breathe_fast_supported(const Params& params);
-
-  /// True iff every counter of `params`'s schedule fits the single-cell
-  /// packed fields (population in the 24-bit arrival count, Stage II phase
-  /// lengths in 15 bits).
-  [[nodiscard]] static bool breathe_packed_supported(const Params& params);
+  /// Runs body(s) for every shard — on the pool when one was given and
+  /// there is more than one shard, inline otherwise. The parallel_for
+  /// return is the phase barrier.
+  template <typename Body>
+  void for_each_shard(Body&& body) {
+    if (pool_ != nullptr && shards_ > 1) {
+      pool_->parallel_for(shards_, body);
+    } else {
+      for (std::size_t s = 0; s < shards_; ++s) body(s);
+    }
+  }
 
   /// Validates the config (same rules as BreatheProtocol's constructor),
-  /// resets all per-trial state, and seeds the initial set.
-  void prepare_breathe(const Params& params, const BreatheConfig& config);
+  /// resets all per-trial state, sizes the shard scratch, and seeds the
+  /// initial set.
+  void prepare_breathe(const Params& params, const BreatheConfig& config,
+                       const BreatheRunOptions& options);
 
-  /// The round layout both layouts run under — one copy of the
+  /// The round layout both substrates run under — one copy of the
   /// skip_stage1/start_phase arithmetic that BreatheProtocol's constructor
-  /// also performs, so the layouts cannot drift from each other.
+  /// also performs, so the two cannot drift from each other.
   struct BreatheSchedule {
     Round stage1_offset = 0;
     Round stage1_rounds = 0;
@@ -637,15 +593,8 @@ class BatchEngine {
   void finalize_stage1(std::uint64_t phase, Opinion correct,
                        std::vector<StageOnePhaseStats>& out);
   void finalize_stage2(std::uint64_t phase, const BreatheConfig& config,
-                       const StageTwoSchedule& s2, Xoshiro256& protocol_rng,
+                       const StageTwoSchedule& s2,
                        std::vector<StageTwoPhaseStats>& out);
-  void finalize_stage1_packed(std::uint64_t phase, Opinion correct,
-                              std::vector<StageOnePhaseStats>& out);
-  void finalize_stage2_packed(std::uint64_t phase,
-                              const BreatheConfig& config,
-                              const StageTwoSchedule& s2,
-                              Xoshiro256& protocol_rng,
-                              std::vector<StageTwoPhaseStats>& out);
 
   // Generic-path scratch.
   Mailbox mailbox_{2};
@@ -653,17 +602,36 @@ class BatchEngine {
 
   // Breathe fast-path scratch (structure-of-arrays, persistent).
   Population pop_{2};
-  std::vector<std::uint32_t> slot_;  ///< packed mailbox slot per agent
   std::vector<std::uint64_t> acc_;   ///< packed sample counters per agent
-  std::vector<AgentId> touched_;
-  std::vector<AgentId> opinionated_;
-  std::vector<AgentId> activation_buffer_;
-  std::vector<std::uint32_t> send_;  ///< agent id | opinion bit (bit 31)
+  std::vector<std::uint64_t> slot_;  ///< best acceptance_word, or kEmptySlot
+  std::vector<ShardScratch> shard_;
+  StreamKey trial_key_{};
+  std::size_t shards_ = 1;
+  std::size_t shard_block_ = 0;  ///< agents per shard, ceil(n / shards)
+  std::uint64_t shard_mul_ = 0;  ///< ceil(2^64 / shard_block_)
+  ThreadPool* pool_ = nullptr;
 };
 
-/// The calling thread's persistent BatchEngine. Worker threads of the
-/// shared ThreadPool live for the whole process, so a sweep's grid cells
-/// all recycle the same per-worker scratch.
-BatchEngine& local_batch_engine();
+/// RAII lease on the calling thread's persistent BatchEngine. Worker
+/// threads of the shared ThreadPool live for the whole process, so a
+/// sweep's grid cells all recycle the same per-worker scratch. A lease —
+/// not a bare reference — because ThreadPool::parallel_for's helping wait
+/// can make a thread pick up ANOTHER trial while its own engine is
+/// mid-run (sharded trials nested in parallel sweeps); the nested lease
+/// then hands out a second per-thread engine instead of clobbering the
+/// busy one. Destruction returns the engine to the thread's pool.
+class BatchEngineLease {
+ public:
+  BatchEngineLease();
+  ~BatchEngineLease();
+  BatchEngineLease(const BatchEngineLease&) = delete;
+  BatchEngineLease& operator=(const BatchEngineLease&) = delete;
+
+  [[nodiscard]] BatchEngine& operator*() const noexcept { return *engine_; }
+  [[nodiscard]] BatchEngine* operator->() const noexcept { return engine_; }
+
+ private:
+  BatchEngine* engine_;
+};
 
 }  // namespace flip

@@ -10,34 +10,50 @@ std::optional<EngineMode> parse_engine_mode(std::string_view name) noexcept {
   return std::nullopt;
 }
 
-Engine::Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
+Engine::Engine(std::size_t n, NoiseChannel& channel, const StreamKey& key,
                EngineOptions options)
-    : mailbox_(n), channel_(channel), rng_(rng), options_(options) {
+    : mailbox_(n), channel_(channel), key_(key), options_(options) {
   send_buffer_.reserve(n);
 }
 
+Engine::Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
+               EngineOptions options)
+    : Engine(n, channel, StreamKey{rng(), rng()}, options) {}
+
 Metrics Engine::run(Protocol& protocol, Round max_rounds) {
   Metrics metrics;
+  const std::size_t n = mailbox_.population();
   for (Round r = 0; r < max_rounds; ++r) {
     send_buffer_.clear();
     protocol.collect_sends(r, send_buffer_);
 
     mailbox_.reset();
+    const StreamKey route_key = round_stream_key(key_, RngPurpose::kRoute, r);
     for (const Message& msg : send_buffer_) {
-      if (msg.sender >= mailbox_.population()) {
+      if (msg.sender >= n) {
         throw std::out_of_range("Engine: sender id out of range");
       }
-      mailbox_.push(msg, rng_);
+      // The sender's stream: word 0.. the recipient (uniform over the n-1
+      // other agents), next word the acceptance priority.
+      CounterRng rng(route_key, msg.sender);
+      auto to = static_cast<AgentId>(uniform_index(rng, n - 1));
+      if (to >= msg.sender) ++to;
+      mailbox_.offer(to, msg.sender, msg.bit,
+                     acceptance_word(rng(), msg.bit, msg.sender));
     }
     metrics.messages_sent += send_buffer_.size();
 
     // Noise is applied to the accepted message only: flips are independent
     // per message and dropped messages are never observed, so flipping after
-    // the acceptance draw is distributionally identical to flipping each
-    // arrival (and much cheaper).
+    // acceptance is distributionally identical to flipping each arrival
+    // (and much cheaper). The draw comes from the RECIPIENT's kChannel
+    // stream, so it does not depend on which sender won acceptance.
+    const StreamKey channel_key =
+        round_stream_key(key_, RngPurpose::kChannel, r);
     for (AgentId to : mailbox_.recipients()) {
       const Message& msg = mailbox_.accepted(to);
-      const std::optional<Opinion> seen = channel_.transmit(msg.bit, rng_);
+      CounterRng rng(channel_key, to);
+      const std::optional<Opinion> seen = channel_.transmit(msg.bit, rng);
       if (!seen) {
         ++metrics.erased;
         continue;

@@ -9,6 +9,18 @@
 // This split keeps the per-round inner loops non-virtual inside protocol
 // implementations (collect_sends fills a flat buffer) while the engine stays
 // generic over protocols and channels.
+//
+// Determinism contract (counter-keyed streams): every random draw the
+// engine makes in round r on behalf of agent a comes from the stateless
+// stream CounterRng(round_stream_key(trial_key, purpose, r), a) —
+//   * kRoute   (sender a):   recipient choice, then acceptance priority;
+//   * kChannel (recipient a): the noise applied to the accepted message.
+// A draw is a pure function of (trial_key, round, agent, purpose), never of
+// how many draws other agents made, so results are bit-identical across
+// engine substrates (this Engine vs sim/batch_engine.hpp), thread counts,
+// and shard counts. Acceptance among a recipient's arrivals picks the
+// minimum (priority, sender) pair — a commutative reduction, uniform among
+// arrivals — instead of order-dependent reservoir sampling.
 
 #include <optional>
 #include <string>
@@ -31,6 +43,9 @@ class Protocol {
 
   /// Appends one Message per agent that chooses to SEND in round `r`
   /// (Section 1.3.2: an agent may instead wait). Called once per round.
+  /// At most one message per sender per round (the model's rule): the
+  /// engine keys each message's routing draws by (round, sender), so a
+  /// second same-round send from one agent would reuse the first's stream.
   virtual void collect_sends(Round r, std::vector<Message>& out) = 0;
 
   /// The (post-noise) bit accepted by agent `to` in round `r`. Called after
@@ -61,10 +76,10 @@ struct EngineOptions {
 };
 
 /// Which simulation substrate a workload runs on. kBatch is the
-/// statically-dispatched fast path (sim/batch_engine.hpp); it consumes rng
-/// streams in exactly the same order as the classic Engine, so the two modes
-/// produce identical metrics for the same (seed, trial) — kClassic exists to
-/// prove that, and to time the difference.
+/// statically-dispatched fast path (sim/batch_engine.hpp); both substrates
+/// draw from the same counter-keyed per-agent streams, so the two modes
+/// produce identical metrics for the same (seed, trial) — kClassic exists
+/// to prove that, and to time the difference.
 enum class EngineMode { kBatch, kClassic };
 
 [[nodiscard]] constexpr std::string_view engine_mode_name(
@@ -78,7 +93,15 @@ enum class EngineMode { kBatch, kClassic };
 
 class Engine {
  public:
-  /// The engine borrows the channel and rng: both must outlive run() calls.
+  /// The engine borrows the channel, which must outlive run() calls. All
+  /// engine-level randomness derives from `key` (one trial's root key; see
+  /// trial_stream_key).
+  Engine(std::size_t n, NoiseChannel& channel, const StreamKey& key,
+         EngineOptions options = {});
+
+  /// Convenience: derives the trial key from two draws of `rng`. Same rng
+  /// state, same key, same execution — callers that already manage a
+  /// sequential per-trial stream keep working unchanged.
   Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
          EngineOptions options = {});
 
@@ -94,7 +117,7 @@ class Engine {
  private:
   Mailbox mailbox_;
   NoiseChannel& channel_;
-  Xoshiro256& rng_;
+  StreamKey key_;
   EngineOptions options_;
   std::vector<Message> send_buffer_;
 };

@@ -4,11 +4,21 @@
 //  accept one of them (chosen uniformly at random), and all other messages
 //  are dropped." (Section 1.3.2)
 //
-// Implementation: every pushed message picks a uniform recipient (excluding
-// the sender — the model says "another agent"); per recipient we keep one
-// accepted message by reservoir sampling, so acceptance is uniform among
-// that round's arrivals without buffering them. Reset between rounds is
-// O(#touched recipients), not O(n).
+// Two acceptance implementations coexist, both uniform among arrivals:
+//
+//  * offer(): priority-keyed acceptance — every message carries a 64-bit
+//    priority drawn from its SENDER's counter stream, and a recipient keeps
+//    the arrival with the smallest (priority, sender) pair. min() is
+//    commutative and associative, so the kept message is independent of
+//    arrival order — the property the repo's determinism contract (same
+//    per-agent stream => same results across engines, threads, and shards)
+//    rests on. Ties break on the sender id, so acceptance is exact even in
+//    the 2^-64 priority-collision case. This is the path the engines use.
+//  * push()/push_to(): classic reservoir sampling (the k-th arrival replaces
+//    the kept one w.p. 1/k, drawn from a sequential stream). Kept for tests
+//    and direct-delivery baselines; its result depends on arrival order.
+//
+// Reset between rounds is O(#touched recipients), not O(n).
 
 #include <cstdint>
 #include <vector>
@@ -17,6 +27,24 @@
 #include "util/rng.hpp"
 
 namespace flip {
+
+/// Composes the 64-bit acceptance word of one message: the top 32 bits of
+/// the sender's priority draw, then the opinion bit, then the sender id.
+/// Taking min() over these words implements "accept a uniformly random
+/// arrival" in one compare: the 32-bit priorities tie with probability
+/// 2^-32 per pair, and a tie resolves deterministically by (bit, sender) —
+/// acceptance stays exact, order-independent, and identical on every
+/// substrate, while a recipient's whole acceptance state fits one word.
+[[nodiscard]] constexpr std::uint64_t acceptance_word(
+    std::uint64_t priority_draw, std::uint32_t bit_and_sender) noexcept {
+  return (priority_draw & 0xffff'ffff'0000'0000ULL) | bit_and_sender;
+}
+[[nodiscard]] constexpr std::uint64_t acceptance_word(
+    std::uint64_t priority_draw, Opinion bit, AgentId sender) noexcept {
+  return acceptance_word(
+      priority_draw,
+      (bit == Opinion::kOne ? 0x8000'0000u : 0u) | sender);
+}
 
 class Mailbox {
  public:
@@ -46,6 +74,25 @@ class Mailbox {
       // Reservoir step: the k-th arrival replaces the kept one w.p. 1/k,
       // making the kept message uniform among all k arrivals.
       kept_[to] = msg;
+    }
+  }
+
+  /// Priority-keyed delivery to `to`: keeps the arrival with the smallest
+  /// (priority, sender) pair. Priorities must be i.i.d. uniform 64-bit
+  /// words (the engines draw them from each sender's counter stream), which
+  /// makes the kept message uniform among arrivals AND independent of the
+  /// order offer() is called in.
+  void offer(AgentId to, AgentId sender, Opinion bit, std::uint64_t priority) {
+    ++pushed_;
+    const std::uint32_t k = ++arrival_count_[to];
+    if (k == 1) {
+      touched_.push_back(to);
+      priority_[to] = priority;
+      kept_[to] = Message{sender, bit};
+    } else if (priority < priority_[to] ||
+               (priority == priority_[to] && sender < kept_[to].sender)) {
+      priority_[to] = priority;
+      kept_[to] = Message{sender, bit};
     }
   }
 
@@ -89,6 +136,7 @@ class Mailbox {
  private:
   std::vector<std::uint32_t> arrival_count_;
   std::vector<Message> kept_;
+  std::vector<std::uint64_t> priority_;  ///< offer(): best priority so far
   std::vector<AgentId> touched_;
   std::uint64_t pushed_ = 0;
 };

@@ -3,6 +3,7 @@
 // Population; the experiment harness reads bias/correct-fraction from it.
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,12 @@ class Population {
   [[nodiscard]] bool has_opinion(AgentId a) const {
     return has_opinion_[a] != 0;
   }
+  /// Raw per-agent has-opinion bytes, for the batch engine's noinline
+  /// delivery loops (one byte read per message; the accessor call boundary
+  /// would otherwise sit inside them).
+  [[nodiscard]] const std::uint8_t* has_opinion_data() const noexcept {
+    return has_opinion_.data();
+  }
   [[nodiscard]] Opinion opinion(AgentId a) const {
     return static_cast<Opinion>(opinion_[a]);
   }
@@ -34,6 +41,36 @@ class Population {
 
   void set_opinion(AgentId a, Opinion o);
   void clear_opinion(AgentId a);
+
+  /// Aggregate-counter delta accumulated by sharded opinion updates.
+  struct Delta {
+    std::int64_t opinionated = 0;
+    std::int64_t ones = 0;
+  };
+
+  /// Sharded-update twin of set_opinion(): writes the per-agent bytes but
+  /// accumulates the aggregate-counter changes into `delta` instead of the
+  /// shared members. Safe to call concurrently for DISTINCT agents (each
+  /// worker owns a disjoint agent range and its own Delta); merge the
+  /// per-shard deltas with apply() once the workers have joined.
+  void set_opinion_counted(AgentId a, Opinion o, Delta& delta) {
+    if (!has_opinion_[a]) {
+      has_opinion_[a] = 1;
+      ++delta.opinionated;
+    } else if (static_cast<Opinion>(opinion_[a]) == Opinion::kOne) {
+      --delta.ones;
+    }
+    opinion_[a] = static_cast<std::uint8_t>(o);
+    if (o == Opinion::kOne) ++delta.ones;
+  }
+
+  /// Folds one shard's Delta into the aggregate counters.
+  void apply(const Delta& delta) noexcept {
+    opinionated_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(opinionated_) + delta.opinionated);
+    ones_ = static_cast<std::size_t>(static_cast<std::int64_t>(ones_) +
+                                     delta.ones);
+  }
 
   /// Number of agents currently holding any opinion.
   [[nodiscard]] std::size_t opinionated() const noexcept {

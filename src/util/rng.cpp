@@ -12,25 +12,4 @@ Xoshiro256 make_stream(std::uint64_t seed, std::uint64_t stream) {
   return engine;
 }
 
-std::uint64_t hypergeometric_ones(Xoshiro256& rng, std::uint64_t total,
-                                  std::uint64_t ones, std::uint64_t take) {
-  // Sequential draw: the i-th pick is marked with probability
-  // ones_left/left. Exact and O(take) — `take` is at most a phase's
-  // half-length (Theta(1/eps^2) or Theta(log n/eps^2)). The hit test is
-  // computed branchlessly: its outcome is a ~fair coin, so a conditional
-  // branch here would mispredict every other draw — and Stage II phase
-  // ends perform about one of these draws per two delivered messages,
-  // which made this loop a measurable slice of whole-simulation time.
-  std::uint64_t ones_left = ones;
-  std::uint64_t left = total;
-  std::uint64_t picked = 0;
-  for (std::uint64_t i = 0; i < take; ++i) {
-    const std::uint64_t hit = uniform_index(rng, left) < ones_left ? 1 : 0;
-    picked += hit;
-    ones_left -= hit;
-    --left;
-  }
-  return picked;
-}
-
 }  // namespace flip

@@ -1,18 +1,26 @@
 #pragma once
-// Deterministic, splittable random number generation for reproducible
-// simulation trials.
+// Deterministic random number generation for reproducible simulation trials.
 //
-// Design notes:
-//  * xoshiro256** is the workhorse engine: fast, 256-bit state, passes BigCrush.
-//  * SplitMix64 is used only to expand seeds (as its authors recommend), which
-//    lets us derive decorrelated per-trial / per-thread streams from one
-//    master seed: stream k of seed s is seeded from SplitMix64(s) skipped to
-//    position k. Every simulation object takes an engine by reference
-//    (std::uniform_random_bit_generator), never owns global state.
+// Two generator families live here, serving two different contracts:
+//
+//  * CounterRng — the repo-wide determinism contract. A stateless,
+//    counter-based stream (SplitMix64-style finalizer over a 128-bit derived
+//    key), keyed by (master_seed, trial, round, agent, purpose). Because a
+//    draw is a pure function of its key and word index — never of how many
+//    draws other agents made — results are bit-identical across engine
+//    substrates, thread counts, and shard counts. Every engine-level draw
+//    (recipient routing, acceptance priority, channel noise) and every
+//    BreatheProtocol draw is keyed this way.
+//  * Xoshiro256 — a conventional sequential engine (fast, 256-bit state,
+//    passes BigCrush), retained for protocol-internal streams that are
+//    consumed in a fixed sequential order (desync, the baseline dynamics)
+//    and for statistical tests. SplitMix64 expands seeds for it, as its
+//    authors recommend.
 
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 
 namespace flip {
 
@@ -98,14 +106,122 @@ class Xoshiro256 {
 /// always the same engine, which is what makes trials replayable.
 Xoshiro256 make_stream(std::uint64_t seed, std::uint64_t stream);
 
-// The three draw primitives below are defined inline: they sit on the
-// engine's per-message path (recipient choice, reservoir acceptance, channel
-// flip), and an out-of-line definition would put a call boundary inside the
-// hot loop of every simulation.
+// ---------------------------------------------------------------------------
+// Counter-based streams: the repo-wide determinism contract.
+// ---------------------------------------------------------------------------
+
+/// The SplitMix64 finalizer (Stafford's Mix13 constants): a strong 64-bit
+/// bijection. All counter-based keys and words funnel through this.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+/// A 128-bit derived key naming one random stream. Keys are values: copy
+/// them freely, store them in configs, derive subkeys without touching the
+/// parent. The golden-vector tests in tests/rng_test.cpp pin the whole
+/// derivation chain, so the contract cannot drift across platforms.
+struct StreamKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr bool operator==(const StreamKey&,
+                                   const StreamKey&) noexcept = default;
+};
+
+/// Folds a (a, b) pair of words into `k`, yielding an unrelated subkey.
+/// Distinct (a, b) pairs give decorrelated subkeys of the same parent.
+[[nodiscard]] constexpr StreamKey derive_key(const StreamKey& k,
+                                             std::uint64_t a,
+                                             std::uint64_t b = 0) noexcept {
+  const std::uint64_t hi = mix64(k.hi ^ mix64(a + kGoldenGamma));
+  const std::uint64_t lo = mix64(k.lo ^ mix64(b + 2 * kGoldenGamma) ^ hi);
+  return StreamKey{hi, lo};
+}
+
+/// The root key of one trial: everything random inside trial `trial` of
+/// master seed `master_seed` derives from this.
+[[nodiscard]] constexpr StreamKey trial_stream_key(
+    std::uint64_t master_seed, std::uint64_t trial) noexcept {
+  return derive_key(
+      StreamKey{mix64(master_seed), mix64(master_seed + kGoldenGamma)}, trial,
+      0x747269616cULL);  // "trial"
+}
+
+/// What a per-agent stream is FOR. Distinct purposes of the same
+/// (trial, round, agent) are independent streams, so adding a draw to one
+/// code path can never shift the draws of another.
+enum class RngPurpose : std::uint64_t {
+  kRoute = 0,     ///< sender side: recipient choice + acceptance priority
+  kChannel = 1,   ///< recipient side: noise applied to the accepted message
+  kProtocol = 2,  ///< recipient side: protocol-internal per-round draws
+  kSubset = 3,    ///< phase-end per-agent draws (Stage II majority subset)
+  kSetup = 4,     ///< per-agent scenario setup (desync wake offsets)
+};
+
+/// The key shared by every agent's `purpose` stream in round `round`.
+/// Engines hoist this out of their per-message loops; the per-agent
+/// derivation that remains is two mixes.
+[[nodiscard]] constexpr StreamKey round_stream_key(const StreamKey& trial_key,
+                                                   RngPurpose purpose,
+                                                   std::uint64_t round) noexcept {
+  return derive_key(trial_key,
+                    (round << 3) | static_cast<std::uint64_t>(purpose), round);
+}
+
+/// Stateless counter-based generator: word i of a stream is
+/// mix64((s0 + (i+1)*gamma) ^ s1) — a pure function of (key, i). Draws have
+/// no serial dependency on any other agent's draws, which is what makes
+/// results independent of execution order, and no loop-carried state chain,
+/// which is what lets the hot loops pipeline them.
+/// Satisfies std::uniform_random_bit_generator.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// The stream named by `key` exactly (equals the agent-0 stream of the
+  /// same key; purposes keep such streams from ever sharing a key).
+  explicit constexpr CounterRng(const StreamKey& key) noexcept
+      : s0_(key.hi), s1_(key.lo) {}
+
+  /// Agent `agent`'s stream under a round key — the per-message fast path,
+  /// so derivation is two multiplies, no finalizer: the agent perturbs
+  /// BOTH state words by independent odd multipliers, which keeps distinct
+  /// agents' streams from being shifted copies of each other (the xor mask
+  /// differs), and every emitted word still passes through mix64.
+  constexpr CounterRng(const StreamKey& round_key, std::uint64_t agent) noexcept
+      : s0_(round_key.hi + agent * kGoldenGamma),
+        s1_(round_key.lo ^ (agent * 0xbf58476d1ce4e5b9ULL)) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    return mix64((s0_ += kGoldenGamma) ^ s1_);
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+// The draw primitives below are defined inline and templated over the
+// generator (Xoshiro256 for sequential streams, CounterRng for keyed ones):
+// they sit on the engine's per-message path (recipient choice, acceptance
+// priority, channel flip), and an out-of-line definition would put a call
+// boundary inside the hot loop of every simulation.
 
 /// Uniform integer in [0, n). Unbiased (Lemire's rejection method).
 /// Precondition: n > 0.
-inline std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) {
+template <typename Rng>
+inline std::uint64_t uniform_index(Rng& rng, std::uint64_t n) {
+  static_assert(std::is_same_v<typename Rng::result_type, std::uint64_t>,
+                "uniform_index needs a full-range 64-bit generator");
   std::uint64_t x = rng();
   __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
   auto low = static_cast<std::uint64_t>(m);
@@ -121,12 +237,14 @@ inline std::uint64_t uniform_index(Xoshiro256& rng, std::uint64_t n) {
 }
 
 /// Uniform double in [0, 1) with 53 random bits.
-inline double uniform_unit(Xoshiro256& rng) {
+template <typename Rng>
+inline double uniform_unit(Rng& rng) {
   return static_cast<double>(rng() >> 11) * 0x1.0p-53;
 }
 
 /// True with probability p (clamped to [0,1]).
-inline bool bernoulli(Xoshiro256& rng, double p) {
+template <typename Rng>
+inline bool bernoulli(Rng& rng, double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return uniform_unit(rng) < p;
@@ -137,7 +255,26 @@ inline bool bernoulli(Xoshiro256& rng, double p) {
 /// marked items were picked. Used by the Stage II rule ("a uniformly random
 /// subset of exactly m_i/2 samples") without materializing the samples.
 /// Preconditions: ones <= total, take <= total.
-std::uint64_t hypergeometric_ones(Xoshiro256& rng, std::uint64_t total,
-                                  std::uint64_t ones, std::uint64_t take);
+///
+/// Sequential draw: the i-th pick is marked with probability ones_left/left.
+/// Exact and O(take). The hit test is computed branchlessly: its outcome is
+/// a ~fair coin, so a conditional branch would mispredict every other draw —
+/// and Stage II phase ends perform about one of these draws per two
+/// delivered messages.
+template <typename Rng>
+inline std::uint64_t hypergeometric_ones(Rng& rng, std::uint64_t total,
+                                         std::uint64_t ones,
+                                         std::uint64_t take) {
+  std::uint64_t ones_left = ones;
+  std::uint64_t left = total;
+  std::uint64_t picked = 0;
+  for (std::uint64_t i = 0; i < take; ++i) {
+    const std::uint64_t hit = uniform_index(rng, left) < ones_left ? 1 : 0;
+    picked += hit;
+    ones_left -= hit;
+    --left;
+  }
+  return picked;
+}
 
 }  // namespace flip

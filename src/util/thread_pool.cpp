@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
@@ -89,9 +90,28 @@ void ThreadPool::parallel_for(std::size_t count,
   cv_.notify_all();
   chunk_task();  // participate instead of idling
 
-  {
+  // Helping wait: our remaining chunks may sit queued behind other tasks —
+  // including other callers' parallel_for chunks whose callers are in this
+  // same loop. Draining the queue while we wait guarantees global progress
+  // (if every thread is here, whoever finds the queue non-empty runs a
+  // task; an empty queue means all chunks are already running), so nested
+  // parallel_for calls cannot deadlock. The timed wait covers the window
+  // where our last chunk is mid-flight on another thread.
+  while (shared_state->done_chunks.load() != chunks) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+    }
+    if (task) {
+      task();
+      continue;
+    }
     std::unique_lock lock(shared_state->done_mutex);
-    shared_state->done_cv.wait(lock, [&] {
+    shared_state->done_cv.wait_for(lock, std::chrono::microseconds(200), [&] {
       return shared_state->done_chunks.load() == chunks;
     });
   }

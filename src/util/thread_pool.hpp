@@ -28,6 +28,12 @@ class ThreadPool {
   /// and blocks until all iterations finish. body must be safe to call
   /// concurrently for distinct i. Exceptions from body propagate (the first
   /// one captured) after all iterations complete or are abandoned.
+  ///
+  /// Re-entrant: body may itself call parallel_for on the same pool (the
+  /// sharded BatchEngine does, from inside a parallel trial). While waiting
+  /// for its own chunks, a caller HELPS — it drains other queued tasks
+  /// instead of sleeping — so nested calls cannot deadlock even when every
+  /// worker is blocked inside an outer parallel_for.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body);
 

@@ -20,8 +20,10 @@ namespace flip {
 namespace {
 
 // Baseline trial fns derive their rng the same way scenarios.cpp does:
-// disjoint lanes per trial index, so every trial of a sweep is independent
-// and replayable from (master seed, trial).
+// engine-level draws from the trial's counter-stream root key, any
+// sequential protocol-internal stream from disjoint per-trial Xoshiro
+// lanes. Every trial of a sweep is independent and replayable from
+// (master seed, trial).
 constexpr std::uint64_t kStreamsPerTrial = 4;
 
 Xoshiro256 baseline_rng(std::uint64_t seed, std::size_t trial,
@@ -35,21 +37,24 @@ BroadcastScenario broadcast_from(const ScenarioConfig& config) {
   scenario.eps = config.eps;
   scenario.heterogeneous_noise = config.channel == kChannelHeterogeneous;
   scenario.engine = config.engine;
+  scenario.shards = config.shards;
   return scenario;
 }
 
 /// Runs an Engine-style protocol on the substrate `config.engine` names:
 /// the classic virtual-dispatch Engine, or the calling thread's persistent
 /// BatchEngine with `protocol`/`channel` statically typed (devirtualized).
-/// Both consume `rng` identically, so the metrics are the same.
+/// Both draw from the same per-agent streams of (seed, trial)'s key, so
+/// the metrics are the same.
 template <typename P, typename C>
 Metrics run_on(const ScenarioConfig& config, P& protocol, C& channel,
-               Xoshiro256& rng, Round max_rounds) {
+               std::uint64_t seed, std::size_t trial, Round max_rounds) {
+  const StreamKey key = trial_stream_key(seed, trial);
   if (config.engine == EngineMode::kBatch) {
-    return local_batch_engine().run(config.n, protocol, channel, rng,
-                                    max_rounds);
+    return BatchEngineLease()->run(config.n, protocol, channel, key,
+                                   max_rounds);
   }
-  Engine engine(config.n, channel, rng);
+  Engine engine(config.n, channel, key);
   return engine.run(protocol, max_rounds);
 }
 
@@ -112,6 +117,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.initial_set = std::max<std::size_t>(64, config.n / 16);
         scenario.majority_bias = 0.25;
         scenario.engine = config.engine;
+        scenario.shards = config.shards;
         return majority_trial_fn(scenario);
       });
 
@@ -124,6 +130,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.n = config.n;
         scenario.eps = config.eps;
         scenario.engine = config.engine;
+        scenario.shards = config.shards;
         return boost_trial_fn(scenario);
       });
 
@@ -136,6 +143,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.eps = config.eps;
         scenario.max_skew = 8;
         scenario.engine = config.engine;
+        scenario.shards = config.shards;
         return desync_trial_fn(scenario);
       });
 
@@ -149,6 +157,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.eps = config.eps;
         scenario.use_clock_sync = true;
         scenario.engine = config.engine;
+        scenario.shards = config.shards;
         return desync_trial_fn(scenario);
       });
 
@@ -160,15 +169,14 @@ void register_builtin(ScenarioRegistry& registry) {
         return TrialFn([config](std::uint64_t seed, std::size_t trial) {
           const double unit = theory::round_unit(config.n, config.eps);
           BinarySymmetricChannel channel(config.eps);
-          auto rng = baseline_rng(seed, trial, 0);
           SilentConfig silent;
           silent.samples_needed =
               next_odd(static_cast<std::uint64_t>(unit));
           silent.max_rounds = static_cast<Round>(
               64.0 * static_cast<double>(config.n) * unit);
           SilentListeningProtocol protocol(config.n, silent);
-          const Metrics metrics =
-              run_on(config, protocol, channel, rng, silent.max_rounds);
+          const Metrics metrics = run_on(config, protocol, channel, seed,
+                                         trial, silent.max_rounds);
           TrialOutcome outcome;
           outcome.correct_fraction =
               protocol.population().correct_fraction(Opinion::kOne);
@@ -187,13 +195,12 @@ void register_builtin(ScenarioRegistry& registry) {
       [](const ScenarioConfig& config) {
         return TrialFn([config](std::uint64_t seed, std::size_t trial) {
           BinarySymmetricChannel channel(config.eps);
-          auto rng = baseline_rng(seed, trial, 0);
           ForwardConfig forward;
           forward.initial = {Seed{0, Opinion::kOne}};
           forward.stop_when_all_informed = true;
           ForwardGossipProtocol protocol(config.n, forward);
-          const Metrics metrics =
-              run_on(config, protocol, channel, rng, Round{1} << 20);
+          const Metrics metrics = run_on(config, protocol, channel, seed,
+                                         trial, Round{1} << 20);
           TrialOutcome outcome;
           outcome.success = protocol.population().unanimous(Opinion::kOne);
           outcome.correct_fraction =
@@ -212,13 +219,12 @@ void register_builtin(ScenarioRegistry& registry) {
         return TrialFn([config](std::uint64_t seed, std::size_t trial) {
           const double unit = theory::round_unit(config.n, config.eps);
           BinarySymmetricChannel channel(config.eps);
-          auto rng = baseline_rng(seed, trial, 0);
           VoterConfig voter;
           voter.zealots = {Seed{0, Opinion::kOne}};
           voter.duration = static_cast<Round>(16.0 * unit);
           NoisyVoterProtocol protocol(config.n, voter);
-          const Metrics metrics =
-              run_on(config, protocol, channel, rng, voter.duration);
+          const Metrics metrics = run_on(config, protocol, channel, seed,
+                                         trial, voter.duration);
           TrialOutcome outcome;
           outcome.success = protocol.population().unanimous(Opinion::kOne);
           outcome.correct_fraction =
@@ -364,6 +370,12 @@ ScenarioConfig ScenarioRegistry::resolve(std::string_view name,
   config.eps = o.eps.value_or(entry.info.default_eps);
   config.channel = o.channel.value_or(entry.info.channels.front());
   config.engine = o.engine.value_or(EngineMode::kBatch);
+  config.shards = o.shards.value_or(1);
+  if (config.shards == 0 || config.shards > kMaxShards) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "': shards must be in 1.." +
+                                std::to_string(kMaxShards));
+  }
   if (config.n < 2) {
     throw std::invalid_argument("scenario '" + entry.info.name +
                                 "': n must be >= 2");

@@ -40,9 +40,13 @@ struct ScenarioConfig {
   double eps = 0.0;
   std::string channel;
   /// Substrate the factory should run on. Results are identical either way
-  /// (the fast path replays the classic rng streams exactly); kClassic
+  /// (both draw from the same counter-keyed per-agent streams); kClassic
   /// exists for A/B timing and the equivalence tests.
   EngineMode engine = EngineMode::kBatch;
+  /// Intra-trial shard count (batch breathe scenarios parallelize each
+  /// round over this many partitions; everything else ignores it). Results
+  /// are bit-identical for every value. resolve() validates 1..kMaxShards.
+  std::size_t shards = 1;
 };
 
 /// Optional overrides for the registry's defaults (empty = default).
@@ -51,7 +55,12 @@ struct ScenarioOverrides {
   std::optional<double> eps;
   std::optional<std::string> channel;
   std::optional<EngineMode> engine;
+  std::optional<std::size_t> shards;
 };
+
+/// Upper bound resolve() accepts for ScenarioConfig::shards: beyond this a
+/// shard is sub-cacheline work and the merge overhead can only lose.
+inline constexpr std::size_t kMaxShards = 256;
 
 using ScenarioFactory = std::function<TrialFn(const ScenarioConfig&)>;
 

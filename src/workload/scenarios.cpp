@@ -1,6 +1,7 @@
 #include "workload/scenarios.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "net/channel.hpp"
@@ -11,15 +12,14 @@ namespace flip {
 
 namespace {
 
-// Each trial uses disjoint rng streams: one for the engine (delivery +
-// channel noise), one for protocol-internal choices, one for scenario
-// setup (e.g. wake offsets). Keyed by trial index so trials are
-// independent and replayable.
+// Engine-level and BreatheProtocol randomness derives from the trial's
+// counter-stream root key (purposes keep the lanes apart; see
+// util/rng.hpp). The sequential Xoshiro streams below remain for the
+// desync protocol's internal draws and for scenario setup (wake offsets):
+// they are consumed in a fixed order that both substrates share. Keyed by
+// trial index so trials are independent and replayable.
 constexpr std::uint64_t kStreamsPerTrial = 4;
 
-Xoshiro256 engine_rng(std::uint64_t seed, std::size_t trial) {
-  return make_stream(seed, kStreamsPerTrial * trial + 0);
-}
 Xoshiro256 protocol_rng(std::uint64_t seed, std::size_t trial) {
   return make_stream(seed, kStreamsPerTrial * trial + 1);
 }
@@ -27,10 +27,24 @@ Xoshiro256 setup_rng(std::uint64_t seed, std::size_t trial) {
   return make_stream(seed, kStreamsPerTrial * trial + 2);
 }
 
-// Shared scenario -> (Params, BreatheConfig) derivation, used by both the
-// classic and fast twins of each run_* function so the two substrates can
-// never drift apart in setup. Validation happens before Params::calibrated,
-// preserving the original exception order.
+/// Per-agent setup stream (RngPurpose::kSetup): scenario initialization
+/// draws that are logically per-agent — like desync wake offsets — come
+/// from here, so setup is order-independent like the engine draws.
+CounterRng agent_setup_rng(const StreamKey& key, AgentId agent) {
+  return CounterRng(round_stream_key(key, RngPurpose::kSetup, 0), agent);
+}
+
+/// The pool the sharded breathe phases run on: the process-wide shared
+/// pool (whose workers persist, so their scratch recycles across trials),
+/// or none when the trial is unsharded.
+ThreadPool* shard_pool(std::size_t shards) {
+  return shards > 1 ? &ThreadPool::shared() : nullptr;
+}
+
+// Shared scenario -> (Params, BreatheConfig) derivation, used by both
+// substrates of each run_* function so the two can never drift apart in
+// setup. Validation happens before Params::calibrated, preserving the
+// original exception order.
 
 BreatheConfig broadcast_breathe_config(const BroadcastScenario& scenario) {
   BreatheConfig config = broadcast_config(scenario.correct);
@@ -74,8 +88,8 @@ BreatheConfig boost_breathe_config(const Params& params,
   return config;
 }
 
-/// Maps a BreatheFastResult onto the RunDetail shape run_broadcast &co
-/// produce from the classic protocol's introspection.
+/// Maps a BreatheFastResult onto the RunDetail shape the classic path
+/// produces from the protocol's introspection.
 RunDetail fast_to_detail(BreatheFastResult&& fast) {
   RunDetail detail;
   detail.protocol_rounds = fast.protocol_rounds;
@@ -85,6 +99,63 @@ RunDetail fast_to_detail(BreatheFastResult&& fast) {
   detail.final_bias = fast.final_bias;
   detail.stage1 = std::move(fast.stage1);
   detail.stage2 = std::move(fast.stage2);
+  return detail;
+}
+
+/// One breathe execution on the substrate the caller resolved: the shared
+/// body of run_broadcast / run_majority / run_boost (the former
+/// run_*_fast/run_* twins, deduplicated). `heterogeneous` selects the
+/// channel, `stage1_only`/`probe_every` mirror the broadcast knobs.
+RunDetail run_breathe_scenario(const Params& params,
+                               const BreatheConfig& config, double eps,
+                               bool heterogeneous, EngineMode engine_mode,
+                               std::size_t shards, bool stage1_only,
+                               Round probe_every, std::uint64_t seed,
+                               std::size_t trial) {
+  const StreamKey key = trial_stream_key(seed, trial);
+  EngineOptions options;
+  options.probe_every = probe_every;
+
+  if (engine_mode == EngineMode::kBatch && breathe_fast_supported(params)) {
+    BreatheRunOptions run_options;
+    run_options.engine = options;
+    run_options.shards = shards;
+    run_options.pool = shard_pool(shards);
+    BatchEngineLease engine;
+    BreatheFastResult fast;
+    if (heterogeneous) {
+      HeterogeneousChannel channel(eps);
+      fast = engine->run_breathe(params, config, channel, key, stage1_only,
+                                 run_options);
+    } else {
+      BinarySymmetricChannel channel(eps);
+      fast = engine->run_breathe(params, config, channel, key, stage1_only,
+                                 run_options);
+    }
+    return fast_to_detail(std::move(fast));
+  }
+
+  // Reference substrate: virtual Engine + BreatheProtocol, same keys.
+  std::unique_ptr<NoiseChannel> channel;
+  if (heterogeneous) {
+    channel = std::make_unique<HeterogeneousChannel>(eps);
+  } else {
+    channel = std::make_unique<BinarySymmetricChannel>(eps);
+  }
+  Engine engine(params.n(), *channel, key, options);
+  BreatheProtocol protocol(params, config, key);
+
+  RunDetail detail;
+  const Round budget = stage1_only ? protocol.stage1_rounds()
+                                   : protocol.total_rounds();
+  detail.protocol_rounds = budget;
+  detail.metrics = engine.run(protocol, budget);
+  detail.success = protocol.succeeded();
+  detail.correct_fraction =
+      protocol.population().correct_fraction(config.correct);
+  detail.final_bias = protocol.population().bias(config.correct);
+  detail.stage1 = protocol.stage1_stats();
+  detail.stage2 = protocol.stage2_stats();
   return detail;
 }
 
@@ -103,151 +174,45 @@ RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
                         std::size_t trial) {
   const Params params = Params::calibrated(scenario.n, scenario.eps,
                                            scenario.tuning);
-  auto eng_rng = engine_rng(seed, trial);
-  auto pro_rng = protocol_rng(seed, trial);
-  std::unique_ptr<NoiseChannel> channel;
-  if (scenario.heterogeneous_noise) {
-    channel = std::make_unique<HeterogeneousChannel>(scenario.eps);
-  } else {
-    channel = std::make_unique<BinarySymmetricChannel>(scenario.eps);
+  RunDetail detail = run_breathe_scenario(
+      params, broadcast_breathe_config(scenario), scenario.eps,
+      scenario.heterogeneous_noise, scenario.engine, scenario.shards,
+      scenario.stage1_only, scenario.probe_every, seed, trial);
+  if (scenario.stage1_only) {
+    // Stage-I-only success = every agent activated. The batch substrate
+    // reports opinionated agents through correct_fraction/bias over pop_;
+    // recompute from the stage1 stats' total (identical on both paths).
+    const std::uint64_t activated =
+        detail.stage1.empty() ? 0 : detail.stage1.back().total_activated;
+    detail.success = activated == scenario.n;
   }
-  EngineOptions options;
-  options.probe_every = scenario.probe_every;
-  Engine engine(scenario.n, *channel, eng_rng, options);
-
-  BreatheProtocol protocol(params, broadcast_breathe_config(scenario),
-                           pro_rng);
-  RunDetail detail;
-  const Round budget = scenario.stage1_only ? protocol.stage1_rounds()
-                                            : protocol.total_rounds();
-  detail.protocol_rounds = budget;
-  detail.metrics = engine.run(protocol, budget);
-  detail.success =
-      scenario.stage1_only
-          ? protocol.population().opinionated() == scenario.n
-          : protocol.succeeded();
-  detail.correct_fraction =
-      protocol.population().correct_fraction(scenario.correct);
-  detail.final_bias = protocol.population().bias(scenario.correct);
-  detail.stage1 = protocol.stage1_stats();
-  detail.stage2 = protocol.stage2_stats();
   return detail;
-}
-
-RunDetail run_broadcast_fast(const BroadcastScenario& scenario,
-                             std::uint64_t seed, std::size_t trial) {
-  const Params params = Params::calibrated(scenario.n, scenario.eps,
-                                           scenario.tuning);
-  if (!breathe_fast_supported(params)) {
-    return run_broadcast(scenario, seed, trial);
-  }
-  auto eng_rng = engine_rng(seed, trial);
-  auto pro_rng = protocol_rng(seed, trial);
-  EngineOptions options;
-  options.probe_every = scenario.probe_every;
-
-  const BreatheConfig config = broadcast_breathe_config(scenario);
-  BatchEngine& engine = local_batch_engine();
-  BreatheFastResult fast;
-  if (scenario.heterogeneous_noise) {
-    HeterogeneousChannel channel(scenario.eps);
-    fast = engine.run_breathe(params, config, channel, eng_rng, pro_rng,
-                              scenario.stage1_only, options);
-  } else {
-    BinarySymmetricChannel channel(scenario.eps);
-    fast = engine.run_breathe(params, config, channel, eng_rng, pro_rng,
-                              scenario.stage1_only, options);
-  }
-  const std::size_t opinionated = fast.opinionated;
-  RunDetail detail = fast_to_detail(std::move(fast));
-  if (scenario.stage1_only) detail.success = opinionated == scenario.n;
-  return detail;
-}
-
-RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
-                    std::size_t trial) {
-  const Params params = boost_params(scenario);
-  auto eng_rng = engine_rng(seed, trial);
-  auto pro_rng = protocol_rng(seed, trial);
-  BinarySymmetricChannel channel(scenario.eps);
-  Engine engine(scenario.n, channel, eng_rng);
-  BreatheProtocol protocol(params, boost_breathe_config(params, scenario),
-                           pro_rng);
-
-  RunDetail detail;
-  detail.protocol_rounds = protocol.total_rounds();
-  detail.metrics = engine.run(protocol, protocol.total_rounds());
-  detail.success = protocol.succeeded();
-  detail.correct_fraction =
-      protocol.population().correct_fraction(scenario.correct);
-  detail.final_bias = protocol.population().bias(scenario.correct);
-  detail.stage2 = protocol.stage2_stats();
-  return detail;
-}
-
-RunDetail run_boost_fast(const BoostScenario& scenario, std::uint64_t seed,
-                         std::size_t trial) {
-  const Params params = boost_params(scenario);
-  if (!breathe_fast_supported(params)) {
-    return run_boost(scenario, seed, trial);
-  }
-  auto eng_rng = engine_rng(seed, trial);
-  auto pro_rng = protocol_rng(seed, trial);
-  BinarySymmetricChannel channel(scenario.eps);
-  return fast_to_detail(local_batch_engine().run_breathe(
-      params, boost_breathe_config(params, scenario), channel, eng_rng,
-      pro_rng, /*stage1_only=*/false));
 }
 
 RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
                        std::size_t trial) {
   const Params params = majority_params(scenario);
-  auto eng_rng = engine_rng(seed, trial);
-  auto pro_rng = protocol_rng(seed, trial);
-  BinarySymmetricChannel channel(scenario.eps);
-  Engine engine(scenario.n, channel, eng_rng);
-
-  BreatheProtocol protocol(params,
-                           majority_breathe_config(params, scenario),
-                           pro_rng);
-  RunDetail detail;
-  detail.protocol_rounds = protocol.total_rounds();
-  detail.metrics = engine.run(protocol, protocol.total_rounds());
-  detail.success = protocol.succeeded();
-  detail.correct_fraction =
-      protocol.population().correct_fraction(scenario.correct);
-  detail.final_bias = protocol.population().bias(scenario.correct);
-  detail.stage1 = protocol.stage1_stats();
-  detail.stage2 = protocol.stage2_stats();
-  return detail;
+  return run_breathe_scenario(
+      params, majority_breathe_config(params, scenario), scenario.eps,
+      /*heterogeneous=*/false, scenario.engine, scenario.shards,
+      /*stage1_only=*/false, /*probe_every=*/0, seed, trial);
 }
 
-RunDetail run_majority_fast(const MajorityScenario& scenario,
-                            std::uint64_t seed, std::size_t trial) {
-  const Params params = majority_params(scenario);
-  if (!breathe_fast_supported(params)) {
-    return run_majority(scenario, seed, trial);
-  }
-  auto eng_rng = engine_rng(seed, trial);
-  auto pro_rng = protocol_rng(seed, trial);
-  BinarySymmetricChannel channel(scenario.eps);
-  return fast_to_detail(local_batch_engine().run_breathe(
-      params, majority_breathe_config(params, scenario), channel, eng_rng,
-      pro_rng, /*stage1_only=*/false));
+RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
+                    std::size_t trial) {
+  const Params params = boost_params(scenario);
+  return run_breathe_scenario(
+      params, boost_breathe_config(params, scenario), scenario.eps,
+      /*heterogeneous=*/false, scenario.engine, scenario.shards,
+      /*stage1_only=*/false, /*probe_every=*/0, seed, trial);
 }
 
-namespace {
-
-/// Shared body of run_desync / run_desync_fast: identical setup and rng
-/// streams; only the round-loop substrate differs (virtual Engine vs the
-/// statically-dispatched BatchEngine loop).
-RunDetail run_desync_impl(const DesyncScenario& scenario, std::uint64_t seed,
-                          std::size_t trial, bool batch) {
+RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
+                     std::size_t trial) {
   const Params params = Params::calibrated(scenario.n, scenario.eps,
                                            scenario.tuning);
-  auto eng_rng = engine_rng(seed, trial);
+  const StreamKey key = trial_stream_key(seed, trial);
   auto pro_rng = protocol_rng(seed, trial);
-  auto set_rng = setup_rng(seed, trial);
 
   RunDetail detail;
   DesyncConfig config;
@@ -256,7 +221,9 @@ RunDetail run_desync_impl(const DesyncScenario& scenario, std::uint64_t seed,
 
   if (scenario.use_clock_sync) {
     // Section 3.2: run the activation pre-phase; its clock resets bound the
-    // skew by ~2 log n w.h.p.
+    // skew by ~2 log n w.h.p. The pre-phase is a sequential mini-simulation
+    // of its own, so it keeps a sequential setup stream.
+    auto set_rng = setup_rng(seed, trial);
     const ClockSyncResult sync =
         run_clock_sync(scenario.n, /*source=*/0, set_rng);
     detail.clock_sync_rounds = sync.duration;
@@ -271,8 +238,9 @@ RunDetail run_desync_impl(const DesyncScenario& scenario, std::uint64_t seed,
     config.allow_excess_skew = spread > scenario.max_skew;
     config.wake.resize(scenario.n, 0);
     if (spread > 0) {
-      for (Round& w : config.wake) {
-        w = uniform_index(set_rng, spread + 1);
+      for (AgentId a = 0; a < scenario.n; ++a) {
+        CounterRng rng = agent_setup_rng(key, a);
+        config.wake[a] = uniform_index(rng, spread + 1);
       }
       detail.measured_skew = spread;
     }
@@ -283,12 +251,11 @@ RunDetail run_desync_impl(const DesyncScenario& scenario, std::uint64_t seed,
 
   detail.protocol_rounds = protocol.total_rounds();
   detail.desync_overhead = protocol.desync_overhead();
-  if (batch) {
-    detail.metrics = local_batch_engine().run(scenario.n, protocol, channel,
-                                              eng_rng,
-                                              protocol.total_rounds());
+  if (scenario.engine == EngineMode::kBatch) {
+    detail.metrics = BatchEngineLease()->run(scenario.n, protocol, channel,
+                                             key, protocol.total_rounds());
   } else {
-    Engine engine(scenario.n, channel, eng_rng);
+    Engine engine(scenario.n, channel, key);
     detail.metrics = engine.run(protocol, protocol.total_rounds());
   }
   detail.metrics.rounds += detail.clock_sync_rounds;
@@ -300,47 +267,27 @@ RunDetail run_desync_impl(const DesyncScenario& scenario, std::uint64_t seed,
   return detail;
 }
 
-}  // namespace
-
-RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
-                     std::size_t trial) {
-  return run_desync_impl(scenario, seed, trial, /*batch=*/false);
-}
-
-RunDetail run_desync_fast(const DesyncScenario& scenario, std::uint64_t seed,
-                          std::size_t trial) {
-  return run_desync_impl(scenario, seed, trial, /*batch=*/true);
-}
-
 TrialFn broadcast_trial_fn(BroadcastScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(scenario.engine == EngineMode::kBatch
-                          ? run_broadcast_fast(scenario, seed, trial)
-                          : run_broadcast(scenario, seed, trial));
+    return to_outcome(run_broadcast(scenario, seed, trial));
   };
 }
 
 TrialFn majority_trial_fn(MajorityScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(scenario.engine == EngineMode::kBatch
-                          ? run_majority_fast(scenario, seed, trial)
-                          : run_majority(scenario, seed, trial));
+    return to_outcome(run_majority(scenario, seed, trial));
   };
 }
 
 TrialFn boost_trial_fn(BoostScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(scenario.engine == EngineMode::kBatch
-                          ? run_boost_fast(scenario, seed, trial)
-                          : run_boost(scenario, seed, trial));
+    return to_outcome(run_boost(scenario, seed, trial));
   };
 }
 
 TrialFn desync_trial_fn(DesyncScenario scenario) {
   return [scenario](std::uint64_t seed, std::size_t trial) {
-    return to_outcome(scenario.engine == EngineMode::kBatch
-                          ? run_desync_fast(scenario, seed, trial)
-                          : run_desync(scenario, seed, trial));
+    return to_outcome(run_desync(scenario, seed, trial));
   };
 }
 

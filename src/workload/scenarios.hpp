@@ -3,6 +3,14 @@
 // protocol, a channel, and deterministic per-trial rng streams into a
 // single call. Tests, benches and examples all run the paper's experiments
 // through these, so workloads are identical everywhere.
+//
+// Every run_* function dispatches on its scenario's `engine` field: kBatch
+// runs the statically-dispatched BatchEngine substrate (the breathe
+// scenarios additionally use its sharded SoA specialization), kClassic the
+// reference Engine + protocol objects. Both substrates draw from the same
+// counter-keyed per-agent streams (util/rng.hpp), so for the same
+// (seed, trial) they return bit-identical RunDetails — for every `shards`
+// value. tests/batch_engine_test.cpp enforces this.
 
 #include <cstdint>
 
@@ -32,9 +40,13 @@ struct BroadcastScenario {
   /// (Section 1.3.2's exact wording; the guarantee must survive).
   bool heterogeneous_noise = false;
   /// Simulation substrate. kBatch (the default) runs the SoA fast path of
-  /// sim/batch_engine.hpp, which produces identical results per (seed,
-  /// trial); kClassic forces the reference Engine + BreatheProtocol.
+  /// sim/batch_engine.hpp; kClassic forces the reference Engine +
+  /// BreatheProtocol. Results are identical per (seed, trial).
   EngineMode engine = EngineMode::kBatch;
+  /// Intra-trial shard count for the batch substrate (1 = unsharded).
+  /// Results are bit-identical for every value; >1 splits each round's
+  /// route/deliver work across the shared ThreadPool's workers.
+  std::size_t shards = 1;
 };
 
 /// Noisy majority-consensus (Corollary 2.18): |A| = initial_set agents with
@@ -47,6 +59,7 @@ struct MajorityScenario {
   Tuning tuning{};
   Opinion correct = Opinion::kOne;
   EngineMode engine = EngineMode::kBatch;
+  std::size_t shards = 1;
 };
 
 /// Stage II in isolation (Lemma 2.14 / bench E7): the whole population is
@@ -58,6 +71,7 @@ struct BoostScenario {
   Tuning tuning{};
   Opinion correct = Opinion::kOne;
   EngineMode engine = EngineMode::kBatch;
+  std::size_t shards = 1;
 };
 
 /// Section 3 broadcast without a global clock.
@@ -79,6 +93,9 @@ struct DesyncScenario {
   /// kBatch routes the run through BatchEngine's statically-dispatched
   /// generic loop (the desync protocol has no SoA specialization yet).
   EngineMode engine = EngineMode::kBatch;
+  /// Accepted for interface uniformity; the generic loop is unsharded, so
+  /// every value runs identically (which is what the contract promises).
+  std::size_t shards = 1;
 };
 
 /// Everything one execution yields; TrialOutcome is derived from this.
@@ -101,8 +118,9 @@ struct RunDetail {
 [[nodiscard]] TrialOutcome to_outcome(const RunDetail& detail);
 
 /// Runs one broadcast execution with rng streams derived from
-/// (seed, trial), on the classic reference Engine. Deterministic: same
-/// inputs, same result.
+/// (seed, trial), on the substrate `scenario.engine` selects.
+/// Deterministic: same inputs, same result — independent of the substrate,
+/// the shard count, and the calling thread.
 RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
                         std::size_t trial);
 
@@ -115,23 +133,7 @@ RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
 RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
                      std::size_t trial);
 
-// Fast-path twins: same scenario, same (seed, trial), same RunDetail —
-// executed on the calling thread's persistent BatchEngine. The breathe
-// scenarios use the SoA specialization (falling back to the classic path
-// when breathe_fast_supported() rejects the schedule); desync uses the
-// statically-dispatched generic loop. tests/batch_engine_test.cpp holds
-// each twin to exact equality against its classic counterpart.
-RunDetail run_broadcast_fast(const BroadcastScenario& scenario,
-                             std::uint64_t seed, std::size_t trial);
-RunDetail run_majority_fast(const MajorityScenario& scenario,
-                            std::uint64_t seed, std::size_t trial);
-RunDetail run_boost_fast(const BoostScenario& scenario, std::uint64_t seed,
-                         std::size_t trial);
-RunDetail run_desync_fast(const DesyncScenario& scenario, std::uint64_t seed,
-                          std::size_t trial);
-
-/// TrialFn adapters for the Monte-Carlo harness. Each dispatches on the
-/// scenario's `engine` field.
+/// TrialFn adapters for the Monte-Carlo harness.
 TrialFn broadcast_trial_fn(BroadcastScenario scenario);
 TrialFn majority_trial_fn(MajorityScenario scenario);
 TrialFn boost_trial_fn(BoostScenario scenario);

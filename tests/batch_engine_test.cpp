@@ -1,9 +1,10 @@
 // Exactness contract of the batched fast path (sim/batch_engine.hpp):
 // for the same (seed, trial), the BatchEngine substrates must produce
 // BIT-IDENTICAL results to the classic Engine — same Metrics counters,
-// same phase statistics, same probe series, same outcome doubles. No
-// tolerance anywhere: the fast path replays the same random draws in the
-// same order, so any difference is a bug.
+// same phase statistics, same probe series, same outcome doubles — and the
+// sharded substrate must produce bit-identical results for EVERY shard
+// count. No tolerance anywhere: every draw comes from the same
+// counter-keyed per-agent stream, so any difference is a bug.
 
 #include "sim/batch_engine.hpp"
 
@@ -69,6 +70,14 @@ void expect_detail_eq(const RunDetail& classic, const RunDetail& fast) {
   EXPECT_EQ(classic.measured_skew, fast.measured_skew);
 }
 
+/// The scenario on a given substrate / shard count.
+template <typename Scenario>
+Scenario on(Scenario scenario, EngineMode engine, std::size_t shards = 1) {
+  scenario.engine = engine;
+  scenario.shards = shards;
+  return scenario;
+}
+
 // --- Deep equivalence on the breathe SoA specialization -----------------
 
 TEST(BatchEngineTest, BroadcastIdenticalToClassic) {
@@ -77,8 +86,10 @@ TEST(BatchEngineTest, BroadcastIdenticalToClassic) {
   scenario.eps = 0.3;
   scenario.probe_every = 16;  // exercises the probe path too
   for (std::size_t trial = 0; trial < 3; ++trial) {
-    expect_detail_eq(run_broadcast(scenario, 0x5eed, trial),
-                     run_broadcast_fast(scenario, 0x5eed, trial));
+    expect_detail_eq(run_broadcast(on(scenario, EngineMode::kClassic),
+                                   0x5eed, trial),
+                     run_broadcast(on(scenario, EngineMode::kBatch),
+                                   0x5eed, trial));
   }
 }
 
@@ -87,8 +98,8 @@ TEST(BatchEngineTest, BroadcastHeterogeneousIdenticalToClassic) {
   scenario.n = 256;
   scenario.eps = 0.3;
   scenario.heterogeneous_noise = true;
-  expect_detail_eq(run_broadcast(scenario, 0xfeed, 0),
-                   run_broadcast_fast(scenario, 0xfeed, 0));
+  expect_detail_eq(run_broadcast(on(scenario, EngineMode::kClassic), 0xfeed, 0),
+                   run_broadcast(on(scenario, EngineMode::kBatch), 0xfeed, 0));
 }
 
 TEST(BatchEngineTest, BroadcastStage1OnlyIdenticalToClassic) {
@@ -96,8 +107,8 @@ TEST(BatchEngineTest, BroadcastStage1OnlyIdenticalToClassic) {
   scenario.n = 256;
   scenario.eps = 0.3;
   scenario.stage1_only = true;
-  expect_detail_eq(run_broadcast(scenario, 0x5eed, 0),
-                   run_broadcast_fast(scenario, 0x5eed, 0));
+  expect_detail_eq(run_broadcast(on(scenario, EngineMode::kClassic), 0x5eed, 0),
+                   run_broadcast(on(scenario, EngineMode::kBatch), 0x5eed, 0));
 }
 
 TEST(BatchEngineTest, BroadcastVariantRulesIdenticalToClassic) {
@@ -106,8 +117,8 @@ TEST(BatchEngineTest, BroadcastVariantRulesIdenticalToClassic) {
   scenario.eps = 0.3;
   scenario.stage1_pick = Stage1Pick::kFirstMessage;
   scenario.stage2_subset = Stage2Subset::kPrefixSubset;
-  expect_detail_eq(run_broadcast(scenario, 0x5eed, 1),
-                   run_broadcast_fast(scenario, 0x5eed, 1));
+  expect_detail_eq(run_broadcast(on(scenario, EngineMode::kClassic), 0x5eed, 1),
+                   run_broadcast(on(scenario, EngineMode::kBatch), 0x5eed, 1));
 }
 
 TEST(BatchEngineTest, MajorityIdenticalToClassic) {
@@ -115,8 +126,10 @@ TEST(BatchEngineTest, MajorityIdenticalToClassic) {
   scenario.n = 256;
   scenario.initial_set = 32;
   for (std::size_t trial = 0; trial < 2; ++trial) {
-    expect_detail_eq(run_majority(scenario, 0x5eed, trial),
-                     run_majority_fast(scenario, 0x5eed, trial));
+    expect_detail_eq(run_majority(on(scenario, EngineMode::kClassic),
+                                  0x5eed, trial),
+                     run_majority(on(scenario, EngineMode::kBatch),
+                                  0x5eed, trial));
   }
 }
 
@@ -124,8 +137,8 @@ TEST(BatchEngineTest, BoostIdenticalToClassic) {
   BoostScenario scenario;
   scenario.n = 512;
   scenario.initial_bias = 0.05;
-  expect_detail_eq(run_boost(scenario, 0x5eed, 0),
-                   run_boost_fast(scenario, 0x5eed, 0));
+  expect_detail_eq(run_boost(on(scenario, EngineMode::kClassic), 0x5eed, 0),
+                   run_boost(on(scenario, EngineMode::kBatch), 0x5eed, 0));
 }
 
 TEST(BatchEngineTest, DesyncIdenticalToClassic) {
@@ -133,53 +146,78 @@ TEST(BatchEngineTest, DesyncIdenticalToClassic) {
   scenario.n = 256;
   scenario.eps = 0.3;
   scenario.max_skew = 8;
-  expect_detail_eq(run_desync(scenario, 0x5eed, 0),
-                   run_desync_fast(scenario, 0x5eed, 0));
+  expect_detail_eq(run_desync(on(scenario, EngineMode::kClassic), 0x5eed, 0),
+                   run_desync(on(scenario, EngineMode::kBatch), 0x5eed, 0));
 }
 
-// A final phase longer than 2^15 rounds overflows the packed Stage II
-// counter fields but still fits the wide layout's 21-bit fields, so this
-// exercises run_breathe_wide's uniform-subset (hypergeometric) Stage II —
-// the one fast-path branch the small default schedules never reach.
-TEST(BatchEngineTest, WideLayoutUniformSubsetIdenticalToClassic) {
-  Tuning tuning;
-  tuning.final_mult = 300.0;  // m_final ~40k: > 2^15, < 2^21
-  ASSERT_TRUE(breathe_fast_supported(
-      Params::calibrated(256, 0.3, tuning)));
+// --- Shard-count invariance ---------------------------------------------
+// The contract's new clause: the batch substrate partitioned into ANY
+// number of shards produces the same bits as one shard — which the tests
+// above tie to the classic reference. 3 is deliberately coprime with the
+// population sizes (uneven last shard), 8 exceeds this machine's cores.
 
+TEST(BatchEngineTest, BroadcastShardCountInvariant) {
   BroadcastScenario scenario;
   scenario.n = 256;
   scenario.eps = 0.3;
-  scenario.tuning = tuning;
-  expect_detail_eq(run_broadcast(scenario, 0x5eed, 0),
-                   run_broadcast_fast(scenario, 0x5eed, 0));
-
-  BoostScenario boost;
-  boost.n = 256;
-  boost.eps = 0.3;
-  boost.initial_bias = 0.05;
-  boost.tuning = tuning;
-  expect_detail_eq(run_boost(boost, 0x5eed, 1),
-                   run_boost_fast(boost, 0x5eed, 1));
+  scenario.probe_every = 16;
+  const RunDetail one = run_broadcast(on(scenario, EngineMode::kBatch, 1),
+                                      0x5eed, 0);
+  for (const std::size_t shards : {2, 3, 8}) {
+    expect_detail_eq(one, run_broadcast(on(scenario, EngineMode::kBatch,
+                                           shards),
+                                        0x5eed, 0));
+  }
 }
 
-// Trials on one BatchEngine recycle its buffers; interleaving different
-// scenario shapes through the same thread-local engine must not leak state
-// between runs.
-TEST(BatchEngineTest, ScratchReuseAcrossMixedTrialsIsClean) {
-  BroadcastScenario big;
-  big.n = 512;
-  big.eps = 0.25;
-  BroadcastScenario small;
-  small.n = 128;
-  small.eps = 0.3;
-  const RunDetail fresh_small = run_broadcast_fast(small, 0x5eed, 0);
-  (void)run_broadcast_fast(big, 0x5eed, 0);       // dirty the scratch, larger n
-  const RunDetail reused_small = run_broadcast_fast(small, 0x5eed, 0);
-  expect_detail_eq(fresh_small, reused_small);
+TEST(BatchEngineTest, BroadcastHeterogeneousShardCountInvariant) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.heterogeneous_noise = true;
+  expect_detail_eq(
+      run_broadcast(on(scenario, EngineMode::kBatch, 1), 0xfeed, 0),
+      run_broadcast(on(scenario, EngineMode::kBatch, 8), 0xfeed, 0));
 }
 
-// --- Every registry entry: batch and classic modes agree exactly --------
+TEST(BatchEngineTest, BroadcastVariantRulesShardCountInvariant) {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.stage1_pick = Stage1Pick::kFirstMessage;
+  scenario.stage2_subset = Stage2Subset::kPrefixSubset;
+  expect_detail_eq(
+      run_broadcast(on(scenario, EngineMode::kBatch, 1), 0x5eed, 1),
+      run_broadcast(on(scenario, EngineMode::kBatch, 5), 0x5eed, 1));
+}
+
+TEST(BatchEngineTest, MajorityShardCountInvariant) {
+  MajorityScenario scenario;
+  scenario.n = 256;
+  scenario.initial_set = 32;
+  expect_detail_eq(
+      run_majority(on(scenario, EngineMode::kBatch, 1), 0x5eed, 0),
+      run_majority(on(scenario, EngineMode::kBatch, 7), 0x5eed, 0));
+}
+
+TEST(BatchEngineTest, BoostShardCountInvariant) {
+  BoostScenario scenario;
+  scenario.n = 512;
+  scenario.initial_bias = 0.05;
+  expect_detail_eq(run_boost(on(scenario, EngineMode::kBatch, 1), 0x5eed, 0),
+                   run_boost(on(scenario, EngineMode::kBatch, 8), 0x5eed, 0));
+}
+
+TEST(BatchEngineTest, ShardsBeyondPopulationClampHarmlessly) {
+  BroadcastScenario scenario;
+  scenario.n = 64;
+  scenario.eps = 0.3;
+  expect_detail_eq(
+      run_broadcast(on(scenario, EngineMode::kBatch, 1), 0x5eed, 0),
+      run_broadcast(on(scenario, EngineMode::kBatch, 200), 0x5eed, 0));
+}
+
+// --- Every registry entry: batch, classic, and sharded agree exactly ----
 
 TEST(BatchEngineTest, EveryRegistryEntryIdenticalOutcomes) {
   const ScenarioRegistry& registry = ScenarioRegistry::instance();
@@ -189,20 +227,71 @@ TEST(BatchEngineTest, EveryRegistryEntryIdenticalOutcomes) {
     batch_overrides.engine = EngineMode::kBatch;
     ScenarioOverrides classic_overrides = batch_overrides;
     classic_overrides.engine = EngineMode::kClassic;
+    ScenarioOverrides sharded_overrides = batch_overrides;
+    sharded_overrides.shards = 8;
 
     const TrialFn batch_fn = registry.make(info->name, batch_overrides);
     const TrialFn classic_fn = registry.make(info->name, classic_overrides);
+    const TrialFn sharded_fn = registry.make(info->name, sharded_overrides);
     for (std::size_t trial = 0; trial < 2; ++trial) {
       const TrialOutcome batch = batch_fn(0x5eed, trial);
       const TrialOutcome classic = classic_fn(0x5eed, trial);
+      const TrialOutcome sharded = sharded_fn(0x5eed, trial);
       EXPECT_EQ(classic.success, batch.success) << info->name << " " << trial;
       EXPECT_EQ(classic.rounds, batch.rounds) << info->name << " " << trial;
       EXPECT_EQ(classic.messages, batch.messages)
           << info->name << " " << trial;
       EXPECT_EQ(classic.correct_fraction, batch.correct_fraction)
           << info->name << " " << trial;
+      EXPECT_EQ(batch.success, sharded.success) << info->name << " " << trial;
+      EXPECT_EQ(batch.rounds, sharded.rounds) << info->name << " " << trial;
+      EXPECT_EQ(batch.messages, sharded.messages)
+          << info->name << " " << trial;
+      EXPECT_EQ(batch.correct_fraction, sharded.correct_fraction)
+          << info->name << " " << trial;
     }
   }
+}
+
+// --- Long Stage II phases (upper end of the 21-bit counter fields) ------
+
+TEST(BatchEngineTest, LongFinalPhaseIdenticalToClassic) {
+  Tuning tuning;
+  tuning.final_mult = 300.0;  // m_final ~40k rounds, still < 2^21
+  ASSERT_TRUE(breathe_fast_supported(
+      Params::calibrated(256, 0.3, tuning)));
+
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.tuning = tuning;
+  expect_detail_eq(run_broadcast(on(scenario, EngineMode::kClassic), 0x5eed, 0),
+                   run_broadcast(on(scenario, EngineMode::kBatch), 0x5eed, 0));
+
+  BoostScenario boost;
+  boost.n = 256;
+  boost.eps = 0.3;
+  boost.initial_bias = 0.05;
+  boost.tuning = tuning;
+  expect_detail_eq(run_boost(on(boost, EngineMode::kClassic), 0x5eed, 1),
+                   run_boost(on(boost, EngineMode::kBatch), 0x5eed, 1));
+}
+
+// Trials on one BatchEngine recycle its buffers; interleaving different
+// scenario shapes (and shard counts) through the same thread-local engine
+// must not leak state between runs.
+TEST(BatchEngineTest, ScratchReuseAcrossMixedTrialsIsClean) {
+  BroadcastScenario big;
+  big.n = 512;
+  big.eps = 0.25;
+  big.shards = 4;
+  BroadcastScenario small;
+  small.n = 128;
+  small.eps = 0.3;
+  const RunDetail fresh_small = run_broadcast(small, 0x5eed, 0);
+  (void)run_broadcast(big, 0x5eed, 0);  // dirty the scratch: larger n, sharded
+  const RunDetail reused_small = run_broadcast(small, 0x5eed, 0);
+  expect_detail_eq(fresh_small, reused_small);
 }
 
 // --- Support predicate and fallback -------------------------------------
@@ -259,6 +348,22 @@ TEST(BatchEngineTest, PopulationReuseClearsEverything) {
   EXPECT_EQ(pop.opinionated(), 0u);
   EXPECT_EQ(pop.count(Opinion::kOne), 0u);
   EXPECT_FALSE(pop.has_opinion(3));
+}
+
+TEST(BatchEngineTest, PopulationCountedUpdatesMatchDirectOnes) {
+  Population direct(16);
+  Population counted(16);
+  Population::Delta delta;
+  direct.set_opinion(3, Opinion::kOne);
+  direct.set_opinion(4, Opinion::kZero);
+  direct.set_opinion(3, Opinion::kZero);  // re-decision
+  counted.set_opinion_counted(3, Opinion::kOne, delta);
+  counted.set_opinion_counted(4, Opinion::kZero, delta);
+  counted.set_opinion_counted(3, Opinion::kZero, delta);
+  counted.apply(delta);
+  EXPECT_EQ(direct.opinionated(), counted.opinionated());
+  EXPECT_EQ(direct.count(Opinion::kOne), counted.count(Opinion::kOne));
+  EXPECT_EQ(direct.count(Opinion::kZero), counted.count(Opinion::kZero));
 }
 
 // --- Persistent sized pools ---------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace flip {
@@ -162,6 +163,48 @@ TEST(HeterogeneousChannelTest, NeverWorseThanTheModelBound) {
     if (channel.transmit(Opinion::kZero, rng) != Opinion::kZero) ++flips;
   }
   EXPECT_LT(static_cast<double>(flips) / kTrials, 0.5 - 0.1);
+}
+
+// --- Counter-keyed transmit overloads -----------------------------------
+
+TEST(CounterTransmitTest, MatchesSequentialOverloadFromSameWords) {
+  // Both overloads share one template body; feeding them streams that
+  // yield the same words must yield the same decisions.
+  BinarySymmetricChannel bsc(0.2);
+  HeterogeneousChannel hetero(0.2);
+  ErasureChannel erasure(0.3, 0.25);
+  const StreamKey tk = trial_stream_key(0xc0de, 0);
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    const StreamKey rk = round_stream_key(tk, RngPurpose::kChannel, r);
+    for (std::uint64_t agent = 0; agent < 8; ++agent) {
+      CounterRng a(rk, agent);
+      CounterRng b(rk, agent);
+      EXPECT_EQ(bsc.transmit(Opinion::kOne, a), bsc.transmit(Opinion::kOne, b));
+      CounterRng c(rk, agent);
+      CounterRng d(rk, agent);
+      EXPECT_EQ(hetero.transmit(Opinion::kZero, c),
+                hetero.transmit(Opinion::kZero, d));
+      CounterRng e(rk, agent);
+      CounterRng f(rk, agent);
+      EXPECT_EQ(erasure.transmit(Opinion::kOne, e),
+                erasure.transmit(Opinion::kOne, f));
+    }
+  }
+}
+
+TEST(CounterTransmitTest, BscFlipRateFromKeyedStreams) {
+  // Flip decisions across agents (each from its own stream) must hit the
+  // 1/2 - eps crossover rate, like the sequential-stream test above.
+  BinarySymmetricChannel channel(0.25);
+  const StreamKey rk =
+      round_stream_key(trial_stream_key(0xbeef, 1), RngPurpose::kChannel, 0);
+  constexpr int kAgents = 100000;
+  int flips = 0;
+  for (int agent = 0; agent < kAgents; ++agent) {
+    CounterRng rng(rk, static_cast<std::uint64_t>(agent));
+    flips += channel.transmit(Opinion::kOne, rng) == Opinion::kZero;
+  }
+  EXPECT_NEAR(static_cast<double>(flips) / kAgents, 0.25, 0.01);
 }
 
 }  // namespace

@@ -228,6 +228,7 @@ TEST(ReportTest, SweepJsonGolden) {
       "  \"seed\": 7,\n"
       "  \"threads\": 0,\n"
       "  \"engine\": \"batch\",\n"
+      "  \"shards\": 1,\n"
       "  \"grid_points\": 1,\n"
       "  \"wall_seconds\": 2,\n"
       "  \"points\": [\n"

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 
 #include "net/channel.hpp"
 
@@ -125,6 +127,58 @@ TEST(EngineTest, ProbeRecordsSeries) {
   EXPECT_EQ(metrics.activated_series.size(), 10u);
   EXPECT_EQ(metrics.bias_series.front().round, 0u);
   EXPECT_EQ(metrics.bias_series.back().round, 90u);
+}
+
+/// Sends from agents [0, senders) every round — in ascending or descending
+/// collect_sends order depending on `reversed`.
+class FanProtocol : public PingProtocol {
+ public:
+  FanProtocol(std::size_t n, Round duration, AgentId senders, bool reversed)
+      : PingProtocol(n, duration), senders_(senders), reversed_(reversed) {}
+
+  void collect_sends(Round, std::vector<Message>& out) override {
+    for (AgentId i = 0; i < senders_; ++i) {
+      const AgentId a = reversed_ ? senders_ - 1 - i : i;
+      out.push_back(Message{a, static_cast<Opinion>(a & 1)});
+    }
+  }
+
+ private:
+  AgentId senders_;
+  bool reversed_;
+};
+
+// The counter-keyed contract: every draw is a function of (key, round,
+// agent, purpose), and acceptance is a commutative min — so the ORDER a
+// protocol emits its sends in cannot change anything observable. (Under
+// the old same-draw-order contract this test would fail by construction.)
+TEST(EngineTest, SendOrderDoesNotChangeResults) {
+  BinarySymmetricChannel channel(0.2);
+  const StreamKey key = trial_stream_key(0x04de4, 0);
+  auto run_once = [&](bool reversed) {
+    Engine engine(32, channel, key);
+    FanProtocol protocol(32, 300, 24, reversed);
+    const Metrics metrics = engine.run(protocol, 300);
+    return std::make_tuple(metrics.flipped, metrics.delivered,
+                           metrics.dropped, protocol.last_seen_);
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+// Engines seeded from the same key are replayable; distinct trial keys
+// diverge.
+TEST(EngineTest, StreamKeyedConstructionIsDeterministic) {
+  BinarySymmetricChannel channel(0.2);
+  auto run_once = [&](const StreamKey& key) {
+    Engine engine(16, channel, key);
+    PingProtocol protocol(16, 500);
+    const Metrics metrics = engine.run(protocol, 500);
+    return std::make_pair(metrics.flipped, protocol.last_seen_);
+  };
+  const StreamKey a = trial_stream_key(77, 3);
+  const StreamKey b = trial_stream_key(77, 4);
+  EXPECT_EQ(run_once(a), run_once(a));
+  EXPECT_NE(run_once(a), run_once(b));
 }
 
 TEST(EngineTest, ReusableAcrossRuns) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 #include <stdexcept>
 #include <vector>
@@ -107,6 +108,80 @@ TEST(MailboxTest, TouchOrderHasNoDuplicates) {
   for (AgentId a : mailbox.recipients()) {
     EXPECT_FALSE(seen[a]) << "duplicate recipient " << a;
     seen[a] = true;
+  }
+}
+
+TEST(MailboxTest, OfferKeepsMinimumPriorityPair) {
+  Mailbox mailbox(8);
+  mailbox.offer(3, 0, Opinion::kZero, 500);
+  mailbox.offer(3, 1, Opinion::kOne, 100);
+  mailbox.offer(3, 2, Opinion::kZero, 900);
+  ASSERT_EQ(mailbox.recipients().size(), 1u);
+  EXPECT_EQ(mailbox.accepted(3).sender, 1u);
+  EXPECT_EQ(mailbox.accepted(3).bit, Opinion::kOne);
+  EXPECT_EQ(mailbox.arrivals(3), 3u);
+  EXPECT_EQ(mailbox.dropped_this_round(), 2u);
+}
+
+TEST(MailboxTest, OfferBreaksPriorityTiesOnSenderId) {
+  Mailbox a(8);
+  a.offer(5, 4, Opinion::kOne, 42);
+  a.offer(5, 2, Opinion::kZero, 42);
+  EXPECT_EQ(a.accepted(5).sender, 2u);
+  Mailbox b(8);
+  b.offer(5, 2, Opinion::kZero, 42);
+  b.offer(5, 4, Opinion::kOne, 42);
+  EXPECT_EQ(b.accepted(5).sender, 2u);
+}
+
+TEST(MailboxTest, OfferAcceptanceIsArrivalOrderIndependent) {
+  // The determinism contract rests on this: min((priority, sender)) is a
+  // commutative reduction, so any interleaving of a round's offers — the
+  // sharded engine produces many — keeps the identical winner per
+  // recipient. Reservoir push_to, by design, does not have this property.
+  struct Offer {
+    AgentId to;
+    AgentId sender;
+    Opinion bit;
+    std::uint64_t priority;
+  };
+  std::vector<Offer> offers;
+  Xoshiro256 rng(99);
+  for (AgentId sender = 0; sender < 64; ++sender) {
+    offers.push_back(Offer{static_cast<AgentId>(uniform_index(rng, 16)),
+                           sender, static_cast<Opinion>(sender & 1), rng()});
+  }
+  Mailbox forward(16);
+  for (const Offer& o : offers) {
+    forward.offer(o.to, o.sender, o.bit, o.priority);
+  }
+  Mailbox backward(16);
+  for (auto it = offers.rbegin(); it != offers.rend(); ++it) {
+    backward.offer(it->to, it->sender, it->bit, it->priority);
+  }
+  ASSERT_EQ(forward.recipients().size(), backward.recipients().size());
+  for (const AgentId to : forward.recipients()) {
+    EXPECT_EQ(forward.accepted(to).sender, backward.accepted(to).sender);
+    EXPECT_EQ(forward.accepted(to).bit, backward.accepted(to).bit);
+    EXPECT_EQ(forward.arrivals(to), backward.arrivals(to));
+  }
+  EXPECT_EQ(forward.dropped_this_round(), backward.dropped_this_round());
+}
+
+TEST(MailboxTest, OfferAcceptanceIsUniformAmongArrivals) {
+  // With i.i.d. uniform priorities each of k arrivals wins w.p. 1/k.
+  constexpr int kRounds = 30000;
+  Xoshiro256 rng(7);
+  std::array<int, 3> wins{};
+  for (int i = 0; i < kRounds; ++i) {
+    Mailbox mailbox(4);
+    for (AgentId sender = 0; sender < 3; ++sender) {
+      mailbox.offer(3, sender, Opinion::kOne, rng());
+    }
+    ++wins[mailbox.accepted(3).sender];
+  }
+  for (const int w : wins) {
+    EXPECT_NEAR(static_cast<double>(w) / kRounds, 1.0 / 3.0, 0.01);
   }
 }
 

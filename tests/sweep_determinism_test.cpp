@@ -1,11 +1,14 @@
-// Determinism of the parallel sweep harness: per-trial seeds are derived
-// from (master seed, trial index) — never from the worker that happened to
-// run the trial — so thread count and engine substrate must not change a
-// single statistic. These tests pin the ISSUE's reproducibility contract:
-// `--threads 1` and `--threads 8` sweeps agree exactly, and so do
-// `--engine batch` and `--engine classic`.
+// Determinism of the parallel sweep harness: every random draw is keyed by
+// (master seed, trial, round, agent, purpose) — never by the worker that
+// happened to run it — so thread count, shard count, and engine substrate
+// must not change a single statistic. These tests pin the repo's
+// reproducibility contract: every point of the `--threads {1,8}` x
+// `--shards {1,2,8}` matrix agrees exactly, and so do `--engine batch` and
+// `--engine classic`.
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "cli/sweep.hpp"
 
@@ -62,6 +65,46 @@ TEST(SweepDeterminismTest, EngineSubstratesAgreeOnSweepResults) {
   spec.engine = EngineMode::kClassic;
   const SweepResult classic = run_sweep(spec);
   expect_points_eq(batch, classic);
+}
+
+// The full parallelism matrix: trial-level threads x intra-trial shards.
+// Every combination must reproduce the serial, unsharded sweep exactly —
+// including the oversubscribed corner (8 trial workers each fanning out 8
+// shard tasks onto the shared pool).
+TEST(SweepDeterminismTest, ThreadsByShardsMatrixAgreesExactly) {
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.ns = {128, 256};
+  spec.trials = 6;
+  spec.threads = 1;
+  spec.shards = 1;
+  const SweepResult reference = run_sweep(spec);
+  for (const std::size_t threads : {1, 8}) {
+    for (const std::size_t shards : {1, 2, 8}) {
+      if (threads == 1 && shards == 1) continue;
+      spec.threads = threads;
+      spec.shards = shards;
+      const SweepResult result = run_sweep(spec);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      expect_points_eq(reference, result);
+    }
+  }
+}
+
+// Shards must also commute with the substrate A/B: a sharded batch sweep
+// equals the classic sweep (which has no shards at all).
+TEST(SweepDeterminismTest, ShardedBatchSweepMatchesClassicSweep) {
+  SweepSpec spec;
+  spec.scenario = "majority";
+  spec.ns = {128};
+  spec.trials = 4;
+  spec.engine = EngineMode::kClassic;
+  const SweepResult classic = run_sweep(spec);
+  spec.engine = EngineMode::kBatch;
+  spec.shards = 8;
+  const SweepResult sharded = run_sweep(spec);
+  expect_points_eq(classic, sharded);
 }
 
 }  // namespace

@@ -74,5 +74,35 @@ TEST(ThreadPoolTest, MoreTasksThanWorkers) {
   EXPECT_EQ(count.load(), 64);
 }
 
+// parallel_for is re-entrant (waiters help drain the queue): N outer
+// tasks each fanning out M inner tasks on the SAME pool must complete
+// even when every worker is simultaneously blocked inside an outer wait —
+// the deadlock shape the sharded BatchEngine creates inside parallel
+// sweeps.
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_runs{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t outer) {
+                          pool.parallel_for(4, [&](std::size_t inner) {
+                            if (outer == 2 && inner == 3) {
+                              throw std::runtime_error("inner boom");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+}
+
 }  // namespace
 }  // namespace flip

@@ -1,15 +1,33 @@
 #!/usr/bin/env python3
-"""Fast-path perf gate: fail if the batch/classic speedup regressed >20%.
+"""Engine perf gates: the fast-path speedup and the sharded-speedup point.
 
-Usage: check_engine_perf.py <bench_engine_perf-binary> <committed-json> <out-json>
+Usage:
+  check_engine_perf.py <bench_engine_perf-binary> <committed-json> <out-json>
+  check_engine_perf.py --shards <bench_shards-binary> <committed-json> <out-json>
 
-Runs the CI-sized engine A/B (n=1024, 8 trials, 8 threads) and compares the
-measured batch/classic speedup against the committed reference point in
-bench/results/BENCH_engine_perf.json. The speedup RATIO is gated, not
-absolute wall-clock, so slower CI machines don't trip it; the benchmark is
-run twice and the better ratio is kept, because a single ~0.2 s sample on a
-shared runner can eat a scheduling stall. Shared by ci.sh and ci.yml so the
-two CI paths cannot drift. Methodology: docs/PERFORMANCE.md.
+Default mode runs the CI-sized engine A/B (n=1024, 8 trials, 8 threads) and
+compares the measured batch/classic speedup against the committed reference
+point in bench/results/BENCH_engine_perf.json. The speedup RATIO is gated,
+not absolute wall-clock, so slower CI machines don't trip it; the benchmark
+is run twice and the better ratio is kept, because a single ~0.2 s sample on
+a shared runner can eat a scheduling stall.
+
+--shards mode runs the CI-sized shard scaling grid (single broadcast trial,
+n=100000, shards 1 and 8) and gates the 8-shard point from
+bench/results/BENCH_shards.json. Shard speedups depend on the measuring
+machine's cores, so the gate is hardware-aware:
+
+  * committed row with the SAME core count exists -> measured 8-shard
+    speedup must stay >= 0.7x the committed one (a regression gate; wider
+    than the fast-path tolerance because the CI-sized shard ratio is a
+    cache-locality effect and noisier);
+  * otherwise -> the 8-shard run must not be more than 25% SLOWER than the
+    1-shard run (speedup >= 0.75). Sharding is allowed to be useless on a
+    box without the cores to feed it, but never expensive — and on any box
+    a collapse of the sharded path shows up here.
+
+Shared by ci.sh and ci.yml so the two CI paths cannot drift. Methodology:
+docs/PERFORMANCE.md.
 """
 
 import json
@@ -20,32 +38,51 @@ GATE_N = 1024
 RUNS = 2
 TOLERANCE = 0.8  # >20% regression fails
 
+SHARD_GATE_N = 100000
+SHARD_GATE_SHARDS = 8
+# The CI-sized shard ratio is mostly a cache-locality effect and noisier
+# than the in-process A/B ratio, so its regression tolerance is wider.
+SHARD_TOLERANCE = 0.7
+SHARD_OVERHEAD_FLOOR = 0.75  # 8 shards may not be >25% slower than 1
 
-def speedup_from(path, n):
+
+def rows_from(path):
     with open(path) as f:
         doc = json.load(f)
     for table in doc["tables"]:
         cols = {name: i for i, name in enumerate(table["headers"])}
         for row in table["rows"]:
-            if row[cols["n"]] == str(n):
-                return float(row[cols["speedup"]])
+            yield cols, row
+
+
+def speedup_from(path, n):
+    for cols, row in rows_from(path):
+        if row[cols["n"]] == str(n):
+            return float(row[cols["speedup"]])
     raise SystemExit(f"{path}: no n={n} row")
 
 
-def main():
-    if len(sys.argv) != 4:
-        raise SystemExit(__doc__)
-    bench, committed_path, out_path = sys.argv[1:]
+def shard_row_from(path, n, shards, cores=None):
+    """First (n, shards) row — preferring one whose cores match, so a file
+    holding trajectory rows from several machines gates against the right
+    one. Returns (speedup, cores) or None."""
+    fallback = None
+    for cols, row in rows_from(path):
+        if row[cols["n"]] == str(n) and row[cols["shards"]] == str(shards):
+            found = float(row[cols["speedup"]]), int(row[cols["cores"]])
+            if cores is None or found[1] == cores:
+                return found
+            fallback = fallback or found
+    return fallback
 
-    best = 0.0
+
+def best_of(cmd, out_path, extract):
+    best = None
     best_report = None
     for _ in range(RUNS):
-        subprocess.run(
-            [bench, "--n", str(GATE_N), "--trials", "8", "--threads", "8",
-             "--json", out_path],
-            check=True, stdout=subprocess.DEVNULL)
-        measured = speedup_from(out_path, GATE_N)
-        if measured > best:
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        measured = extract(out_path)
+        if best is None or measured > best:
             best = measured
             with open(out_path) as f:
                 best_report = f.read()
@@ -53,6 +90,14 @@ def main():
     # uploaded JSON can never contradict the printed verdict.
     with open(out_path, "w") as f:
         f.write(best_report)
+    return best
+
+
+def gate_fastpath(bench, committed_path, out_path):
+    best = best_of(
+        [bench, "--n", str(GATE_N), "--trials", "8", "--threads", "8",
+         "--json", out_path],
+        out_path, lambda p: speedup_from(p, GATE_N))
 
     committed = speedup_from(committed_path, GATE_N)
     floor = TOLERANCE * committed
@@ -63,6 +108,53 @@ def main():
             f"(floor {floor:.2f})")
     print(f"fast-path speedup ok: {best:.2f}x "
           f"(committed {committed:.2f}x, floor {floor:.2f}x)")
+
+
+def required_shard_row(path):
+    row = shard_row_from(path, SHARD_GATE_N, SHARD_GATE_SHARDS)
+    if row is None:
+        raise SystemExit(
+            f"{path}: no n={SHARD_GATE_N}, shards={SHARD_GATE_SHARDS} row")
+    return row
+
+
+def gate_shards(bench, committed_path, out_path):
+    best = best_of(
+        [bench, "--n", str(SHARD_GATE_N), "--shards",
+         f"1,{SHARD_GATE_SHARDS}", "--trials", "1", "--json", out_path],
+        out_path, lambda p: required_shard_row(p)[0])
+    cores = required_shard_row(out_path)[1]
+
+    committed = shard_row_from(committed_path, SHARD_GATE_N,
+                               SHARD_GATE_SHARDS, cores)
+    if committed is not None and committed[1] == cores:
+        floor = SHARD_TOLERANCE * committed[0]
+        kind = (f"committed {committed[0]:.2f}x on {cores} core(s), "
+                f"floor {floor:.2f}x")
+    else:
+        floor = SHARD_OVERHEAD_FLOOR
+        kind = (f"no committed point for {cores} core(s); "
+                f"overhead floor {floor:.2f}x")
+    if best < floor:
+        raise SystemExit(
+            f"sharded-engine regression: {SHARD_GATE_SHARDS}-shard speedup "
+            f"{best:.2f} fell below {floor:.2f} ({kind})")
+    print(f"sharded speedup ok: {best:.2f}x at {SHARD_GATE_SHARDS} shards "
+          f"on {cores} core(s) ({kind})")
+
+
+def main():
+    args = sys.argv[1:]
+    shards_mode = args and args[0] == "--shards"
+    if shards_mode:
+        args = args[1:]
+    if len(args) != 3:
+        raise SystemExit(__doc__)
+    bench, committed_path, out_path = args
+    if shards_mode:
+        gate_shards(bench, committed_path, out_path)
+    else:
+        gate_fastpath(bench, committed_path, out_path)
 
 
 if __name__ == "__main__":

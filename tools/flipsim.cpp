@@ -12,11 +12,13 @@
 //       --bench-json bench/results/BENCH_baseline.json
 //       --bench-id baseline --git-rev $(git rev-parse --short HEAD)
 
+#include <algorithm>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "cli/args.hpp"
 #include "cli/report.hpp"
@@ -36,6 +38,7 @@ struct CliFlags {
   std::optional<std::size_t> trials;
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> threads;
+  std::optional<std::size_t> shards;
   std::string engine = "batch";
   bool json = false;
   std::string json_path;  // empty with json=true -> stdout
@@ -129,8 +132,13 @@ int main(int argc, char** argv) {
                   &flags.trials);
   parser.add_uint64("--seed", "master seed, decimal or 0x hex (default 0x5eed)",
                     &flags.seed);
-  parser.add_size("--threads", "worker threads (default: hardware)",
+  parser.add_size("--threads", "worker threads (default: hardware), in "
+                  "1..hardware concurrency",
                   &flags.threads);
+  parser.add_size("--shards",
+                  "intra-trial shards per execution (default 1, max 256); "
+                  "results are bit-identical for every value",
+                  &flags.shards);
   parser.add_option("--engine", "mode",
                     "simulation substrate: batch (SoA fast path, default) "
                     "or classic (reference Engine); results are identical",
@@ -207,7 +215,33 @@ int main(int argc, char** argv) {
   }
   if (flags.trials) spec.trials = *flags.trials;
   if (flags.seed) spec.seed = *flags.seed;
-  if (flags.threads) spec.threads = *flags.threads;
+  // Reject out-of-range parallelism knobs here, with the other argument
+  // errors, instead of silently clamping (or crashing) deep in the engine.
+  // (A shard is a deterministic work partition, not a thread, so its cap is
+  // a fixed sanity bound rather than the core count — running 8 shards on
+  // 1 core is a valid, if pointless, way to reproduce a partition. And the
+  // knobs never change results, only wall-clock, so rejecting a value is
+  // purely a footgun guard.)
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  if (flags.threads) {
+    // hardware == 0 means the runtime cannot tell; only reject 0 then.
+    if (*flags.threads == 0 ||
+        (hardware != 0 && *flags.threads > hardware)) {
+      std::cerr << "error: --threads: " << *flags.threads
+                << " is outside 1.." << hardware
+                << " (this machine's hardware concurrency)\n";
+      return 2;
+    }
+    spec.threads = *flags.threads;
+  }
+  if (flags.shards) {
+    if (*flags.shards == 0 || *flags.shards > flip::kMaxShards) {
+      std::cerr << "error: --shards: " << *flags.shards
+                << " is outside 1.." << flip::kMaxShards << "\n";
+      return 2;
+    }
+    spec.shards = *flags.shards;
+  }
   if (const auto mode = flip::parse_engine_mode(flags.engine)) {
     spec.engine = *mode;
   } else {
