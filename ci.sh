@@ -14,12 +14,15 @@ cmake --build "$BUILD_DIR" -j
 # argument as the job count on CMake < 3.29.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
-# Smoke sweep: flipsim must enumerate the registry and emit schema-valid
-# JSON for a small sweep. The JSON lands in the build dir; CI uploads it
-# as an artifact.
+# Smoke sweeps: flipsim must enumerate the registry and emit schema-valid
+# JSON for a small static sweep AND a dynamic-environment one (correlated
+# noise bursts at a CI-friendly size). The JSON lands in the build dir; CI
+# uploads it as an artifact.
 "$BUILD_DIR/tools/flipsim" --list >/dev/null
 "$BUILD_DIR/tools/flipsim" --scenario broadcast_small --trials 8 \
   --json "$BUILD_DIR/flipsim_smoke.json"
+"$BUILD_DIR/tools/flipsim" --scenario broadcast_burst --n 256 --eps 0.3 \
+  --trials 4 --json "$BUILD_DIR/flipsim_dynamic.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$BUILD_DIR/flipsim_smoke.json" <<'EOF'
 import json, sys
@@ -32,7 +35,19 @@ point = doc["points"][0]
 assert point["trials"] == 8
 assert {"params", "success_rate", "rounds", "messages", "wall_seconds"} \
     <= point.keys(), sorted(point.keys())
+assert point["params"]["schedule"] == "static"
+assert point["params"]["churn"] == "none"
 print("flipsim smoke JSON ok:", sys.argv[1])
+EOF
+  python3 - "$BUILD_DIR/flipsim_dynamic.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "flipsim-sweep-v1", doc.get("schema")
+assert doc["scenario"] == "broadcast_burst"
+point = doc["points"][0]
+assert point["params"]["schedule"].startswith("burst("), point["params"]
+assert "convergence_rounds" in point, sorted(point.keys())
+print("flipsim dynamic-scenario JSON ok:", sys.argv[1])
 EOF
 else
   echo "python3 not found; skipping flipsim JSON validation" >&2
@@ -61,8 +76,11 @@ else
 fi
 
 # ThreadSanitizer pass over the sharded engine: the intra-trial shard
-# phases and the helping ThreadPool wait are the only cross-thread code in
-# the repo; race-check them under a dedicated instrumented build. Skip
+# phases (route/deliver AND the churn liveness phase with its per-shard
+# delta merge) and the helping ThreadPool wait are the only cross-thread
+# code in the repo; race-check them under a dedicated instrumented build.
+# The BatchEngineTest/SweepDeterminismTest filter includes the
+# churn-enabled sharded tests and the dynamic-scenario sweep matrix. Skip
 # with FLIP_SKIP_TSAN=1 (e.g. toolchains without tsan runtimes).
 if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_DIR="${BUILD_DIR}-tsan"

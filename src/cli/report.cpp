@@ -1,5 +1,7 @@
 #include "cli/report.hpp"
 
+#include <limits>
+
 #include "util/json_writer.hpp"
 
 namespace flip::cli {
@@ -12,6 +14,31 @@ void stats_object(JsonWriter& json, const RunningStats& stats) {
       .field("stddev", stats.stddev())
       .field("min", stats.min())
       .field("max", stats.max())
+      .end_object();
+}
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// The convergence-round mean of a point: NaN (rendered null/"-") when no
+/// trial converged — an empty accumulator's 0.0 would read as "converged
+/// at round 0", the exact NaN-vs-placeholder confusion the reporting
+/// layer guards against.
+double convergence_mean(const TrialSummary& summary) {
+  return summary.converged != 0 ? summary.convergence_rounds.mean() : kNaN;
+}
+
+/// Like stats_object, but for the convergence accumulator, which may hold
+/// no samples: every statistic maps to null then (JsonWriter renders
+/// non-finite doubles as null).
+void convergence_object(JsonWriter& json, const TrialSummary& summary) {
+  const bool any = summary.converged != 0;
+  const RunningStats& stats = summary.convergence_rounds;
+  json.begin_object()
+      .field("converged", static_cast<std::uint64_t>(summary.converged))
+      .field("mean", any ? stats.mean() : kNaN)
+      .field("stddev", any ? stats.stddev() : kNaN)
+      .field("min", any ? stats.min() : kNaN)
+      .field("max", any ? stats.max() : kNaN)
       .end_object();
 }
 
@@ -47,6 +74,8 @@ std::string sweep_to_json(const SweepResult& result) {
         .field("n", static_cast<std::uint64_t>(point.config.n))
         .field("eps", point.config.eps)
         .field("channel", point.config.channel)
+        .field("schedule", point.config.schedule.describe())
+        .field("churn", point.config.churn.describe())
         .end_object();
     json.field("trials", static_cast<std::uint64_t>(point.summary.trials))
         .field("successes",
@@ -63,6 +92,8 @@ std::string sweep_to_json(const SweepResult& result) {
     stats_object(json, point.summary.messages);
     json.key("correct_fraction");
     stats_object(json, point.summary.correct_fraction);
+    json.key("convergence_rounds");
+    convergence_object(json, point.summary);
     json.key("trial_seconds");
     stats_object(json, point.summary.trial_seconds);
     json.field("wall_seconds", point.summary.wall_seconds);
@@ -74,16 +105,22 @@ std::string sweep_to_json(const SweepResult& result) {
 }
 
 std::string sweep_to_csv(const SweepResult& result) {
+  // Doubles (including the possibly-NaN convergence mean) render through
+  // JsonWriter::number, which maps non-finite values to "null" — never the
+  // locale/platform-dependent "nan"/"inf" spellings of raw streams.
   std::string csv =
-      "scenario,n,eps,channel,trials,successes,success_rate,success_low,"
-      "success_high,rounds_mean,rounds_stddev,rounds_min,rounds_max,"
-      "messages_mean,messages_stddev,correct_fraction_mean,wall_seconds\n";
+      "scenario,n,eps,channel,schedule,churn,trials,successes,success_rate,"
+      "success_low,success_high,rounds_mean,rounds_stddev,rounds_min,"
+      "rounds_max,messages_mean,messages_stddev,correct_fraction_mean,"
+      "convergence_mean,converged,wall_seconds\n";
   for (const SweepPoint& point : result.points) {
     const TrialSummary& s = point.summary;
     csv += result.spec.scenario;
     csv += ',' + std::to_string(point.config.n);
     csv += ',' + JsonWriter::number(point.config.eps);
     csv += ',' + point.config.channel;
+    csv += ',' + point.config.schedule.describe();
+    csv += ',' + point.config.churn.describe();
     csv += ',' + std::to_string(s.trials);
     csv += ',' + std::to_string(s.successes);
     csv += ',' + JsonWriter::number(s.success.estimate);
@@ -96,6 +133,8 @@ std::string sweep_to_csv(const SweepResult& result) {
     csv += ',' + JsonWriter::number(s.messages.mean());
     csv += ',' + JsonWriter::number(s.messages.stddev());
     csv += ',' + JsonWriter::number(s.correct_fraction.mean());
+    csv += ',' + JsonWriter::number(convergence_mean(s));
+    csv += ',' + std::to_string(s.converged);
     csv += ',' + JsonWriter::number(point.summary.wall_seconds);
     csv += '\n';
   }
@@ -104,7 +143,7 @@ std::string sweep_to_csv(const SweepResult& result) {
 
 TextTable sweep_table(const SweepResult& result) {
   TextTable table({"n", "eps", "channel", "trials", "success", "rounds",
-                   "messages", "correct", "wall s"});
+                   "messages", "correct", "conv round", "wall s"});
   for (const SweepPoint& point : result.points) {
     const TrialSummary& s = point.summary;
     table.row()
@@ -116,6 +155,10 @@ TextTable sweep_table(const SweepResult& result) {
         .cell(s.rounds.mean(), 0)
         .cell(s.messages.mean(), 0)
         .cell(s.correct_fraction.mean(), 4)
+        // "-" when no trial converged (or the scenario records no probes):
+        // a numeric placeholder would read as a real round.
+        .cell(s.converged != 0 ? format_fixed(convergence_mean(s), 0)
+                               : std::string("-"))
         .cell(point.summary.wall_seconds, 2);
   }
   return table;

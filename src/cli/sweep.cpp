@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
 namespace flip::cli {
@@ -52,11 +53,50 @@ std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec) {
         overrides.channel = channel;
         overrides.engine = spec.engine;
         overrides.shards = spec.shards;
+        overrides.schedule = spec.schedule;
+        overrides.churn = spec.churn;
         grid.push_back(registry.resolve(spec.scenario, overrides));
       }
     }
   }
   return grid;
+}
+
+std::optional<std::string> validate_threads(std::size_t threads,
+                                            std::size_t hardware) {
+  if (threads == 0) {
+    return "--threads: 0 is not a worker count (omit the flag for the "
+           "default)";
+  }
+  // hardware == 0: the runtime cannot detect the core count. Fall back to
+  // a floor of 1 — accept any positive request — instead of comparing
+  // against an upper bound of 0, which would reject everything.
+  if (hardware != 0 && threads > hardware) {
+    return "--threads: " + std::to_string(threads) + " is outside 1.." +
+           std::to_string(hardware) + " (this machine's hardware "
+           "concurrency)";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_shards(std::size_t shards) {
+  if (shards == 0 || shards > kMaxShards) {
+    return "--shards: " + std::to_string(shards) + " is outside 1.." +
+           std::to_string(kMaxShards);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_eps_values(
+    const std::vector<double>& epss) {
+  for (const double eps : epss) {
+    if (!(eps > 0.0) || eps > 0.5) {
+      std::ostringstream os;
+      os << "--eps: " << eps << " is outside the model's domain (0, 0.5]";
+      return os.str();
+    }
+  }
+  return std::nullopt;
 }
 
 SweepResult run_sweep(const SweepSpec& spec) {

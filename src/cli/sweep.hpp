@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,11 @@ struct SweepSpec {
   /// are bit-identical for every value — sharding buys wall-clock on big
   /// single trials, threads buy throughput across trials.
   std::size_t shards = 1;
+  /// Dynamic-environment overrides (flipsim --schedule / --churn). Unset
+  /// means "use the scenario's registered default" — which is the static
+  /// environment for classic entries and a preset for the dynamic ones.
+  std::optional<EnvironmentSchedule> schedule;
+  std::optional<ChurnSpec> churn;
 };
 
 /// One grid point's resolved parameters and aggregated results. Per-point
@@ -55,5 +61,26 @@ SweepResult run_sweep(const SweepSpec& spec);
 
 /// The resolved grid run_sweep would execute, in execution order.
 std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec);
+
+// Argument-layer validation shared by flipsim (and testable without a
+// process): each returns nullopt when the value is acceptable, the error
+// text (without the "error: " prefix) otherwise.
+
+/// Validates a --threads request against the detected hardware concurrency.
+/// `hardware` == 0 means the runtime cannot tell (std::thread::
+/// hardware_concurrency is allowed to return 0) — that falls back to a
+/// floor of one worker, so any positive request is accepted rather than
+/// every request being rejected against an upper bound of 0.
+std::optional<std::string> validate_threads(std::size_t threads,
+                                            std::size_t hardware);
+
+/// Validates a --shards request against the registry's kMaxShards bound.
+std::optional<std::string> validate_shards(std::size_t shards);
+
+/// Validates every --eps value against the model's (0, 0.5] domain, so a
+/// bad grid fails at the argument layer with the offending value named
+/// instead of deep inside Params::calibrated mid-sweep.
+std::optional<std::string> validate_eps_values(
+    const std::vector<double>& epss);
 
 }  // namespace flip::cli

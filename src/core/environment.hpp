@@ -1,0 +1,167 @@
+#pragma once
+// Dynamic-environment layer: what the world does to the protocol while it
+// runs. The paper's model fixes the channel advantage eps and the agent set
+// for a whole execution; this layer relaxes both, deterministically:
+//
+//  * EnvironmentSchedule — a piecewise eps schedule (step / ramp segments
+//    over a base eps, plus stochastic correlated noise bursts). Evaluated
+//    per round as a pure function of (trial key, round): the burst lottery
+//    draws from the trial's RngPurpose::kEnvironment counter stream, keyed
+//    by the burst window index, so the realized schedule is bit-identical
+//    across engine substrates, thread counts, and shard counts.
+//  * ChurnSpec — per-round agent join/sleep/wake events. Every agent's
+//    transition at round r is one draw from the stateless stream
+//    (trial, round, agent, RngPurpose::kChurn): an awake agent falls asleep
+//    with sleep_prob, an asleep one wakes with wake_prob, and start_asleep
+//    seeds the initial asleep set (agents that "join" the execution when
+//    their first wake draw fires). Asleep agents neither send nor accept;
+//    they keep their opinion and resume when they wake. Because the draw is
+//    keyed per (round, agent), both the classic Engine and the sharded
+//    BatchEngine replay the same events — shards update their own agent
+//    blocks and merge the liveness deltas exactly, like opinion deltas.
+//
+// The schedule deliberately does NOT recalibrate Params: the protocol's
+// phase lengths stay sized for the scenario's nominal eps, and the
+// environment then under- or over-delivers on that promise. That is the
+// point — the model only guarantees noise "with probability at most
+// 1/2 - eps", and these scenarios probe what happens at and past that
+// boundary.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace flip {
+
+using Round = std::uint64_t;  // as in sim/metrics.hpp
+
+/// One piecewise segment of an eps schedule: over rounds [begin, end) the
+/// channel advantage interpolates linearly from eps_from to eps_to (a step
+/// when the two are equal). end == 0 means "until the end of the run" and
+/// is materialized by EnvironmentSchedule::resolved() once the execution
+/// length is known.
+struct EpsSegment {
+  Round begin = 0;
+  Round end = 0;
+  double eps_from = 0.0;
+  double eps_to = 0.0;
+};
+
+/// A per-round eps schedule. Disabled (enabled() == false) means "static
+/// eps": the base (or the scenario's nominal) eps for every round.
+struct EnvironmentSchedule {
+  /// eps outside every segment and burst. 0 = inherit the scenario's eps
+  /// (filled in by resolved()).
+  double base_eps = 0.0;
+
+  /// Piecewise segments, evaluated in order; the last segment that has
+  /// STARTED by a round wins (a finished segment holds its eps_to — a ramp
+  /// is a transition, not an excursion). Rounds before every segment use
+  /// base_eps.
+  std::vector<EpsSegment> segments;
+
+  /// Stochastic correlated bursts: the run is tiled into aligned windows of
+  /// burst_len rounds, and each window independently is a burst with
+  /// probability burst_prob (one draw from the trial's kEnvironment stream,
+  /// keyed by the window index). During a burst eps drops to burst_eps for
+  /// every message of every round of the window — correlated noise, unlike
+  /// the per-message independence of the static BSC.
+  double burst_prob = 0.0;
+  Round burst_len = 0;
+  double burst_eps = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !segments.empty() || burst_prob > 0.0;
+  }
+
+  /// Throws std::invalid_argument unless every eps is in (0, 0.5], probs
+  /// are in [0, 1], and segment bounds are ordered. A disabled schedule is
+  /// always valid.
+  void validate() const;
+
+  /// The channel advantage of round r. Pure function of (key, r): the only
+  /// randomness is the burst lottery, drawn from the kEnvironment stream of
+  /// `key` (one trial's root key). Call validate()/resolved() first; open
+  /// segment ends (end == 0) are treated as "forever" here.
+  [[nodiscard]] double eps_at(const StreamKey& key, Round r) const;
+
+  /// A copy with base_eps == 0 replaced by `nominal_eps` and open segment
+  /// ends replaced by `total_rounds` (segments that start at or past the
+  /// end are dropped). Engines and channels consume resolved schedules.
+  [[nodiscard]] EnvironmentSchedule resolved(double nominal_eps,
+                                             Round total_rounds) const;
+
+  /// Human/machine-readable summary, e.g. "ramp[0,1200):0.35->0.1" or
+  /// "burst(p=0.08 len=16 eps=0.02)"; "static" when disabled. Contains no
+  /// commas, so it embeds into CSV cells unquoted.
+  [[nodiscard]] std::string describe() const;
+
+  /// Parses a CLI spec:
+  ///   ramp:EPS0:EPS1            linear over the whole run
+  ///   ramp:R0:R1:EPS0:EPS1      linear over rounds [R0, R1)
+  ///   step:R:EPS                EPS from round R on
+  ///   burst:PROB:LEN:EPS        aligned windows of LEN rounds, each a
+  ///                             burst with probability PROB at eps EPS
+  /// Throws std::invalid_argument (message names the offending piece).
+  static EnvironmentSchedule parse(std::string_view spec);
+};
+
+/// Per-round agent churn probabilities. All three are per-agent
+/// probabilities; sleep/wake apply once per round, start_asleep once at
+/// round 0 (the initial "not yet joined" set).
+struct ChurnSpec {
+  double sleep_prob = 0.0;
+  double wake_prob = 0.0;
+  double start_asleep = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return sleep_prob > 0.0 || wake_prob > 0.0 || start_asleep > 0.0;
+  }
+
+  /// Throws std::invalid_argument unless all probabilities are in [0, 1].
+  void validate() const;
+
+  /// "sleep=0.005 wake=0.1" (plus " start_asleep=0.25" when set); "none"
+  /// when disabled. Comma-free for CSV embedding.
+  [[nodiscard]] std::string describe() const;
+
+  /// Parses "SLEEP:WAKE" or "SLEEP:WAKE:START_ASLEEP".
+  /// Throws std::invalid_argument (message names the offending piece).
+  static ChurnSpec parse(std::string_view spec);
+};
+
+/// The pseudo-round keying the start_asleep draws. Far above any real round
+/// (schedules are ~1e6 rounds at the largest simulated n), so the initial
+/// lottery can never collide with a round-r churn stream.
+inline constexpr Round kChurnInitRound = (~std::uint64_t{0}) >> 3;
+
+/// True iff agent `a` starts round 0 asleep (has not yet joined).
+/// Pure function of (trial key, agent).
+[[nodiscard]] inline bool churn_starts_asleep(const ChurnSpec& churn,
+                                              const StreamKey& trial_key,
+                                              AgentId a) {
+  CounterRng rng(
+      round_stream_key(trial_key, RngPurpose::kChurn, kChurnInitRound), a);
+  return bernoulli(rng, churn.start_asleep);
+}
+
+/// One churn transition for agent `a` under the round's kChurn key:
+/// returns the agent's awake state for this round given last round's.
+/// Pure function of (round key, agent, awake) — agents never affect each
+/// other's transitions, which is what lets shards evaluate their own agent
+/// blocks independently and still match the sequential reference bit for
+/// bit.
+[[nodiscard]] inline bool churn_step(const ChurnSpec& churn,
+                                     const StreamKey& churn_round_key,
+                                     AgentId a, bool awake) {
+  CounterRng rng(churn_round_key, a);
+  const bool toggle =
+      bernoulli(rng, awake ? churn.sleep_prob : churn.wake_prob);
+  return toggle ? !awake : awake;
+}
+
+}  // namespace flip

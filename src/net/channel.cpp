@@ -46,6 +46,20 @@ std::string HeterogeneousChannel::name() const {
   return os.str();
 }
 
+CorrelatedBurstChannel::CorrelatedBurstChannel(EnvironmentSchedule schedule)
+    : schedule_(std::move(schedule)), round_eps_(schedule_.base_eps) {
+  if (!(schedule_.base_eps > 0.0) || schedule_.base_eps > 0.5) {
+    throw std::invalid_argument(
+        "CorrelatedBurstChannel: schedule must be resolved() to a base eps "
+        "in (0, 0.5]");
+  }
+  schedule_.validate();
+}
+
+std::string CorrelatedBurstChannel::name() const {
+  return "scheduled(" + schedule_.describe() + ")";
+}
+
 AdversarialChannel::AdversarialChannel(std::uint64_t flip_budget)
     : budget_left_(flip_budget) {}
 

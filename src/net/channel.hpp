@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 
+#include "core/environment.hpp"
 #include "net/message.hpp"
 #include "util/rng.hpp"
 
@@ -35,6 +36,17 @@ class NoiseChannel {
   /// per-round stream. Engines call this one.
   [[nodiscard]] virtual std::optional<Opinion> transmit(Opinion sent,
                                                         CounterRng& rng) = 0;
+
+  /// Round hook: engines call this once at the start of round `round` of
+  /// the trial rooted at `trial_key`, before any transmit() of that round.
+  /// Channels whose noise level is round-scoped (CorrelatedBurstChannel)
+  /// fix their per-round state here — from counter-keyed draws only, so
+  /// the realized noise is identical on every substrate. Default: no-op
+  /// (the static channels have no round state).
+  virtual void begin_round(const StreamKey& trial_key, std::uint64_t round) {
+    (void)trial_key;
+    (void)round;
+  }
 
   /// Nominal per-message flip probability (for reporting; the adversarial
   /// channel reports its worst-case rate).
@@ -158,6 +170,58 @@ class HeterogeneousChannel final : public NoiseChannel {
 
  private:
   double eps_;
+};
+
+/// Dynamic-environment channel: a BSC whose advantage eps follows an
+/// EnvironmentSchedule (core/environment.hpp) — piecewise step/ramp
+/// segments plus correlated noise bursts that hit whole windows of rounds
+/// at once. The model's "with probability at most 1/2 - eps" clause made
+/// per-message noise heterogeneous (HeterogeneousChannel); this channel
+/// makes it ROUND-correlated instead, which is the harder case for the
+/// protocol's phase-length union bounds.
+///
+/// Round protocol: engines call begin_round(trial_key, r) once per round,
+/// which evaluates the schedule (the burst lottery draws from the trial's
+/// kEnvironment counter stream) and pins this round's eps; transmit() then
+/// flips with probability 1/2 - eps from the RECIPIENT's keyed stream as
+/// usual. Both draws are pure functions of their keys, so the realized
+/// noise is bit-identical across engines, threads, and shards.
+/// Constructed per trial, like the other channels; the only state is the
+/// cached round eps.
+class CorrelatedBurstChannel final : public NoiseChannel {
+ public:
+  /// `schedule` must be resolved() and validate()d; round eps starts at the
+  /// schedule's base until the first begin_round call.
+  explicit CorrelatedBurstChannel(EnvironmentSchedule schedule);
+
+  void begin_round(const StreamKey& trial_key, std::uint64_t round) override {
+    round_eps_ = schedule_.eps_at(trial_key, round);
+  }
+
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                Xoshiro256& rng) override {
+    return transmit_with(sent, rng);
+  }
+  [[nodiscard]] std::optional<Opinion> transmit(Opinion sent,
+                                                CounterRng& rng) override {
+    return transmit_with(sent, rng);
+  }
+  template <typename Rng>
+  [[nodiscard]] std::optional<Opinion> transmit_with(Opinion sent, Rng& rng) {
+    return bernoulli(rng, 0.5 - round_eps_) ? flip_opinion(sent) : sent;
+  }
+  [[nodiscard]] double flip_probability() const noexcept override {
+    return 0.5 - round_eps_;  // this round's rate
+  }
+  [[nodiscard]] const EnvironmentSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] double round_eps() const noexcept { return round_eps_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  EnvironmentSchedule schedule_;
+  double round_eps_;
 };
 
 /// Budget-bounded adversarial channel extension: flips deterministically

@@ -59,6 +59,21 @@ void BatchEngine::prepare_breathe(const Params& params,
     sh.delta = {};
     sh.successful = 0;
     sh.flipped = 0;
+    sh.sent = 0;
+    sh.asleep_drops = 0;
+  }
+
+  // The initial "not yet joined" set of the churn model: same keyed draws
+  // as the classic engine's, so the two substrates agree on who is absent
+  // at round 0. Seeds are NOT exempt — an asleep source simply stays
+  // silent until its wake draw fires.
+  const ChurnSpec& churn = options.engine.churn;
+  if (churn.start_asleep > 0.0) {
+    for (AgentId a = 0; a < n; ++a) {
+      if (churn_starts_asleep(churn, trial_key_, a)) {
+        pop_.set_awake(a, false);
+      }
+    }
   }
 
   for (const Seed& seed : config.initial) {

@@ -94,7 +94,10 @@ struct BreatheFastResult {
   std::vector<StageTwoPhaseStats> stage2;
 };
 
-/// Execution knobs for run_breathe().
+/// Execution knobs for run_breathe(). Agent churn rides in
+/// engine.churn: the sharded path advances each shard's agent block from
+/// the per-(round, agent) kChurn streams and merges the liveness deltas
+/// exactly, so results match the classic Engine bit for bit.
 struct BreatheRunOptions {
   EngineOptions engine;
   /// Agent partitions per round phase. Results are bit-identical for every
@@ -112,17 +115,24 @@ struct BreatheRunOptions {
 
 namespace detail {
 
-/// Per-message flip draw for the packed fast path, producing exactly the
-/// decision the channel's transmit() makes from the same stream. BscFlip
-/// turns `uniform_unit(rng) < p` into an integer compare: with
+/// The integer flip threshold of a BSC with advantage eps: with
 /// k = rng() >> 11, u = k * 2^-53 < p iff k < ceil(p * 2^53) (p * 2^53 is
 /// an exact power-of-two scaling, so no rounding is involved anywhere).
-/// One draw, no int-to-double conversion.
+[[nodiscard]] inline std::uint64_t bsc_flip_threshold(double eps) noexcept {
+  return static_cast<std::uint64_t>(std::ceil((0.5 - eps) * 0x1.0p53));
+}
+
+/// Per-message flip draw for the packed fast path, producing exactly the
+/// decision the channel's transmit() makes from the same stream. BscFlip
+/// turns `uniform_unit(rng) < p` into an integer compare (see
+/// bsc_flip_threshold). One draw, no int-to-double conversion.
+/// Every flip functor exposes begin_round(): a no-op for the static
+/// channels, the schedule evaluation for the round-scoped one.
 struct BscFlip {
   std::uint64_t threshold;
   explicit BscFlip(const BinarySymmetricChannel& channel)
-      : threshold(static_cast<std::uint64_t>(
-            std::ceil((0.5 - channel.eps()) * 0x1.0p53))) {}
+      : threshold(bsc_flip_threshold(channel.eps())) {}
+  void begin_round(const StreamKey&, Round) noexcept {}
   template <typename Rng>
   bool operator()(Rng& rng) const noexcept {
     return (rng() >> 11) < threshold;
@@ -135,10 +145,29 @@ struct HeterogeneousFlip {
   double eps;
   explicit HeterogeneousFlip(const HeterogeneousChannel& channel)
       : eps(channel.eps()) {}
+  void begin_round(const StreamKey&, Round) noexcept {}
   template <typename Rng>
   bool operator()(Rng& rng) const noexcept {
     const double flip_prob = uniform_unit(rng) * (0.5 - eps);
     return bernoulli(rng, flip_prob);
+  }
+};
+
+/// CorrelatedBurstChannel::transmit as an integer-threshold compare: the
+/// round's eps comes from the same schedule evaluation (same kEnvironment
+/// draw) the channel's begin_round performs, re-pinned here once per round,
+/// so the per-message loop stays one draw + one compare like BscFlip.
+struct ScheduledFlip {
+  const EnvironmentSchedule* schedule;
+  std::uint64_t threshold = 0;
+  explicit ScheduledFlip(const CorrelatedBurstChannel& channel)
+      : schedule(&channel.schedule()) {}
+  void begin_round(const StreamKey& trial_key, Round r) noexcept {
+    threshold = bsc_flip_threshold(schedule->eps_at(trial_key, r));
+  }
+  template <typename Rng>
+  bool operator()(Rng& rng) const noexcept {
+    return (rng() >> 11) < threshold;
   }
 };
 
@@ -147,6 +176,9 @@ inline BscFlip make_flip(const BinarySymmetricChannel& channel) {
 }
 inline HeterogeneousFlip make_flip(const HeterogeneousChannel& channel) {
   return HeterogeneousFlip(channel);
+}
+inline ScheduledFlip make_flip(const CorrelatedBurstChannel& channel) {
+  return ScheduledFlip(channel);
 }
 
 // Packed-layout constants. Send-list entries carry the opinion in bit 31
@@ -195,35 +227,67 @@ inline std::size_t combine(std::uint32_t to, std::uint64_t word,
   return tsize;
 }
 
+/// Counts one shard's route pass produces: recipients touched (in-place
+/// combine only) and messages actually sent (== the sender-list size unless
+/// churn put senders to sleep).
+struct RoutePartial {
+  std::size_t touched = 0;
+  std::uint64_t sent = 0;
+};
+
+/// Counts one shard's deliver pass produces: messages whose bit flipped and
+/// accepted messages lost to an asleep recipient.
+struct DeliverPartial {
+  std::uint64_t flipped = 0;
+  std::uint64_t asleep_drops = 0;
+};
+
 /// Routes one shard's senders and min-combines in place (the single-shard
-/// fast path: no bucket materialization). Returns the touched count.
-[[gnu::noinline]] inline std::size_t route_combine(
+/// fast path: no bucket materialization). kChurn filters asleep senders
+/// through `awake` (unused when false — the template keeps the common
+/// static-population loop branch-free).
+template <bool kChurn>
+[[gnu::noinline]] inline RoutePartial route_combine(
     const std::uint32_t* __restrict__ send, std::size_t nsend,
     std::uint64_t n_minus_1, const StreamKey rkey,
+    const std::uint8_t* __restrict__ awake,
     std::uint64_t* __restrict__ slot, AgentId* __restrict__ tdata) {
+  RoutePartial partial;
   std::size_t tsize = 0;
   for (std::size_t i = 0; i < nsend; ++i) {
     const std::uint32_t e = send[i];
     const std::uint32_t sender = e & kAgentMask;
+    if constexpr (kChurn) {
+      if (awake[sender] == 0) continue;  // asleep: no send, no draws
+    }
+    ++partial.sent;
     CounterRng rng(rkey, sender);
     auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
     to += (to >= sender);
     tsize = combine(to, acceptance_word(rng(), (e & kSendBit) | sender),
                     slot, tdata, tsize);
   }
-  return tsize;
+  partial.touched = tsize;
+  return partial;
 }
 
 /// Routes one shard's senders into per-destination-shard buckets (the
 /// multi-shard route phase; `shard_mul` is the fastdiv reciprocal of the
-/// shard block size).
-[[gnu::noinline]] inline void route_scatter(
+/// shard block size). Returns the number of messages sent.
+template <bool kChurn>
+[[gnu::noinline]] inline std::uint64_t route_scatter(
     const std::uint32_t* __restrict__ send, std::size_t nsend,
     std::uint64_t n_minus_1, const StreamKey rkey, std::uint64_t shard_mul,
+    const std::uint8_t* __restrict__ awake,
     std::vector<RoutedMsg>* __restrict__ out) {
+  std::uint64_t sent = 0;
   for (std::size_t i = 0; i < nsend; ++i) {
     const std::uint32_t e = send[i];
     const std::uint32_t sender = e & kAgentMask;
+    if constexpr (kChurn) {
+      if (awake[sender] == 0) continue;
+    }
+    ++sent;
     CounterRng rng(rkey, sender);
     auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
     to += (to >= sender);
@@ -232,6 +296,7 @@ inline std::size_t combine(std::uint32_t to, std::uint64_t word,
     out[dst].push_back(
         RoutedMsg{acceptance_word(rng(), (e & kSendBit) | sender), to});
   }
+  return sent;
 }
 
 /// Min-combines one inbound bucket into a destination shard's slots.
@@ -248,15 +313,17 @@ inline std::size_t combine(std::uint32_t to, std::uint64_t word,
 
 /// Delivers one Stage II round for one shard's touched recipients: clears
 /// each meta slot, applies the recipient-keyed channel flip, and bumps the
-/// packed recv/ones/prefix counters. Returns the number of flipped
-/// messages.
-template <typename FlipFn>
-[[gnu::noinline]] inline std::uint64_t deliver_stage2(
+/// packed recv/ones/prefix counters. Under kChurn an asleep recipient's
+/// accepted message is discarded (no draw, no counter bump) and counted as
+/// an asleep drop.
+template <bool kChurn, typename FlipFn>
+[[gnu::noinline]] inline DeliverPartial deliver_stage2(
     const AgentId* __restrict__ tdata, std::size_t tsize,
     const StreamKey ckey, std::uint64_t threshold,
+    const std::uint8_t* __restrict__ awake,
     std::uint64_t* __restrict__ slot, std::uint64_t* __restrict__ acc,
     FlipFn flips) {
-  std::uint64_t flipped = 0;
+  DeliverPartial partial;
   for (std::size_t i = 0; i < tsize; ++i) {
     if (i + 16 < tsize) {
       __builtin_prefetch(&slot[tdata[i + 16]], 1);
@@ -265,10 +332,16 @@ template <typename FlipFn>
     const AgentId to = tdata[i];
     const std::uint64_t m = slot[to];
     slot[to] = kEmptySlot;
+    if constexpr (kChurn) {
+      if (awake[to] == 0) {
+        ++partial.asleep_drops;
+        continue;
+      }
+    }
     const bool sent_one = (m & kSendBit) != 0;
     CounterRng rng(ckey, to);
     const bool flip = flips(rng);
-    flipped += flip;
+    partial.flipped += flip;
     std::uint64_t w = acc[to] + 1;  // ++recv
     if (sent_one != flip) {
       w += (std::uint64_t{1} << kOnesShift) +
@@ -277,20 +350,21 @@ template <typename FlipFn>
     }
     acc[to] = w;
   }
-  return flipped;
+  return partial;
 }
 
-/// Delivers one Stage I round for one shard's touched recipients: channel
-/// flip, then the protocol's activation bookkeeping and (under the uniform
-/// pick rule) the keyed reservoir decision. Returns the flip count.
-template <typename FlipFn>
-[[gnu::noinline]] inline std::uint64_t deliver_stage1(
+/// Delivers one Stage I round for one shard's touched recipients: churn
+/// filter, channel flip, then the protocol's activation bookkeeping and
+/// (under the uniform pick rule) the keyed reservoir decision.
+template <bool kChurn, typename FlipFn>
+[[gnu::noinline]] inline DeliverPartial deliver_stage1(
     const AgentId* __restrict__ tdata, std::size_t tsize,
     const StreamKey ckey, const StreamKey pkey, bool uniform_pick,
     const std::uint8_t* __restrict__ has_opinion,
+    const std::uint8_t* __restrict__ awake,
     std::uint64_t* __restrict__ slot, std::uint64_t* __restrict__ acc,
     std::vector<AgentId>& activation, FlipFn flips) {
-  std::uint64_t flipped = 0;
+  DeliverPartial partial;
   for (std::size_t i = 0; i < tsize; ++i) {
     if (i + 16 < tsize) {
       __builtin_prefetch(&slot[tdata[i + 16]], 1);
@@ -299,10 +373,16 @@ template <typename FlipFn>
     const AgentId to = tdata[i];
     const std::uint64_t m = slot[to];
     slot[to] = kEmptySlot;
+    if constexpr (kChurn) {
+      if (awake[to] == 0) {
+        ++partial.asleep_drops;
+        continue;
+      }
+    }
     const bool sent_one = (m & kSendBit) != 0;
     CounterRng rng(ckey, to);
     const bool flip = flips(rng);
-    flipped += flip;
+    partial.flipped += flip;
     const bool seen_one = sent_one != flip;
     if (has_opinion[to]) continue;  // Stage I ignores opinionated agents
     const std::uint64_t v = acc[to];
@@ -322,7 +402,7 @@ template <typename FlipFn>
     }
     acc[to] = recv | (kept << kKeptShift);
   }
-  return flipped;
+  return partial;
 }
 
 }  // namespace detail
@@ -333,6 +413,21 @@ class BatchEngine {
 
   BatchEngine(const BatchEngine&) = delete;
   BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// The round layout both substrates run under — one copy of the
+  /// skip_stage1/start_phase arithmetic that BreatheProtocol's constructor
+  /// also performs, so the two cannot drift from each other. Public so the
+  /// scenario layer can size round-anchored environment schedules without
+  /// constructing a protocol first.
+  struct BreatheSchedule {
+    Round stage1_offset = 0;
+    Round stage1_rounds = 0;
+    Round total_rounds = 0;
+    Round budget = 0;  ///< rounds this run executes (stage1_only truncates)
+  };
+  static BreatheSchedule breathe_schedule(const Params& params,
+                                          const BreatheConfig& config,
+                                          bool stage1_only);
 
   /// Statically dispatched replica of Engine::run for population n: same
   /// counter-keyed draws, identical Metrics — but with `protocol` and
@@ -345,28 +440,58 @@ class BatchEngine {
     send_buffer_.clear();
     if (send_buffer_.capacity() < n) send_buffer_.reserve(n);
 
+    const ChurnSpec& churn = options.churn;
+    const bool churn_on = churn.enabled();
+    if (churn_on) {
+      awake_.assign(n, 1);
+      if (churn.start_asleep > 0.0) {
+        for (AgentId a = 0; a < n; ++a) {
+          if (churn_starts_asleep(churn, key, a)) awake_[a] = 0;
+        }
+      }
+    }
+
     Metrics metrics;
     for (Round r = 0; r < max_rounds; ++r) {
       send_buffer_.clear();
       protocol.collect_sends(r, send_buffer_);
 
+      // Round-scoped environment events, exactly as in Engine::run: churn
+      // transitions, then the channel's round state.
+      if (churn_on) {
+        const StreamKey churn_key =
+            round_stream_key(key, RngPurpose::kChurn, r);
+        for (AgentId a = 0; a < n; ++a) {
+          awake_[a] =
+              churn_step(churn, churn_key, a, awake_[a] != 0) ? 1 : 0;
+        }
+      }
+      channel.begin_round(key, r);
+
       mailbox_.reset();
       const StreamKey route_key = round_stream_key(key, RngPurpose::kRoute, r);
+      std::uint64_t sent = 0;
       for (const Message& msg : send_buffer_) {
         if (msg.sender >= mailbox_.population()) {
           throw std::out_of_range("BatchEngine: sender id out of range");
         }
+        if (churn_on && awake_[msg.sender] == 0) continue;
+        ++sent;
         CounterRng rng(route_key, msg.sender);
         auto to = static_cast<AgentId>(uniform_index(rng, n - 1));
         if (to >= msg.sender) ++to;
         mailbox_.offer(to, msg.sender, msg.bit,
                        acceptance_word(rng(), msg.bit, msg.sender));
       }
-      metrics.messages_sent += send_buffer_.size();
+      metrics.messages_sent += sent;
 
       const StreamKey channel_key =
           round_stream_key(key, RngPurpose::kChannel, r);
       for (AgentId to : mailbox_.recipients()) {
+        if (churn_on && awake_[to] == 0) {
+          ++metrics.dropped;
+          continue;
+        }
         const Message& msg = mailbox_.accepted(to);
         CounterRng rng(channel_key, to);
         const std::optional<Opinion> seen = channel.transmit(msg.bit, rng);
@@ -419,8 +544,11 @@ class BatchEngine {
     const std::uint64_t n_minus_1 = n - 1;
     const bool uniform_pick =
         config.stage1_pick == Stage1Pick::kUniformMessage;
-    const auto flips = detail::make_flip(channel);
+    auto flips = detail::make_flip(channel);
     const std::size_t shards = shards_;
+    const ChurnSpec& churn = options.engine.churn;
+    const bool churn_on = churn.enabled();
+    const std::uint8_t* const awake = pop_.awake_data();
 
     std::uint64_t* const __restrict__ acc = acc_.data();
     std::uint64_t* const __restrict__ slot = slot_.data();
@@ -436,24 +564,59 @@ class BatchEngine {
       const std::uint64_t threshold =
           in_s1 ? 0 : s2.half_length(s2.phase_of_round(r - stage1_rounds));
 
-      std::uint64_t nsend = 0;
-      for (const ShardScratch& sh : shard_) nsend += sh.send.size();
-      metrics.messages_sent += nsend;
+      // --- round-scoped environment events. The flip functor pins this
+      // round's noise level (the burst lottery is one kEnvironment draw);
+      // the churn phase advances every agent's liveness from its own
+      // (round, agent, kChurn) stream, shard-parallel over the agent
+      // blocks, and merges the per-shard liveness deltas exactly — the
+      // same merge discipline as the Stage II opinion deltas.
+      flips.begin_round(trial_key_, r);
+      if (churn_on) {
+        const StreamKey churn_key =
+            round_stream_key(trial_key_, RngPurpose::kChurn, r);
+        for_each_shard([&](std::size_t d) {
+          ShardScratch& sh = shard_[d];
+          sh.delta = {};
+          const auto lo = static_cast<AgentId>(d * shard_block_);
+          const auto hi = static_cast<AgentId>(
+              std::min(n, (d + 1) * shard_block_));
+          for (AgentId a = lo; a < hi; ++a) {
+            const bool was = pop_.awake(a);
+            const bool now = churn_step(churn, churn_key, a, was);
+            if (now != was) pop_.set_awake_counted(a, now, sh.delta);
+          }
+        });
+        for (const ShardScratch& sh : shard_) pop_.apply(sh.delta);
+      }
 
       // --- route phase: every shard walks its own sender list. The sender
       // list is kept materialized across a phase (opinions only change at
-      // phase boundaries), so the classic collect_sends pass disappears.
+      // phase boundaries), so the classic collect_sends pass disappears;
+      // asleep senders are filtered per round against the liveness bytes.
       // Single shard min-combines in place (no bucket materialization);
       // multiple shards scatter into per-destination buckets.
       for_each_shard([&](std::size_t s) {
         ShardScratch& sh = shard_[s];
-        if (shards == 1) {
-          sh.touched_count = detail::route_combine(
-              sh.send.data(), sh.send.size(), n_minus_1, route_key, slot,
-              sh.touched.data());
+        // One statement of each argument list; the bool_constant picks the
+        // churn-filtered or branch-free loop instantiation.
+        const auto route = [&](auto churn_c) {
+          constexpr bool kChurn = decltype(churn_c)::value;
+          if (shards == 1) {
+            const detail::RoutePartial partial = detail::route_combine<kChurn>(
+                sh.send.data(), sh.send.size(), n_minus_1, route_key, awake,
+                slot, sh.touched.data());
+            sh.touched_count = partial.touched;
+            sh.sent = partial.sent;
+          } else {
+            sh.sent = detail::route_scatter<kChurn>(
+                sh.send.data(), sh.send.size(), n_minus_1, route_key,
+                shard_mul_, awake, sh.out.data());
+          }
+        };
+        if (churn_on) {
+          route(std::true_type{});
         } else {
-          detail::route_scatter(sh.send.data(), sh.send.size(), n_minus_1,
-                                route_key, shard_mul_, sh.out.data());
+          route(std::false_type{});
         }
       });
 
@@ -473,28 +636,44 @@ class BatchEngine {
           sh.touched_count = tsize;
         }
 
-        if (in_s1) {
-          sh.flipped = detail::deliver_stage1(
-              sh.touched.data(), sh.touched_count, channel_key, protocol_key,
-              uniform_pick, pop_.has_opinion_data(), slot, acc,
-              sh.activation, flips);
-        } else {
-          sh.flipped = detail::deliver_stage2(sh.touched.data(),
-                                              sh.touched_count, channel_key,
-                                              threshold, slot, acc, flips);
-        }
+        const auto deliver = [&](auto churn_c) {
+          constexpr bool kChurn = decltype(churn_c)::value;
+          return in_s1 ? detail::deliver_stage1<kChurn>(
+                             sh.touched.data(), sh.touched_count,
+                             channel_key, protocol_key, uniform_pick,
+                             pop_.has_opinion_data(), awake, slot, acc,
+                             sh.activation, flips)
+                       : detail::deliver_stage2<kChurn>(
+                             sh.touched.data(), sh.touched_count,
+                             channel_key, threshold, awake, slot, acc,
+                             flips);
+        };
+        const detail::DeliverPartial partial = churn_on
+                                                   ? deliver(std::true_type{})
+                                                   : deliver(std::false_type{});
+        sh.flipped = partial.flipped;
+        sh.asleep_drops = partial.asleep_drops;
       });
 
       // --- merge the round's shard partials (integer sums: exact in any
-      // order; summed in shard order anyway).
-      std::uint64_t delivered = 0;
+      // order; summed in shard order anyway). delivered excludes accepted
+      // messages lost to asleep recipients; every sent message is either
+      // delivered or dropped (run_breathe channels never erase).
+      std::uint64_t sent = 0;
+      std::uint64_t accepted = 0;
+      std::uint64_t asleep_drops = 0;
       for (ShardScratch& sh : shard_) {
-        delivered += sh.touched_count;
+        sent += sh.sent;
+        accepted += sh.touched_count;
+        asleep_drops += sh.asleep_drops;
         metrics.flipped += sh.flipped;
         sh.touched_count = 0;
+        sh.sent = 0;
+        sh.asleep_drops = 0;
       }
-      metrics.delivered += delivered;
-      metrics.dropped += nsend - delivered;
+      metrics.messages_sent += sent;
+      metrics.delivered += accepted - asleep_drops;
+      metrics.dropped += sent - (accepted - asleep_drops);
 
       // --- end of round: phase boundaries, probes, termination.
       if (in_s1) {
@@ -539,9 +718,11 @@ class BatchEngine {
     std::vector<AgentId> activation;
     std::vector<AgentId> opinionated;
     std::vector<std::vector<detail::RoutedMsg>> out;
-    Population::Delta delta;        ///< stage II finalize partial
+    Population::Delta delta;        ///< stage II finalize / churn partial
     std::uint64_t successful = 0;   ///< stage II finalize partial
     std::uint64_t flipped = 0;      ///< per-round partial
+    std::uint64_t sent = 0;         ///< per-round partial (route phase)
+    std::uint64_t asleep_drops = 0; ///< per-round partial (deliver phase)
   };
 
   // The Stage I fields of an agent (detail:: layout constants) are zeroed
@@ -574,19 +755,6 @@ class BatchEngine {
   void prepare_breathe(const Params& params, const BreatheConfig& config,
                        const BreatheRunOptions& options);
 
-  /// The round layout both substrates run under — one copy of the
-  /// skip_stage1/start_phase arithmetic that BreatheProtocol's constructor
-  /// also performs, so the two cannot drift from each other.
-  struct BreatheSchedule {
-    Round stage1_offset = 0;
-    Round stage1_rounds = 0;
-    Round total_rounds = 0;
-    Round budget = 0;  ///< rounds this run executes (stage1_only truncates)
-  };
-  static BreatheSchedule breathe_schedule(const Params& params,
-                                          const BreatheConfig& config,
-                                          bool stage1_only);
-
   /// Fills the end-of-run population summary fields of `result`.
   void finish_breathe(BreatheFastResult& result, Opinion correct) const;
 
@@ -599,6 +767,7 @@ class BatchEngine {
   // Generic-path scratch.
   Mailbox mailbox_{2};
   std::vector<Message> send_buffer_;
+  std::vector<std::uint8_t> awake_;  ///< generic-path churn liveness
 
   // Breathe fast-path scratch (structure-of-arrays, persistent).
   Population pop_{2};

@@ -23,16 +23,45 @@ Engine::Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
 Metrics Engine::run(Protocol& protocol, Round max_rounds) {
   Metrics metrics;
   const std::size_t n = mailbox_.population();
+  const ChurnSpec& churn = options_.churn;
+  const bool churn_on = churn.enabled();
+  if (churn_on) {
+    awake_.assign(n, 1);
+    if (churn.start_asleep > 0.0) {
+      for (AgentId a = 0; a < n; ++a) {
+        if (churn_starts_asleep(churn, key_, a)) awake_[a] = 0;
+      }
+    }
+  }
   for (Round r = 0; r < max_rounds; ++r) {
     send_buffer_.clear();
     protocol.collect_sends(r, send_buffer_);
 
+    // Round-scoped environment events first: liveness transitions (one
+    // keyed draw per agent) and the channel's round state (the burst
+    // lottery). Both are pure functions of (trial key, round, agent), so
+    // the sharded engine replays them identically.
+    if (churn_on) {
+      const StreamKey churn_key =
+          round_stream_key(key_, RngPurpose::kChurn, r);
+      for (AgentId a = 0; a < n; ++a) {
+        awake_[a] = churn_step(churn, churn_key, a, awake_[a] != 0) ? 1 : 0;
+      }
+    }
+    channel_.begin_round(key_, r);
+
     mailbox_.reset();
     const StreamKey route_key = round_stream_key(key_, RngPurpose::kRoute, r);
+    std::uint64_t sent = 0;
     for (const Message& msg : send_buffer_) {
       if (msg.sender >= n) {
         throw std::out_of_range("Engine: sender id out of range");
       }
+      // An asleep sender's message never leaves it: unrouted, uncounted,
+      // and no kRoute draws consumed (the stream is per-agent, so skipping
+      // shifts nobody else's draws).
+      if (churn_on && awake_[msg.sender] == 0) continue;
+      ++sent;
       // The sender's stream: word 0.. the recipient (uniform over the n-1
       // other agents), next word the acceptance priority.
       CounterRng rng(route_key, msg.sender);
@@ -41,7 +70,7 @@ Metrics Engine::run(Protocol& protocol, Round max_rounds) {
       mailbox_.offer(to, msg.sender, msg.bit,
                      acceptance_word(rng(), msg.bit, msg.sender));
     }
-    metrics.messages_sent += send_buffer_.size();
+    metrics.messages_sent += sent;
 
     // Noise is applied to the accepted message only: flips are independent
     // per message and dropped messages are never observed, so flipping after
@@ -51,6 +80,12 @@ Metrics Engine::run(Protocol& protocol, Round max_rounds) {
     const StreamKey channel_key =
         round_stream_key(key_, RngPurpose::kChannel, r);
     for (AgentId to : mailbox_.recipients()) {
+      // An asleep recipient loses its accepted message (a drop, like a
+      // collision); no kChannel draw is made on its behalf.
+      if (churn_on && awake_[to] == 0) {
+        ++metrics.dropped;
+        continue;
+      }
       const Message& msg = mailbox_.accepted(to);
       CounterRng rng(channel_key, to);
       const std::optional<Opinion> seen = channel_.transmit(msg.bit, rng);

@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/environment.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 #include "sim/mailbox.hpp"
@@ -73,6 +74,13 @@ struct EngineOptions {
   /// Record bias/activated time series every `probe_every` rounds
   /// (0 = never). Probing costs one virtual call per probe, not per agent.
   Round probe_every = 0;
+  /// Agent churn (core/environment.hpp). When enabled, every agent's
+  /// liveness advances once per round from its (trial, round, agent,
+  /// kChurn) stream; asleep agents neither send (their collect_sends
+  /// messages are discarded before routing, unrouted and uncounted) nor
+  /// accept (their accepted message is counted as dropped, and no kChannel
+  /// draw is made for them). Identical semantics on every substrate.
+  ChurnSpec churn{};
 };
 
 /// Which simulation substrate a workload runs on. kBatch is the
@@ -120,6 +128,10 @@ class Engine {
   StreamKey key_;
   EngineOptions options_;
   std::vector<Message> send_buffer_;
+  /// Per-agent liveness under churn (unused when churn is disabled). The
+  /// sharded engine keeps the same state in its Population; here a flat
+  /// byte array suffices — the reference loop is sequential.
+  std::vector<std::uint8_t> awake_;
 };
 
 }  // namespace flip

@@ -4,7 +4,8 @@
 
 namespace flip {
 
-Population::Population(std::size_t n) : has_opinion_(n, 0), opinion_(n, 0) {
+Population::Population(std::size_t n)
+    : has_opinion_(n, 0), opinion_(n, 0), awake_(n, 1) {
   if (n < 2) throw std::invalid_argument("Population: need n >= 2");
 }
 
@@ -12,8 +13,10 @@ void Population::reuse(std::size_t n) {
   if (n < 2) throw std::invalid_argument("Population: need n >= 2");
   has_opinion_.assign(n, 0);
   opinion_.assign(n, 0);
+  awake_.assign(n, 1);
   opinionated_ = 0;
   ones_ = 0;
+  asleep_ = 0;
 }
 
 std::optional<Opinion> Population::opinion_of(AgentId a) const {

@@ -46,6 +46,7 @@ class Population {
   struct Delta {
     std::int64_t opinionated = 0;
     std::int64_t ones = 0;
+    std::int64_t asleep = 0;  ///< churn: sleep/wake/join transitions
   };
 
   /// Sharded-update twin of set_opinion(): writes the per-agent bytes but
@@ -70,6 +71,37 @@ class Population {
         static_cast<std::int64_t>(opinionated_) + delta.opinionated);
     ones_ = static_cast<std::size_t>(static_cast<std::int64_t>(ones_) +
                                      delta.ones);
+    asleep_ = static_cast<std::size_t>(static_cast<std::int64_t>(asleep_) +
+                                       delta.asleep);
+  }
+
+  // Liveness (environment churn). Every agent starts awake; sleep/wake/join
+  // events (core/environment.hpp) flip the per-agent flag. An asleep agent
+  // keeps its opinion — liveness and opinion state are orthogonal.
+
+  [[nodiscard]] bool awake(AgentId a) const { return awake_[a] != 0; }
+  /// Raw per-agent awake bytes for the batch engine's noinline loops, like
+  /// has_opinion_data().
+  [[nodiscard]] const std::uint8_t* awake_data() const noexcept {
+    return awake_.data();
+  }
+  /// Number of agents currently asleep (not participating).
+  [[nodiscard]] std::size_t asleep() const noexcept { return asleep_; }
+
+  void set_awake(AgentId a, bool awake) {
+    asleep_ += (awake_[a] != 0) && !awake;
+    asleep_ -= (awake_[a] == 0) && awake;
+    awake_[a] = awake ? 1 : 0;
+  }
+
+  /// Sharded-update twin of set_awake(): writes the per-agent byte but
+  /// accumulates the asleep-count change into `delta`. Same concurrency
+  /// rule as set_opinion_counted: distinct agents, own Delta, merge with
+  /// apply() after the barrier.
+  void set_awake_counted(AgentId a, bool awake, Delta& delta) {
+    delta.asleep += (awake_[a] != 0) && !awake;
+    delta.asleep -= (awake_[a] == 0) && awake;
+    awake_[a] = awake ? 1 : 0;
   }
 
   /// Number of agents currently holding any opinion.
@@ -95,8 +127,10 @@ class Population {
  private:
   std::vector<std::uint8_t> has_opinion_;
   std::vector<std::uint8_t> opinion_;
+  std::vector<std::uint8_t> awake_;
   std::size_t opinionated_ = 0;
   std::size_t ones_ = 0;  // # agents with opinion kOne, kept incrementally
+  std::size_t asleep_ = 0;
 };
 
 }  // namespace flip

@@ -30,7 +30,11 @@ std::optional<Round> first_crossing(std::span<const Sample> series,
 bool has_plateau(std::span<const Sample> series, std::size_t window,
                  double tolerance) {
   if (series.empty()) return false;
-  const std::size_t count = std::min(window, series.size());
+  // Window 0 clamps to 1 (the last sample alone is trivially flat), the
+  // same floor tail_mean applies — so the two helpers always agree on
+  // which suffix they are describing.
+  const std::size_t count = std::min(std::max<std::size_t>(window, 1),
+                                     series.size());
   const double mean = tail_mean(series, count);
   for (std::size_t i = series.size() - count; i < series.size(); ++i) {
     if (std::abs(series[i].value - mean) > tolerance) return false;

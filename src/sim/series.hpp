@@ -24,11 +24,13 @@ std::optional<Round> first_crossing(std::span<const Sample> series,
 
 /// True if the series' tail is flat: over the last `window` samples the
 /// values stay within +-tolerance of their mean. Windows larger than the
-/// series use the whole series. Empty series are not plateaus.
+/// series use the whole series; window 0 clamps to 1 (like tail_mean).
+/// Empty series are not plateaus.
 bool has_plateau(std::span<const Sample> series, std::size_t window,
                  double tolerance);
 
-/// Mean of the last `window` samples (the plateau level). Precondition:
+/// Mean of the last `window` samples (the plateau level); window 0 clamps
+/// to 1, windows past the start clamp to the whole series. Precondition:
 /// series non-empty.
 double tail_mean(std::span<const Sample> series, std::size_t window);
 

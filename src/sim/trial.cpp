@@ -1,6 +1,7 @@
 #include "sim/trial.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -41,6 +42,10 @@ TrialSummary run_trials(const TrialFn& fn, const TrialOptions& options) {
     summary.rounds.add(o.rounds);
     summary.messages.add(o.messages);
     summary.correct_fraction.add(o.correct_fraction);
+    if (std::isfinite(o.convergence_round)) {
+      ++summary.converged;
+      summary.convergence_rounds.add(o.convergence_round);
+    }
     summary.trial_seconds.add(elapsed[i]);
   }
   summary.success = wilson_interval(summary.successes, summary.trials);

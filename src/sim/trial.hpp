@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -17,6 +18,18 @@ struct TrialOutcome {
   double rounds = 0.0;             ///< rounds the execution took
   double messages = 0.0;           ///< total messages (= bits) sent
   double correct_fraction = 0.0;   ///< fraction of agents correct at the end
+  /// First probe round of stable >= 99% activation (NaN when the run keeps
+  /// no probe series or never converges). Aggregated into
+  /// TrialSummary::convergence_rounds over the converged trials only.
+  double convergence_round = std::numeric_limits<double>::quiet_NaN();
+  /// The engine's Metrics counters, verbatim. Exposed here so the
+  /// shard-invariance tests (and reports) can check the exact-merge
+  /// contract on COUNTERS, not just on the outcome doubles above. Zero for
+  /// baselines that bypass the engine (the pull/AAE dynamics).
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t erased = 0;
+  std::uint64_t flipped = 0;
 };
 
 /// A scenario: given (seed, trial index), run one execution. Must be safe to
@@ -33,6 +46,11 @@ struct TrialSummary {
   RunningStats rounds;         ///< over all trials
   RunningStats messages;       ///< over all trials
   RunningStats correct_fraction;
+  /// Over the trials whose convergence_round is finite only; `converged`
+  /// counts them. With zero converged trials the stats hold no samples —
+  /// report a non-finite mean, not 0.
+  std::size_t converged = 0;
+  RunningStats convergence_rounds;
   /// Wall-clock of the whole batch, including scheduling overhead. Unlike
   /// everything above this is *not* deterministic — report it, never gate
   /// correctness on it.

@@ -160,6 +160,10 @@ enum class RngPurpose : std::uint64_t {
   kProtocol = 2,  ///< recipient side: protocol-internal per-round draws
   kSubset = 3,    ///< phase-end per-agent draws (Stage II majority subset)
   kSetup = 4,     ///< per-agent scenario setup (desync wake offsets)
+  kChurn = 5,     ///< per-agent join/sleep/wake transitions (environment)
+  // round_stream_key packs the purpose into 3 bits next to the round, so
+  // 7 is the last free purpose value.
+  kEnvironment = 6,  ///< round-scoped environment draws (noise-burst lottery)
 };
 
 /// The key shared by every agent's `purpose` stream in round `round`.

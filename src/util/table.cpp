@@ -1,6 +1,7 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -100,7 +101,21 @@ std::ostream& operator<<(std::ostream& os, const TextTable& table) {
   return os << table.render();
 }
 
+namespace {
+
+/// Pinned spellings for non-finite doubles: stream output of NaN/inf is
+/// implementation-defined ("nan" vs "-nan(ind)" etc.), and the table/CSV
+/// consumers (docs regeneration, CI diffs) need byte-stable cells. Mirrors
+/// JsonWriter::number, which maps the same values to null.
+const char* non_finite_name(double value) {
+  if (std::isnan(value)) return "nan";
+  return value > 0 ? "inf" : "-inf";
+}
+
+}  // namespace
+
 std::string format_fixed(double value, int precision) {
+  if (!std::isfinite(value)) return non_finite_name(value);
   std::ostringstream os;
   os.precision(precision);
   os << std::fixed << value;
@@ -108,6 +123,7 @@ std::string format_fixed(double value, int precision) {
 }
 
 std::string format_sci(double value, int precision) {
+  if (!std::isfinite(value)) return non_finite_name(value);
   std::ostringstream os;
   os.precision(precision);
   os << std::scientific << value;

@@ -31,6 +31,11 @@ Xoshiro256 baseline_rng(std::uint64_t seed, std::size_t trial,
   return make_stream(seed, kStreamsPerTrial * trial + lane);
 }
 
+/// Probe period the dynamic-environment entries record their activation /
+/// bias series at: dense enough for a sharp convergence-round estimate,
+/// sparse enough to stay cheap. The classic entries keep probes off.
+constexpr Round kDynamicProbeEvery = 8;
+
 BroadcastScenario broadcast_from(const ScenarioConfig& config) {
   BroadcastScenario scenario;
   scenario.n = config.n;
@@ -38,7 +43,29 @@ BroadcastScenario broadcast_from(const ScenarioConfig& config) {
   scenario.heterogeneous_noise = config.channel == kChannelHeterogeneous;
   scenario.engine = config.engine;
   scenario.shards = config.shards;
+  scenario.schedule = config.schedule;
+  scenario.churn = config.churn;
+  if (config.channel == kChannelAdversarial) {
+    // Ablation budget: n/2 deterministic flips — the same order of
+    // magnitude of extra flips the default burst schedule injects, but
+    // spent adversarially on the earliest (most influential) messages.
+    scenario.adversarial_budget = config.n / 2;
+  }
+  if (scenario.schedule.enabled() || scenario.churn.enabled() ||
+      scenario.adversarial_budget > 0) {
+    scenario.probe_every = kDynamicProbeEvery;
+  }
   return scenario;
+}
+
+/// Copies the engine counters into a baseline's outcome (the scenario
+/// TrialFns get them through to_outcome). The pull/AAE dynamics bypass the
+/// engine entirely and keep the zero defaults.
+void copy_counters(const Metrics& metrics, TrialOutcome& outcome) {
+  outcome.delivered = metrics.delivered;
+  outcome.dropped = metrics.dropped;
+  outcome.erased = metrics.erased;
+  outcome.flipped = metrics.flipped;
 }
 
 /// Runs an Engine-style protocol on the substrate `config.engine` names:
@@ -63,32 +90,43 @@ void register_builtin(ScenarioRegistry& registry) {
   const std::vector<std::string> bsc_or_hetero = {
       std::string(kChannelBsc), std::string(kChannelHeterogeneous)};
 
+  // Marks which environment overrides a scenario's factory actually plumbs
+  // through (resolve() rejects the rest). The breathe scenarios honor
+  // both; desync honors schedules only (its protocol has its own wake
+  // semantics, so churn is deliberately not offered); boost and the
+  // baseline dynamics honor neither.
+  const auto env = [](ScenarioInfo info, bool schedule, bool churn) {
+    info.supports_schedule = schedule;
+    info.supports_churn = churn;
+    return info;
+  };
+
   registry.add(
-      {"broadcast", "Section 2 noisy broadcast: the two-stage breathe protocol",
-       "broadcast", 1024, 0.2, bsc_or_hetero},
+      env({"broadcast", "Section 2 noisy broadcast: the two-stage breathe protocol",
+       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      {"broadcast_small",
+      env({"broadcast_small",
        "CI-sized broadcast (seconds per trial even in Debug)", "broadcast",
-       256, 0.3, bsc_or_hetero},
+       256, 0.3, bsc_or_hetero}, true, true),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      {"broadcast_large", "Broadcast at the sizes the scaling benches use",
-       "broadcast", 8192, 0.2, bsc_or_hetero},
+      env({"broadcast_large", "Broadcast at the sizes the scaling benches use",
+       "broadcast", 8192, 0.2, bsc_or_hetero}, true, true),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      {"broadcast_stage1",
+      env({"broadcast_stage1",
        "Stage I in isolation; success = every agent activated", "broadcast",
-       1024, 0.2, bsc_or_hetero},
+       1024, 0.2, bsc_or_hetero}, true, true),
       [](const ScenarioConfig& config) {
         BroadcastScenario scenario = broadcast_from(config);
         scenario.stage1_only = true;
@@ -96,9 +134,9 @@ void register_builtin(ScenarioRegistry& registry) {
       });
 
   registry.add(
-      {"broadcast_variant_rules",
+      env({"broadcast_variant_rules",
        "Remarks 2.1/2.10 rule variants: first-message pick, prefix subset",
-       "broadcast", 1024, 0.2, bsc_or_hetero},
+       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true),
       [](const ScenarioConfig& config) {
         BroadcastScenario scenario = broadcast_from(config);
         scenario.stage1_pick = Stage1Pick::kFirstMessage;
@@ -106,10 +144,116 @@ void register_builtin(ScenarioRegistry& registry) {
         return broadcast_trial_fn(scenario);
       });
 
+  // --- dynamic-environment scenarios (core/environment.hpp) -------------
+  // All of them obey the determinism contract: the schedule lottery and
+  // the churn events come from counter-keyed streams, so every entry is
+  // bit-identical across engines, threads, and shards (the adversarial
+  // ablation pins the reference Engine for its order-dependent channel).
+
+  {
+    // Whole-run ramp from comfortable noise (eps 0.35) down through and
+    // past the calibrated advantage (0.2) to eps 0.1: the schedule is
+    // sized for more reliability than the tail delivers.
+    EnvironmentSchedule ramp;
+    ramp.segments.push_back(EpsSegment{0, 0, 0.35, 0.1});
+    registry.add(
+        env({"broadcast_eps_ramp",
+         "Broadcast under a whole-run eps ramp 0.35 -> 0.1 (ends below the "
+         "calibrated advantage)",
+         "broadcast", 1024, 0.2, bsc, ramp}, true, true),
+        [](const ScenarioConfig& config) {
+          return broadcast_trial_fn(broadcast_from(config));
+        });
+  }
+
+  {
+    // Correlated noise bursts: ~8% of 16-round windows collapse to
+    // eps 0.02 (near-coin-flip noise) for the whole window at once —
+    // correlated across messages, which the per-message BSC analysis does
+    // not cover.
+    EnvironmentSchedule burst;
+    burst.burst_prob = 0.08;
+    burst.burst_len = 16;
+    burst.burst_eps = 0.02;
+    registry.add(
+        env({"broadcast_burst",
+         "Broadcast with correlated noise bursts (8% of 16-round windows "
+         "at eps 0.02)",
+         "broadcast", 1024, 0.2, bsc, burst}, true, true),
+        [](const ScenarioConfig& config) {
+          return broadcast_trial_fn(broadcast_from(config));
+        });
+
+    registry.add(
+        env({"desync_burst",
+         "Desync broadcast (skew D = 8) under the same correlated noise "
+         "bursts",
+         "desync", 1024, 0.2, bsc, burst}, true, false),
+        [](const ScenarioConfig& config) {
+          DesyncScenario scenario;
+          scenario.n = config.n;
+          scenario.eps = config.eps;
+          scenario.max_skew = 8;
+          scenario.engine = config.engine;
+          scenario.shards = config.shards;
+          scenario.schedule = config.schedule;
+          return desync_trial_fn(scenario);
+        });
+  }
+
+  {
+    // Steady-state churn: ~4.8% of agents asleep at any time (sleep 0.005
+    // / wake 0.1 per round), exercising the join/sleep/wake merge path of
+    // both engines.
+    ChurnSpec churn;
+    churn.sleep_prob = 0.005;
+    churn.wake_prob = 0.1;
+    registry.add(
+        env({"broadcast_churn",
+         "Broadcast with agent churn (sleep 0.005 / wake 0.1 per round)",
+         "broadcast", 1024, 0.2, bsc, EnvironmentSchedule{}, churn}, true, true),
+        [](const ScenarioConfig& config) {
+          return broadcast_trial_fn(broadcast_from(config));
+        });
+
+    // Majority additionally starts with a quarter of the population not
+    // yet joined — late joiners adopt opinions through Stage I as they
+    // wake.
+    ChurnSpec join_churn = churn;
+    join_churn.start_asleep = 0.25;
+    registry.add(
+        env({"majority_churn",
+         "Majority-consensus with churn and 25% late joiners "
+         "(start_asleep 0.25)",
+         "majority", 1024, 0.2, bsc, EnvironmentSchedule{}, join_churn}, true, true),
+        [](const ScenarioConfig& config) {
+          MajorityScenario scenario;
+          scenario.n = config.n;
+          scenario.eps = config.eps;
+          scenario.initial_set = std::max<std::size_t>(64, config.n / 16);
+          scenario.majority_bias = 0.25;
+          scenario.engine = config.engine;
+          scenario.shards = config.shards;
+          scenario.schedule = config.schedule;
+          scenario.churn = config.churn;
+          scenario.probe_every = kDynamicProbeEvery;
+          return majority_trial_fn(scenario);
+        });
+  }
+
   registry.add(
-      {"majority",
+      env({"broadcast_adversarial",
+       "Ablation vs broadcast_burst: n/2 flips spent adversarially on the "
+       "earliest messages (reference Engine only)",
+       "broadcast", 1024, 0.2, {std::string(kChannelAdversarial)}}, false, true),
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      env({"majority",
        "Corollary 2.18 majority-consensus: |A| = n/16, majority-bias 0.25",
-       "majority", 1024, 0.2, bsc},
+       "majority", 1024, 0.2, bsc}, true, true),
       [](const ScenarioConfig& config) {
         MajorityScenario scenario;
         scenario.n = config.n;
@@ -118,6 +262,11 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.majority_bias = 0.25;
         scenario.engine = config.engine;
         scenario.shards = config.shards;
+        scenario.schedule = config.schedule;
+        scenario.churn = config.churn;
+        if (scenario.schedule.enabled() || scenario.churn.enabled()) {
+          scenario.probe_every = kDynamicProbeEvery;
+        }
         return majority_trial_fn(scenario);
       });
 
@@ -135,8 +284,8 @@ void register_builtin(ScenarioRegistry& registry) {
       });
 
   registry.add(
-      {"desync", "Section 3 broadcast without a global clock, skew D = 8",
-       "desync", 1024, 0.2, bsc},
+      env({"desync", "Section 3 broadcast without a global clock, skew D = 8",
+       "desync", 1024, 0.2, bsc}, true, false),
       [](const ScenarioConfig& config) {
         DesyncScenario scenario;
         scenario.n = config.n;
@@ -144,13 +293,14 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.max_skew = 8;
         scenario.engine = config.engine;
         scenario.shards = config.shards;
+        scenario.schedule = config.schedule;
         return desync_trial_fn(scenario);
       });
 
   registry.add(
-      {"desync_clock_sync",
+      env({"desync_clock_sync",
        "Desync broadcast behind the Section 3.2 clock-sync pre-phase",
-       "desync", 1024, 0.2, bsc},
+       "desync", 1024, 0.2, bsc}, true, false),
       [](const ScenarioConfig& config) {
         DesyncScenario scenario;
         scenario.n = config.n;
@@ -158,6 +308,7 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.use_clock_sync = true;
         scenario.engine = config.engine;
         scenario.shards = config.shards;
+        scenario.schedule = config.schedule;
         return desync_trial_fn(scenario);
       });
 
@@ -184,6 +335,7 @@ void register_builtin(ScenarioRegistry& registry) {
               protocol.all_decided() && outcome.correct_fraction == 1.0;
           outcome.rounds = static_cast<double>(metrics.rounds);
           outcome.messages = static_cast<double>(metrics.messages_sent);
+          copy_counters(metrics, outcome);
           return outcome;
         });
       });
@@ -207,6 +359,7 @@ void register_builtin(ScenarioRegistry& registry) {
               protocol.population().correct_fraction(Opinion::kOne);
           outcome.rounds = static_cast<double>(metrics.rounds);
           outcome.messages = static_cast<double>(metrics.messages_sent);
+          copy_counters(metrics, outcome);
           return outcome;
         });
       });
@@ -231,6 +384,7 @@ void register_builtin(ScenarioRegistry& registry) {
               protocol.population().correct_fraction(Opinion::kOne);
           outcome.rounds = static_cast<double>(metrics.rounds);
           outcome.messages = static_cast<double>(metrics.messages_sent);
+          copy_counters(metrics, outcome);
           return outcome;
         });
       });
@@ -324,6 +478,19 @@ void ScenarioRegistry::add(ScenarioInfo info, ScenarioFactory factory) {
     throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
                                 "' has no factory");
   }
+  try {
+    info.default_schedule.validate();
+    info.default_churn.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
+                                "': " + e.what());
+  }
+  if ((info.default_schedule.enabled() && !info.supports_schedule) ||
+      (info.default_churn.enabled() && !info.supports_churn)) {
+    throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
+                                "' registers a dynamic default it does not "
+                                "declare support for");
+  }
   if (contains(info.name)) {
     throw std::invalid_argument("ScenarioRegistry::add: duplicate '" +
                                 info.name + "'");
@@ -371,6 +538,26 @@ ScenarioConfig ScenarioRegistry::resolve(std::string_view name,
   config.channel = o.channel.value_or(entry.info.channels.front());
   config.engine = o.engine.value_or(EngineMode::kBatch);
   config.shards = o.shards.value_or(1);
+  // An override the factory would silently ignore is worse than an error:
+  // the run would execute the static environment while reporting the
+  // override in its output params.
+  if (o.schedule && o.schedule->enabled() && !entry.info.supports_schedule) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "' does not support an eps schedule");
+  }
+  if (o.churn && o.churn->enabled() && !entry.info.supports_churn) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "' does not support agent churn");
+  }
+  config.schedule = o.schedule.value_or(entry.info.default_schedule);
+  config.churn = o.churn.value_or(entry.info.default_churn);
+  try {
+    config.schedule.validate();
+    config.churn.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "': " + e.what());
+  }
   if (config.shards == 0 || config.shards > kMaxShards) {
     throw std::invalid_argument("scenario '" + entry.info.name +
                                 "': shards must be in 1.." +

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/environment.hpp"
 #include "sim/engine.hpp"
 #include "sim/trial.hpp"
 
@@ -32,6 +33,17 @@ struct ScenarioInfo {
   double default_eps = 0.0;
   /// Channel names this scenario accepts; [0] is the default.
   std::vector<std::string> channels;
+  /// Dynamic-environment defaults: the static environment for the classic
+  /// scenarios, a preset schedule/churn for the *_ramp/*_burst/*_churn
+  /// entries. Overridable per sweep via --schedule / --churn.
+  EnvironmentSchedule default_schedule{};
+  ChurnSpec default_churn{};
+  /// Whether this scenario's factory honors a schedule / churn override.
+  /// resolve() REJECTS an enabled override on a scenario that does not —
+  /// silently running the static environment while reporting the override
+  /// in the output params would mislabel the data.
+  bool supports_schedule = false;
+  bool supports_churn = false;
 };
 
 /// One resolved grid point the factory builds a TrialFn for.
@@ -47,6 +59,10 @@ struct ScenarioConfig {
   /// round over this many partitions; everything else ignores it). Results
   /// are bit-identical for every value. resolve() validates 1..kMaxShards.
   std::size_t shards = 1;
+  /// Resolved dynamic environment: the override when one was given, the
+  /// scenario's registered default otherwise. Validated by resolve().
+  EnvironmentSchedule schedule{};
+  ChurnSpec churn{};
 };
 
 /// Optional overrides for the registry's defaults (empty = default).
@@ -56,6 +72,8 @@ struct ScenarioOverrides {
   std::optional<std::string> channel;
   std::optional<EngineMode> engine;
   std::optional<std::size_t> shards;
+  std::optional<EnvironmentSchedule> schedule;
+  std::optional<ChurnSpec> churn;
 };
 
 /// Upper bound resolve() accepts for ScenarioConfig::shards: beyond this a
@@ -106,5 +124,8 @@ class ScenarioRegistry {
 /// Channel names understood by scenarios that take a channel override.
 inline constexpr std::string_view kChannelBsc = "bsc";
 inline constexpr std::string_view kChannelHeterogeneous = "heterogeneous";
+/// The budget-bounded adversary (ablation entries only): order-dependent
+/// by construction, so scenarios using it always run the reference Engine.
+inline constexpr std::string_view kChannelAdversarial = "adversarial";
 
 }  // namespace flip

@@ -7,6 +7,7 @@
 #include "net/channel.hpp"
 #include "sim/batch_engine.hpp"
 #include "sim/engine.hpp"
+#include "sim/series.hpp"
 
 namespace flip {
 
@@ -102,28 +103,75 @@ RunDetail fast_to_detail(BreatheFastResult&& fast) {
   return detail;
 }
 
+/// The convergence-round probe statistic: first stable crossing of 99%
+/// activation in the recorded series. NaN when no probes were recorded or
+/// the crossing never happens — reporting maps non-finite to null/"-".
+double activation_convergence(const Metrics& metrics, std::size_t n) {
+  const std::optional<Round> round =
+      stable_crossing(metrics.activated_series,
+                      0.99 * static_cast<double>(n));
+  return round ? static_cast<double>(*round) : kNoConvergence;
+}
+
+/// The environment one breathe execution runs in: at most one of
+/// heterogeneous / schedule / adversarial selects the channel; churn is
+/// orthogonal.
+struct BreatheEnvironment {
+  bool heterogeneous = false;
+  EnvironmentSchedule schedule{};
+  ChurnSpec churn{};
+  std::uint64_t adversarial_budget = 0;
+};
+
 /// One breathe execution on the substrate the caller resolved: the shared
 /// body of run_broadcast / run_majority / run_boost (the former
-/// run_*_fast/run_* twins, deduplicated). `heterogeneous` selects the
-/// channel, `stage1_only`/`probe_every` mirror the broadcast knobs.
+/// run_*_fast/run_* twins, deduplicated). `env` selects the channel and
+/// churn, `stage1_only`/`probe_every` mirror the broadcast knobs.
 RunDetail run_breathe_scenario(const Params& params,
                                const BreatheConfig& config, double eps,
-                               bool heterogeneous, EngineMode engine_mode,
+                               const BreatheEnvironment& env,
+                               EngineMode engine_mode,
                                std::size_t shards, bool stage1_only,
                                Round probe_every, std::uint64_t seed,
                                std::size_t trial) {
+  if (env.heterogeneous && env.schedule.enabled()) {
+    throw std::invalid_argument(
+        "breathe scenario: heterogeneous noise and an eps schedule are "
+        "mutually exclusive");
+  }
+  if (env.adversarial_budget != 0 &&
+      (env.heterogeneous || env.schedule.enabled())) {
+    throw std::invalid_argument(
+        "breathe scenario: the adversarial channel excludes heterogeneous "
+        "noise and eps schedules");
+  }
   const StreamKey key = trial_stream_key(seed, trial);
   EngineOptions options;
   options.probe_every = probe_every;
+  options.churn = env.churn;
+  const Round budget =
+      BatchEngine::breathe_schedule(params, config, stage1_only).budget;
+  // Anchor open-ended schedule segments ("ramp over the whole run") to the
+  // rounds this execution will actually run.
+  const EnvironmentSchedule schedule = env.schedule.resolved(eps, budget);
 
-  if (engine_mode == EngineMode::kBatch && breathe_fast_supported(params)) {
+  RunDetail detail;
+  // The adversarial ablation always runs on the reference Engine: the
+  // channel spends its budget in delivery order, so only the sequential
+  // substrate gives it a defined meaning (and batch == classic trivially).
+  if (engine_mode == EngineMode::kBatch && breathe_fast_supported(params) &&
+      env.adversarial_budget == 0) {
     BreatheRunOptions run_options;
     run_options.engine = options;
     run_options.shards = shards;
     run_options.pool = shard_pool(shards);
     BatchEngineLease engine;
     BreatheFastResult fast;
-    if (heterogeneous) {
+    if (env.schedule.enabled()) {
+      CorrelatedBurstChannel channel(schedule);
+      fast = engine->run_breathe(params, config, channel, key, stage1_only,
+                                 run_options);
+    } else if (env.heterogeneous) {
       HeterogeneousChannel channel(eps);
       fast = engine->run_breathe(params, config, channel, key, stage1_only,
                                  run_options);
@@ -132,12 +180,19 @@ RunDetail run_breathe_scenario(const Params& params,
       fast = engine->run_breathe(params, config, channel, key, stage1_only,
                                  run_options);
     }
-    return fast_to_detail(std::move(fast));
+    detail = fast_to_detail(std::move(fast));
+    detail.convergence_round =
+        activation_convergence(detail.metrics, params.n());
+    return detail;
   }
 
   // Reference substrate: virtual Engine + BreatheProtocol, same keys.
   std::unique_ptr<NoiseChannel> channel;
-  if (heterogeneous) {
+  if (env.adversarial_budget != 0) {
+    channel = std::make_unique<AdversarialChannel>(env.adversarial_budget);
+  } else if (env.schedule.enabled()) {
+    channel = std::make_unique<CorrelatedBurstChannel>(schedule);
+  } else if (env.heterogeneous) {
     channel = std::make_unique<HeterogeneousChannel>(eps);
   } else {
     channel = std::make_unique<BinarySymmetricChannel>(eps);
@@ -145,9 +200,6 @@ RunDetail run_breathe_scenario(const Params& params,
   Engine engine(params.n(), *channel, key, options);
   BreatheProtocol protocol(params, config, key);
 
-  RunDetail detail;
-  const Round budget = stage1_only ? protocol.stage1_rounds()
-                                   : protocol.total_rounds();
   detail.protocol_rounds = budget;
   detail.metrics = engine.run(protocol, budget);
   detail.success = protocol.succeeded();
@@ -156,6 +208,8 @@ RunDetail run_breathe_scenario(const Params& params,
   detail.final_bias = protocol.population().bias(config.correct);
   detail.stage1 = protocol.stage1_stats();
   detail.stage2 = protocol.stage2_stats();
+  detail.convergence_round =
+      activation_convergence(detail.metrics, params.n());
   return detail;
 }
 
@@ -167,6 +221,11 @@ TrialOutcome to_outcome(const RunDetail& detail) {
   outcome.rounds = static_cast<double>(detail.metrics.rounds);
   outcome.messages = static_cast<double>(detail.metrics.messages_sent);
   outcome.correct_fraction = detail.correct_fraction;
+  outcome.convergence_round = detail.convergence_round;
+  outcome.delivered = detail.metrics.delivered;
+  outcome.dropped = detail.metrics.dropped;
+  outcome.erased = detail.metrics.erased;
+  outcome.flipped = detail.metrics.flipped;
   return outcome;
 }
 
@@ -174,9 +233,14 @@ RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
                         std::size_t trial) {
   const Params params = Params::calibrated(scenario.n, scenario.eps,
                                            scenario.tuning);
+  BreatheEnvironment env;
+  env.heterogeneous = scenario.heterogeneous_noise;
+  env.schedule = scenario.schedule;
+  env.churn = scenario.churn;
+  env.adversarial_budget = scenario.adversarial_budget;
   RunDetail detail = run_breathe_scenario(
-      params, broadcast_breathe_config(scenario), scenario.eps,
-      scenario.heterogeneous_noise, scenario.engine, scenario.shards,
+      params, broadcast_breathe_config(scenario), scenario.eps, env,
+      scenario.engine, scenario.shards,
       scenario.stage1_only, scenario.probe_every, seed, trial);
   if (scenario.stage1_only) {
     // Stage-I-only success = every agent activated. The batch substrate
@@ -192,10 +256,13 @@ RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
 RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
                        std::size_t trial) {
   const Params params = majority_params(scenario);
+  BreatheEnvironment env;
+  env.schedule = scenario.schedule;
+  env.churn = scenario.churn;
   return run_breathe_scenario(
-      params, majority_breathe_config(params, scenario), scenario.eps,
-      /*heterogeneous=*/false, scenario.engine, scenario.shards,
-      /*stage1_only=*/false, /*probe_every=*/0, seed, trial);
+      params, majority_breathe_config(params, scenario), scenario.eps, env,
+      scenario.engine, scenario.shards,
+      /*stage1_only=*/false, scenario.probe_every, seed, trial);
 }
 
 RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
@@ -203,7 +270,7 @@ RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
   const Params params = boost_params(scenario);
   return run_breathe_scenario(
       params, boost_breathe_config(params, scenario), scenario.eps,
-      /*heterogeneous=*/false, scenario.engine, scenario.shards,
+      BreatheEnvironment{}, scenario.engine, scenario.shards,
       /*stage1_only=*/false, /*probe_every=*/0, seed, trial);
 }
 
@@ -246,17 +313,25 @@ RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
     }
   }
 
-  BinarySymmetricChannel channel(scenario.eps);
   DesyncBreatheProtocol protocol(params, std::move(config), pro_rng);
 
   detail.protocol_rounds = protocol.total_rounds();
   detail.desync_overhead = protocol.desync_overhead();
-  if (scenario.engine == EngineMode::kBatch) {
-    detail.metrics = BatchEngineLease()->run(scenario.n, protocol, channel,
-                                             key, protocol.total_rounds());
-  } else {
+  const auto run_on_channel = [&](auto& channel) {
+    if (scenario.engine == EngineMode::kBatch) {
+      return BatchEngineLease()->run(scenario.n, protocol, channel, key,
+                                     protocol.total_rounds());
+    }
     Engine engine(scenario.n, channel, key);
-    detail.metrics = engine.run(protocol, protocol.total_rounds());
+    return engine.run(protocol, protocol.total_rounds());
+  };
+  if (scenario.schedule.enabled()) {
+    CorrelatedBurstChannel channel(
+        scenario.schedule.resolved(scenario.eps, protocol.total_rounds()));
+    detail.metrics = run_on_channel(channel);
+  } else {
+    BinarySymmetricChannel channel(scenario.eps);
+    detail.metrics = run_on_channel(channel);
   }
   detail.metrics.rounds += detail.clock_sync_rounds;
   detail.metrics.messages_sent += detail.clock_sync_messages;

@@ -13,9 +13,11 @@
 // value. tests/batch_engine_test.cpp enforces this.
 
 #include <cstdint>
+#include <limits>
 
 #include "core/breathe.hpp"
 #include "core/desync.hpp"
+#include "core/environment.hpp"
 #include "core/params.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trial.hpp"
@@ -47,6 +49,17 @@ struct BroadcastScenario {
   /// Results are bit-identical for every value; >1 splits each round's
   /// route/deliver work across the shared ThreadPool's workers.
   std::size_t shards = 1;
+  /// Dynamic environment (core/environment.hpp): a per-round eps schedule
+  /// (runs through CorrelatedBurstChannel; mutually exclusive with
+  /// heterogeneous_noise) and per-round agent join/sleep/wake churn. Both
+  /// default to the paper's static environment.
+  EnvironmentSchedule schedule{};
+  ChurnSpec churn{};
+  /// Ablation vs the stochastic schedules: > 0 replaces the channel with a
+  /// budget-bounded AdversarialChannel (deterministic early flips). The
+  /// adversary is stateful/order-dependent, so these runs always use the
+  /// reference Engine; mutually exclusive with schedule/heterogeneous.
+  std::uint64_t adversarial_budget = 0;
 };
 
 /// Noisy majority-consensus (Corollary 2.18): |A| = initial_set agents with
@@ -60,6 +73,12 @@ struct MajorityScenario {
   Opinion correct = Opinion::kOne;
   EngineMode engine = EngineMode::kBatch;
   std::size_t shards = 1;
+  /// Engine probe period for bias/activation time series (0 = off); feeds
+  /// the convergence-round report like BroadcastScenario::probe_every.
+  Round probe_every = 0;
+  /// Dynamic environment, as in BroadcastScenario.
+  EnvironmentSchedule schedule{};
+  ChurnSpec churn{};
 };
 
 /// Stage II in isolation (Lemma 2.14 / bench E7): the whole population is
@@ -96,7 +115,17 @@ struct DesyncScenario {
   /// Accepted for interface uniformity; the generic loop is unsharded, so
   /// every value runs identically (which is what the contract promises).
   std::size_t shards = 1;
+  /// Per-round eps schedule (desync_burst); static when disabled. Churn is
+  /// deliberately NOT offered here — the desync protocol has its own wake
+  /// semantics, and overlapping the two would conflate the measurements.
+  EnvironmentSchedule schedule{};
 };
+
+/// The NaN sentinel for "no convergence measured". Reporting layers map it
+/// to null (JSON) / "-" (tables), the same way non-finite doubles render
+/// everywhere else.
+inline constexpr double kNoConvergence =
+    std::numeric_limits<double>::quiet_NaN();
 
 /// Everything one execution yields; TrialOutcome is derived from this.
 struct RunDetail {
@@ -113,6 +142,10 @@ struct RunDetail {
   Round clock_sync_rounds = 0;
   std::uint64_t clock_sync_messages = 0;
   Round measured_skew = 0;
+  /// First probe round at which >= 99% of agents hold an opinion, and do
+  /// so stably (sim/series.hpp stable_crossing over the activated probe
+  /// series). NaN when the run records no probes or never converges.
+  double convergence_round = kNoConvergence;
 };
 
 [[nodiscard]] TrialOutcome to_outcome(const RunDetail& detail);

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/environment.hpp"
 #include "core/params.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/population.hpp"
@@ -41,8 +44,17 @@ void expect_metrics_eq(const Metrics& classic, const Metrics& fast) {
                    "activated_series");
 }
 
+/// Exact equality that treats NaN == NaN (convergence rounds are NaN when
+/// a run records no probes or never converges).
+void expect_double_eq_nan(double a, double b, const char* what) {
+  if (std::isnan(a) && std::isnan(b)) return;
+  EXPECT_EQ(a, b) << what;
+}
+
 void expect_detail_eq(const RunDetail& classic, const RunDetail& fast) {
   expect_metrics_eq(classic.metrics, fast.metrics);
+  expect_double_eq_nan(classic.convergence_round, fast.convergence_round,
+                       "convergence_round");
   EXPECT_EQ(classic.success, fast.success);
   EXPECT_EQ(classic.correct_fraction, fast.correct_fraction);
   EXPECT_EQ(classic.final_bias, fast.final_bias);
@@ -150,6 +162,121 @@ TEST(BatchEngineTest, DesyncIdenticalToClassic) {
                    run_desync(on(scenario, EngineMode::kBatch), 0x5eed, 0));
 }
 
+// --- Dynamic environments: schedules and churn --------------------------
+// The new layer must obey the same contract as everything else: classic ==
+// batch == any shard count, bit for bit, for every Metrics counter and
+// probe sample. These run with probes on so the convergence statistic is
+// covered too.
+
+BroadcastScenario dynamic_broadcast() {
+  BroadcastScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.probe_every = 8;
+  return scenario;
+}
+
+TEST(BatchEngineTest, EpsRampIdenticalToClassicAndShardInvariant) {
+  BroadcastScenario scenario = dynamic_broadcast();
+  scenario.schedule = EnvironmentSchedule::parse("ramp:0.4:0.15");
+  const RunDetail classic =
+      run_broadcast(on(scenario, EngineMode::kClassic), 0x5eed, 0);
+  const RunDetail batch =
+      run_broadcast(on(scenario, EngineMode::kBatch), 0x5eed, 0);
+  expect_detail_eq(classic, batch);
+  expect_detail_eq(batch,
+                   run_broadcast(on(scenario, EngineMode::kBatch, 8),
+                                 0x5eed, 0));
+}
+
+TEST(BatchEngineTest, NoiseBurstsIdenticalToClassicAndShardInvariant) {
+  BroadcastScenario scenario = dynamic_broadcast();
+  scenario.schedule = EnvironmentSchedule::parse("burst:0.1:16:0.02");
+  for (std::size_t trial = 0; trial < 2; ++trial) {
+    const RunDetail classic =
+        run_broadcast(on(scenario, EngineMode::kClassic), 0x5eed, trial);
+    const RunDetail batch =
+        run_broadcast(on(scenario, EngineMode::kBatch), 0x5eed, trial);
+    expect_detail_eq(classic, batch);
+    expect_detail_eq(batch,
+                     run_broadcast(on(scenario, EngineMode::kBatch, 7),
+                                   0x5eed, trial));
+  }
+}
+
+TEST(BatchEngineTest, ChurnIdenticalToClassicAndShardInvariant) {
+  BroadcastScenario scenario = dynamic_broadcast();
+  scenario.churn = ChurnSpec::parse("0.01:0.1:0.25");
+  for (std::size_t trial = 0; trial < 2; ++trial) {
+    const RunDetail classic =
+        run_broadcast(on(scenario, EngineMode::kClassic), 0x5eed, trial);
+    const RunDetail batch =
+        run_broadcast(on(scenario, EngineMode::kBatch), 0x5eed, trial);
+    expect_detail_eq(classic, batch);
+    for (const std::size_t shards : {3, 8}) {
+      expect_detail_eq(batch,
+                       run_broadcast(on(scenario, EngineMode::kBatch,
+                                        shards),
+                                     0x5eed, trial));
+    }
+  }
+}
+
+TEST(BatchEngineTest, ChurnAndScheduleComposeAcrossSubstrates) {
+  BroadcastScenario scenario = dynamic_broadcast();
+  scenario.schedule = EnvironmentSchedule::parse("step:64:0.15");
+  scenario.churn = ChurnSpec::parse("0.005:0.1");
+  const RunDetail classic =
+      run_broadcast(on(scenario, EngineMode::kClassic), 0xfeed, 0);
+  const RunDetail batch =
+      run_broadcast(on(scenario, EngineMode::kBatch), 0xfeed, 0);
+  expect_detail_eq(classic, batch);
+  expect_detail_eq(batch,
+                   run_broadcast(on(scenario, EngineMode::kBatch, 8),
+                                 0xfeed, 0));
+}
+
+TEST(BatchEngineTest, MajorityChurnIdenticalAcrossSubstrates) {
+  MajorityScenario scenario;
+  scenario.n = 256;
+  scenario.initial_set = 32;
+  scenario.probe_every = 8;
+  scenario.churn = ChurnSpec::parse("0.005:0.1:0.25");
+  const RunDetail classic =
+      run_majority(on(scenario, EngineMode::kClassic), 0x5eed, 0);
+  const RunDetail batch =
+      run_majority(on(scenario, EngineMode::kBatch), 0x5eed, 0);
+  expect_detail_eq(classic, batch);
+  expect_detail_eq(batch,
+                   run_majority(on(scenario, EngineMode::kBatch, 8),
+                                0x5eed, 0));
+}
+
+TEST(BatchEngineTest, DesyncBurstIdenticalAcrossSubstrates) {
+  DesyncScenario scenario;
+  scenario.n = 256;
+  scenario.eps = 0.3;
+  scenario.max_skew = 8;
+  scenario.schedule = EnvironmentSchedule::parse("burst:0.1:8:0.02");
+  expect_detail_eq(run_desync(on(scenario, EngineMode::kClassic), 0x5eed, 0),
+                   run_desync(on(scenario, EngineMode::kBatch), 0x5eed, 0));
+}
+
+// Churn conservation: every sent message is accounted for exactly once —
+// delivered, dropped (collision or asleep recipient), or erased (never
+// here). Catches double-counted or lost asleep drops in the shard merge.
+TEST(BatchEngineTest, ChurnCountersConserveMessages) {
+  BroadcastScenario scenario = dynamic_broadcast();
+  scenario.churn = ChurnSpec::parse("0.01:0.1:0.25");
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    const RunDetail detail =
+        run_broadcast(on(scenario, EngineMode::kBatch, shards), 0x5eed, 0);
+    const Metrics& m = detail.metrics;
+    EXPECT_EQ(m.messages_sent, m.delivered + m.dropped + m.erased);
+    EXPECT_GT(m.dropped, 0u);  // churn at 25% start-asleep must drop some
+  }
+}
+
 // --- Shard-count invariance ---------------------------------------------
 // The contract's new clause: the batch substrate partitioned into ANY
 // number of shards produces the same bits as one shard — which the tests
@@ -219,6 +346,24 @@ TEST(BatchEngineTest, ShardsBeyondPopulationClampHarmlessly) {
 
 // --- Every registry entry: batch, classic, and sharded agree exactly ----
 
+/// Full TrialOutcome equality: the outcome doubles AND the Metrics
+/// counters. The counter fields are the point — TrialOutcome-only equality
+/// was blind to a shard merge that loses or double-counts deliveries while
+/// leaving success/rounds untouched.
+void expect_outcome_eq(const TrialOutcome& a, const TrialOutcome& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.success, b.success) << what;
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.correct_fraction, b.correct_fraction) << what;
+  expect_double_eq_nan(a.convergence_round, b.convergence_round,
+                       what.c_str());
+  EXPECT_EQ(a.delivered, b.delivered) << what;
+  EXPECT_EQ(a.dropped, b.dropped) << what;
+  EXPECT_EQ(a.erased, b.erased) << what;
+  EXPECT_EQ(a.flipped, b.flipped) << what;
+}
+
 TEST(BatchEngineTest, EveryRegistryEntryIdenticalOutcomes) {
   const ScenarioRegistry& registry = ScenarioRegistry::instance();
   for (const ScenarioInfo* info : registry.list()) {
@@ -237,18 +382,10 @@ TEST(BatchEngineTest, EveryRegistryEntryIdenticalOutcomes) {
       const TrialOutcome batch = batch_fn(0x5eed, trial);
       const TrialOutcome classic = classic_fn(0x5eed, trial);
       const TrialOutcome sharded = sharded_fn(0x5eed, trial);
-      EXPECT_EQ(classic.success, batch.success) << info->name << " " << trial;
-      EXPECT_EQ(classic.rounds, batch.rounds) << info->name << " " << trial;
-      EXPECT_EQ(classic.messages, batch.messages)
-          << info->name << " " << trial;
-      EXPECT_EQ(classic.correct_fraction, batch.correct_fraction)
-          << info->name << " " << trial;
-      EXPECT_EQ(batch.success, sharded.success) << info->name << " " << trial;
-      EXPECT_EQ(batch.rounds, sharded.rounds) << info->name << " " << trial;
-      EXPECT_EQ(batch.messages, sharded.messages)
-          << info->name << " " << trial;
-      EXPECT_EQ(batch.correct_fraction, sharded.correct_fraction)
-          << info->name << " " << trial;
+      const std::string what =
+          info->name + " trial " + std::to_string(trial);
+      expect_outcome_eq(classic, batch, what + " (classic vs batch)");
+      expect_outcome_eq(batch, sharded, what + " (batch vs 8 shards)");
     }
   }
 }

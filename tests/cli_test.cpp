@@ -236,7 +236,9 @@ TEST(ReportTest, SweepJsonGolden) {
       "      \"params\": {\n"
       "        \"n\": 64,\n"
       "        \"eps\": 0.25,\n"
-      "        \"channel\": \"bsc\"\n"
+      "        \"channel\": \"bsc\",\n"
+      "        \"schedule\": \"static\",\n"
+      "        \"churn\": \"none\"\n"
       "      },\n"
       "      \"trials\": 2,\n"
       "      \"successes\": 1,\n"
@@ -263,6 +265,15 @@ TEST(ReportTest, SweepJsonGolden) {
       "        \"min\": 1,\n"
       "        \"max\": 1\n"
       "      },\n"
+      // No converged trials: every convergence statistic is null (the
+      // NaN -> null mapping), never a numeric placeholder.
+      "      \"convergence_rounds\": {\n"
+      "        \"converged\": 0,\n"
+      "        \"mean\": null,\n"
+      "        \"stddev\": null,\n"
+      "        \"min\": null,\n"
+      "        \"max\": null\n"
+      "      },\n"
       "      \"trial_seconds\": {\n"
       "        \"mean\": 0.5,\n"
       "        \"stddev\": 0,\n"
@@ -278,10 +289,12 @@ TEST(ReportTest, SweepJsonGolden) {
 
 TEST(ReportTest, SweepCsvGolden) {
   const std::string expected =
-      "scenario,n,eps,channel,trials,successes,success_rate,success_low,"
-      "success_high,rounds_mean,rounds_stddev,rounds_min,rounds_max,"
-      "messages_mean,messages_stddev,correct_fraction_mean,wall_seconds\n"
-      "demo,64,0.25,bsc,2,1,0.5,0.125,0.875,1100,0,1100,1100,500,0,1,1.5\n";
+      "scenario,n,eps,channel,schedule,churn,trials,successes,success_rate,"
+      "success_low,success_high,rounds_mean,rounds_stddev,rounds_min,"
+      "rounds_max,messages_mean,messages_stddev,correct_fraction_mean,"
+      "convergence_mean,converged,wall_seconds\n"
+      "demo,64,0.25,bsc,static,none,2,1,0.5,0.125,0.875,1100,0,1100,1100,"
+      "500,0,1,null,0,1.5\n";
   EXPECT_EQ(sweep_to_csv(known_result()), expected);
 }
 
@@ -290,6 +303,58 @@ TEST(ReportTest, SweepTableMatchesPoints) {
   ASSERT_EQ(table.rows(), 1u);
   EXPECT_EQ(table.at(0, 0), "64");
   EXPECT_EQ(table.at(0, 2), "bsc");
+  // No converged trials: the convergence column is a "-" placeholder, not
+  // a formatted NaN (and never a fake 0).
+  EXPECT_EQ(table.at(0, 8), "-");
+}
+
+TEST(ReportTest, ConvergenceStatsAppearWhenTrialsConverge) {
+  SweepResult result = known_result();
+  TrialSummary& s = result.points[0].summary;
+  s.converged = 2;
+  s.convergence_rounds.add(96.0);
+  s.convergence_rounds.add(104.0);
+  const std::string json = sweep_to_json(result);
+  EXPECT_NE(json.find("\"converged\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\": 100,"), std::string::npos);
+  const std::string csv = sweep_to_csv(result);
+  EXPECT_NE(csv.find(",100,2,"), std::string::npos);
+  const TextTable table = sweep_table(result);
+  EXPECT_EQ(table.at(0, 8), "100");
+}
+
+// --- Argument-layer validation helpers ----------------------------------
+
+TEST(ValidateThreadsTest, AcceptsWithinHardwareBounds) {
+  EXPECT_EQ(validate_threads(1, 8), std::nullopt);
+  EXPECT_EQ(validate_threads(8, 8), std::nullopt);
+  EXPECT_NE(validate_threads(9, 8), std::nullopt);
+  EXPECT_NE(validate_threads(0, 8), std::nullopt);
+}
+
+TEST(ValidateThreadsTest, UnknownHardwareFallsBackToFloorOfOne) {
+  // std::thread::hardware_concurrency() may return 0 ("cannot tell"). That
+  // must mean "no detected upper bound", not "upper bound zero" — the
+  // latter would reject every --threads value on such hosts.
+  EXPECT_EQ(validate_threads(1, 0), std::nullopt);
+  EXPECT_EQ(validate_threads(16, 0), std::nullopt);
+  EXPECT_NE(validate_threads(0, 0), std::nullopt);
+}
+
+TEST(ValidateShardsTest, EnforcesRegistryBound) {
+  EXPECT_EQ(validate_shards(1), std::nullopt);
+  EXPECT_EQ(validate_shards(kMaxShards), std::nullopt);
+  EXPECT_NE(validate_shards(0), std::nullopt);
+  EXPECT_NE(validate_shards(kMaxShards + 1), std::nullopt);
+}
+
+TEST(ValidateEpsTest, RejectsValuesOutsideModelDomain) {
+  EXPECT_EQ(validate_eps_values({0.1, 0.5}), std::nullopt);
+  const auto too_big = validate_eps_values({0.2, 0.7});
+  ASSERT_TRUE(too_big.has_value());
+  EXPECT_NE(too_big->find("0.7"), std::string::npos);  // names the value
+  EXPECT_TRUE(validate_eps_values({0.0}).has_value());
+  EXPECT_TRUE(validate_eps_values({-0.1}).has_value());
 }
 
 TEST(ReportTest, PointKeyIsStable) {

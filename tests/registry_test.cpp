@@ -64,6 +64,57 @@ TEST(RegistryTest, TrialFnsAreDeterministic) {
   EXPECT_DOUBLE_EQ(oa.correct_fraction, ob.correct_fraction);
 }
 
+TEST(RegistryTest, DynamicEnvironmentDefaultsResolveAndOverride) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+
+  // Dynamic entries carry their preset as the default...
+  const ScenarioConfig burst = registry.resolve("broadcast_burst", {});
+  EXPECT_TRUE(burst.schedule.enabled());
+  EXPECT_DOUBLE_EQ(burst.schedule.burst_prob, 0.08);
+  const ScenarioConfig churny = registry.resolve("majority_churn", {});
+  EXPECT_TRUE(churny.churn.enabled());
+  EXPECT_DOUBLE_EQ(churny.churn.start_asleep, 0.25);
+
+  // ...an explicit override replaces the preset wholesale...
+  ScenarioOverrides override_schedule;
+  override_schedule.schedule = EnvironmentSchedule::parse("step:10:0.3");
+  const ScenarioConfig stepped =
+      registry.resolve("broadcast_burst", override_schedule);
+  EXPECT_DOUBLE_EQ(stepped.schedule.burst_prob, 0.0);
+  ASSERT_EQ(stepped.schedule.segments.size(), 1u);
+
+  // ...the classic entries stay static...
+  EXPECT_FALSE(registry.resolve("broadcast", {}).schedule.enabled());
+  EXPECT_FALSE(registry.resolve("broadcast", {}).churn.enabled());
+
+  // ...and invalid environment overrides fail resolution, naming the
+  // scenario.
+  ScenarioOverrides bad;
+  bad.churn = ChurnSpec{};
+  bad.churn->sleep_prob = 2.0;
+  EXPECT_THROW(registry.resolve("broadcast", bad), std::invalid_argument);
+
+  // Scenarios whose factories cannot honor an override must reject it —
+  // running the static environment while reporting the override in the
+  // output params would mislabel the data.
+  ScenarioOverrides churn_override;
+  churn_override.churn = ChurnSpec{};
+  churn_override.churn->sleep_prob = 0.01;
+  churn_override.churn->wake_prob = 0.1;
+  EXPECT_THROW(registry.resolve("boost", churn_override),
+               std::invalid_argument);
+  EXPECT_THROW(registry.resolve("desync", churn_override),
+               std::invalid_argument);
+  EXPECT_NO_THROW(registry.resolve("majority", churn_override));
+  ScenarioOverrides schedule_override;
+  schedule_override.schedule = EnvironmentSchedule::parse("step:10:0.3");
+  EXPECT_THROW(registry.resolve("baseline_voter", schedule_override),
+               std::invalid_argument);
+  EXPECT_THROW(registry.resolve("broadcast_adversarial", schedule_override),
+               std::invalid_argument);
+  EXPECT_NO_THROW(registry.resolve("desync", schedule_override));
+}
+
 TEST(RegistryTest, ResolveAppliesDefaultsAndOverrides) {
   const ScenarioRegistry& registry = ScenarioRegistry::instance();
   const ScenarioConfig defaults =

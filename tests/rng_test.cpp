@@ -5,6 +5,8 @@
 #include <set>
 #include <vector>
 
+#include "core/environment.hpp"  // kChurnInitRound
+
 namespace flip {
 namespace {
 
@@ -213,6 +215,36 @@ TEST(CounterRngTest, StreamWordsGoldenVectors) {
   EXPECT_EQ(chan7(), 0xf523f4737dfcc3b4ULL);
 }
 
+// The environment lanes added for the dynamic scenarios: churn transitions
+// (kChurn, including the kChurnInitRound start-asleep lottery) and the
+// round-scoped burst lottery (kEnvironment). Pinned like the lanes above —
+// a drift here silently re-randomizes every dynamic scenario.
+TEST(CounterRngTest, EnvironmentKeyGoldenVectors) {
+  constexpr StreamKey tk = trial_stream_key(0x5eed, 0);
+
+  constexpr StreamKey churn2 = round_stream_key(tk, RngPurpose::kChurn, 2);
+  EXPECT_EQ(churn2.hi, 0x32122a7be3cf45c4ULL);
+  EXPECT_EQ(churn2.lo, 0x7a36a865058e22ddULL);
+  CounterRng churn_agent5(churn2, 5);
+  EXPECT_EQ(churn_agent5(), 0x37f1c872641c487aULL);
+  EXPECT_EQ(churn_agent5(), 0x2f095ab025908896ULL);
+
+  constexpr StreamKey env0 =
+      round_stream_key(tk, RngPurpose::kEnvironment, 0);
+  EXPECT_EQ(env0.hi, 0xa216ddc2ebf33696ULL);
+  EXPECT_EQ(env0.lo, 0xab776e33a8921a5fULL);
+  CounterRng lottery(env0, 0);
+  EXPECT_EQ(lottery(), 0xc1e2b32e037f0696ULL);
+  EXPECT_EQ(lottery(), 0x8fd8e212e6b236adULL);
+
+  constexpr StreamKey init =
+      round_stream_key(tk, RngPurpose::kChurn, kChurnInitRound);
+  EXPECT_EQ(init.hi, 0xbd61fc3cd2dc15ddULL);
+  EXPECT_EQ(init.lo, 0x541cca4b1052a55eULL);
+  CounterRng init_agent3(init, 3);
+  EXPECT_EQ(init_agent3(), 0x111d6d3f27aea08eULL);
+}
+
 TEST(CounterRngTest, StreamsAreStatelessAndReplayable) {
   const StreamKey tk = trial_stream_key(123, 45);
   const StreamKey rk = round_stream_key(tk, RngPurpose::kProtocol, 678);
@@ -234,6 +266,14 @@ TEST(CounterRngTest, PurposesAndAgentsAndRoundsSeparateStreams) {
   EXPECT_NE(w, by_chan());
   EXPECT_NE(w, by_round());
   EXPECT_NE(w, by_agent());
+
+  // The environment lanes are their own streams too.
+  const StreamKey churn = round_stream_key(tk, RngPurpose::kChurn, 5);
+  const StreamKey env = round_stream_key(tk, RngPurpose::kEnvironment, 5);
+  CounterRng by_churn(churn, 3);
+  CounterRng by_env(env, 3);
+  EXPECT_NE(w, by_churn());
+  EXPECT_NE(w, by_env());
 }
 
 TEST(CounterRngTest, WordsAreApproximatelyUniform) {

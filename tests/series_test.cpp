@@ -56,6 +56,45 @@ TEST(SeriesTest, TailMean) {
   EXPECT_THROW(tail_mean({}, 2), std::invalid_argument);
 }
 
+// Edge cases of the window handling: empty series, window 0, and windows
+// past the series start must all behave (and agree between tail_mean and
+// has_plateau), because the sweep reporting now calls these on probe
+// series that may be empty (probes off) or shorter than the window.
+TEST(SeriesTest, WindowEdgeCases) {
+  // Window 0 clamps to 1 everywhere: the last sample alone.
+  const auto s = make_series({0.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(tail_mean(s, 0), 4.0);
+  EXPECT_TRUE(has_plateau(s, 0, 1e-12));  // a single sample is flat
+  EXPECT_FALSE(has_plateau(s, 2, 0.5));   // two samples 2 apart are not
+
+  // Window larger than the series: the whole series, no out-of-range read.
+  const auto flat = make_series({1.0, 1.0});
+  EXPECT_TRUE(has_plateau(flat, 100, 1e-12));
+  EXPECT_DOUBLE_EQ(tail_mean(flat, 100), 1.0);
+
+  // Empty series: never a plateau, tail_mean throws (documented
+  // precondition), crossings are nullopt.
+  EXPECT_FALSE(has_plateau({}, 0, 1.0));
+  EXPECT_THROW(tail_mean({}, 0), std::invalid_argument);
+  EXPECT_EQ(first_crossing({}, 0.0), std::nullopt);
+  EXPECT_EQ(stable_crossing({}, 0.0), std::nullopt);
+  EXPECT_DOUBLE_EQ(max_step({}), 0.0);
+}
+
+// The convergence-round statistic as the sweep reporting computes it: a
+// stable 99%-of-n crossing over an activation-count series.
+TEST(SeriesTest, ActivationConvergenceShape) {
+  std::vector<Sample> series;
+  const double n = 256.0;
+  const double counts[] = {1, 30, 252, 200, 254, 255, 256, 256};
+  Round r = 0;
+  for (const double c : counts) series.push_back({r += 8, c});
+  // 0.99 * 256 = 253.44: touched at round 24 (252 < threshold, so not
+  // yet), stably from the 254 sample on.
+  EXPECT_EQ(stable_crossing(series, 0.99 * n), Round{40});
+  EXPECT_EQ(first_crossing(series, 0.99 * n), Round{40});
+}
+
 TEST(SeriesTest, MaxStep) {
   const auto s = make_series({0.0, 0.1, 0.7, 0.6, 0.8});
   EXPECT_DOUBLE_EQ(max_step(s), 0.6);

@@ -29,6 +29,15 @@ void expect_points_eq(const SweepResult& a, const SweepResult& b) {
     EXPECT_EQ(s.messages.mean(), t.messages.mean()) << "point " << i;
     EXPECT_EQ(s.correct_fraction.mean(), t.correct_fraction.mean())
         << "point " << i;
+    EXPECT_EQ(s.converged, t.converged) << "point " << i;
+    if (s.converged != 0) {
+      EXPECT_EQ(s.convergence_rounds.mean(), t.convergence_rounds.mean())
+          << "point " << i;
+      EXPECT_EQ(s.convergence_rounds.min(), t.convergence_rounds.min())
+          << "point " << i;
+      EXPECT_EQ(s.convergence_rounds.max(), t.convergence_rounds.max())
+          << "point " << i;
+    }
   }
 }
 
@@ -89,6 +98,33 @@ TEST(SweepDeterminismTest, ThreadsByShardsMatrixAgreesExactly) {
                    " shards=" + std::to_string(shards));
       expect_points_eq(reference, result);
     }
+  }
+}
+
+// The dynamic-environment scenarios (schedule lottery + churn events) run
+// through the same contract: every point of the threads x shards matrix,
+// and the substrate A/B, agree exactly — including the convergence-round
+// statistics their probe series feed.
+TEST(SweepDeterminismTest, DynamicScenariosAgreeAcrossTheMatrix) {
+  for (const char* scenario_name :
+       {"broadcast_burst", "broadcast_churn", "broadcast_eps_ramp"}) {
+    SweepSpec spec;
+    spec.scenario = scenario_name;
+    spec.ns = {128};
+    spec.trials = 4;
+    spec.threads = 1;
+    spec.shards = 1;
+    const SweepResult reference = run_sweep(spec);
+    SCOPED_TRACE(scenario_name);
+
+    spec.threads = 8;
+    spec.shards = 8;
+    expect_points_eq(reference, run_sweep(spec));
+
+    spec.threads = 1;
+    spec.shards = 1;
+    spec.engine = EngineMode::kClassic;
+    expect_points_eq(reference, run_sweep(spec));
   }
 }
 

@@ -17,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -40,6 +41,8 @@ struct CliFlags {
   std::optional<std::size_t> threads;
   std::optional<std::size_t> shards;
   std::string engine = "batch";
+  std::string schedule;
+  std::string churn;
   bool json = false;
   std::string json_path;  // empty with json=true -> stdout
   bool csv = false;
@@ -143,6 +146,14 @@ int main(int argc, char** argv) {
                     "simulation substrate: batch (SoA fast path, default) "
                     "or classic (reference Engine); results are identical",
                     &flags.engine);
+  parser.add_option("--schedule", "spec",
+                    "eps schedule override: ramp:E0:E1 | ramp:R0:R1:E0:E1 | "
+                    "step:R:EPS | burst:PROB:LEN:EPS",
+                    &flags.schedule);
+  parser.add_option("--churn", "spec",
+                    "agent churn override: SLEEP:WAKE[:START_ASLEEP] "
+                    "per-round probabilities",
+                    &flags.churn);
   parser.add_optional_value("--json", "path",
                             "write flipsim-sweep-v1 JSON (no path: stdout)",
                             &flags.json_path, &flags.json);
@@ -204,6 +215,12 @@ int main(int argc, char** argv) {
       std::cerr << "error: --eps: " << error << "\n";
       return 2;
     }
+    // Domain check here at the argument layer, naming the offending value,
+    // instead of deep inside Params::calibrated once the sweep is running.
+    if (const auto eps_error = flip::cli::validate_eps_values(*epss)) {
+      std::cerr << "error: " << *eps_error << "\n";
+      return 2;
+    }
     spec.epss = *epss;
   }
   if (!flags.channel_list.empty()) {
@@ -217,30 +234,40 @@ int main(int argc, char** argv) {
   if (flags.seed) spec.seed = *flags.seed;
   // Reject out-of-range parallelism knobs here, with the other argument
   // errors, instead of silently clamping (or crashing) deep in the engine.
-  // (A shard is a deterministic work partition, not a thread, so its cap is
-  // a fixed sanity bound rather than the core count — running 8 shards on
-  // 1 core is a valid, if pointless, way to reproduce a partition. And the
-  // knobs never change results, only wall-clock, so rejecting a value is
-  // purely a footgun guard.)
-  const std::size_t hardware = std::thread::hardware_concurrency();
+  // The validation lives in cli/sweep (validate_threads / validate_shards)
+  // so it is unit-testable; in particular, hardware_concurrency() == 0
+  // (the runtime cannot tell) falls back to a floor of one worker instead
+  // of rejecting every --threads value against an upper bound of 0.
   if (flags.threads) {
-    // hardware == 0 means the runtime cannot tell; only reject 0 then.
-    if (*flags.threads == 0 ||
-        (hardware != 0 && *flags.threads > hardware)) {
-      std::cerr << "error: --threads: " << *flags.threads
-                << " is outside 1.." << hardware
-                << " (this machine's hardware concurrency)\n";
+    if (const auto threads_error = flip::cli::validate_threads(
+            *flags.threads, std::thread::hardware_concurrency())) {
+      std::cerr << "error: " << *threads_error << "\n";
       return 2;
     }
     spec.threads = *flags.threads;
   }
   if (flags.shards) {
-    if (*flags.shards == 0 || *flags.shards > flip::kMaxShards) {
-      std::cerr << "error: --shards: " << *flags.shards
-                << " is outside 1.." << flip::kMaxShards << "\n";
+    if (const auto shards_error = flip::cli::validate_shards(*flags.shards)) {
+      std::cerr << "error: " << *shards_error << "\n";
       return 2;
     }
     spec.shards = *flags.shards;
+  }
+  if (!flags.schedule.empty()) {
+    try {
+      spec.schedule = flip::EnvironmentSchedule::parse(flags.schedule);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: --schedule: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (!flags.churn.empty()) {
+    try {
+      spec.churn = flip::ChurnSpec::parse(flags.churn);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: --churn: " << e.what() << "\n";
+      return 2;
+    }
   }
   if (const auto mode = flip::parse_engine_mode(flags.engine)) {
     spec.engine = *mode;
