@@ -75,21 +75,48 @@ else
   echo "skipping perf gates (build type: ${BUILD_TYPE:-unknown})"
 fi
 
+# FLIP_SIMD=ON pass: build the vector round kernels and re-run the whole
+# suite — the SIMD differential/property tests only bite in this
+# configuration (they SKIP in the scalar build above). The --simd perf gate
+# then holds the measured kernel speedup to the committed
+# bench/results/BENCH_simd.json point; on machines whose CPU can't run any
+# compiled vector set the gate self-skips (isa=scalar) while the exactness
+# tests still ran. Skip the whole job with FLIP_SKIP_SIMD=1 (e.g.
+# architectures without kernels, where it would duplicate the scalar run).
+if [ "${FLIP_SKIP_SIMD:-0}" != "1" ]; then
+  SIMD_DIR="${BUILD_DIR}-simd"
+  cmake -B "$SIMD_DIR" -S . -DFLIP_WERROR=ON -DFLIP_SIMD=ON \
+    -DFLIP_BUILD_BENCH=ON
+  cmake --build "$SIMD_DIR" -j
+  (cd "$SIMD_DIR" && ctest --output-on-failure -j "$(nproc)")
+  SIMD_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$SIMD_DIR/CMakeCache.txt")"
+  if [ "$SIMD_BUILD_TYPE" = "Release" ] && command -v python3 >/dev/null 2>&1; then
+    python3 tools/check_engine_perf.py --simd "$SIMD_DIR/bench/bench_simd" \
+      bench/results/BENCH_simd.json "$SIMD_DIR/bench_simd.json"
+  else
+    echo "skipping simd perf gate (build type: ${SIMD_BUILD_TYPE:-unknown})"
+  fi
+else
+  echo "skipping FLIP_SIMD pass (FLIP_SKIP_SIMD=1)"
+fi
+
 # ThreadSanitizer pass over the sharded engine: the intra-trial shard
 # phases (route/deliver AND the churn liveness phase with its per-shard
 # delta merge) and the helping ThreadPool wait are the only cross-thread
 # code in the repo; race-check them under a dedicated instrumented build.
-# The BatchEngineTest/SweepDeterminismTest filter includes the
-# churn-enabled sharded tests and the dynamic-scenario sweep matrix. Skip
-# with FLIP_SKIP_TSAN=1 (e.g. toolchains without tsan runtimes).
+# The filter includes the churn-enabled sharded tests, the
+# dynamic-scenario sweep matrix, and (FLIP_SIMD is ON here too) the
+# property/differential suites, which drive the vector kernels from
+# sharded rounds. Skip with FLIP_SKIP_TSAN=1 (e.g. toolchains without
+# tsan runtimes).
 if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DFLIP_TSAN=ON -DFLIP_BUILD_BENCH=OFF -DFLIP_BUILD_EXAMPLES=OFF \
-    -DFLIP_BUILD_TOOLS=OFF
+    -DFLIP_TSAN=ON -DFLIP_SIMD=ON -DFLIP_BUILD_BENCH=OFF \
+    -DFLIP_BUILD_EXAMPLES=OFF -DFLIP_BUILD_TOOLS=OFF
   cmake --build "$TSAN_DIR" -j
   (cd "$TSAN_DIR" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest')
+    -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest|PropertyDifferentialTest|SimdDifferentialTest|SimdKernelsTest')
 else
   echo "skipping ThreadSanitizer pass (FLIP_SKIP_TSAN=1)"
 fi

@@ -1,0 +1,178 @@
+// AVX2 kernel set: four 64-bit CounterRng lanes per register. Compiled only
+// when the FLIP_SIMD CMake option adds this file (x86-64, built -mavx2);
+// dispatch.cpp selects it at runtime behind __builtin_cpu_supports("avx2").
+//
+// AVX2 has no 64x64->64 multiply (vpmullq is AVX-512DQ), no scatter, and no
+// conflict detection, which shapes the whole design:
+//
+//  * mul64 is emulated from three 32x32->64 vpmuludq partial products —
+//    exact, because the discarded high cross terms do not reach bit 63.
+//  * Lemire's unbiased uniform_index has a data-dependent rejection loop.
+//    The kernel computes the accept-path product for all four lanes and
+//    vector-detects the "low 64 bits < n" gate (probability n/2^64 per lane,
+//    ~2^-33 at n=10^6); a flagged lane is recomputed wholly through the
+//    scalar reference, so rejection redraws replay the exact scalar
+//    sequence. Unsigned compares are signed compares with the sign bit
+//    flipped (AVX2 only has signed 64-bit compares).
+//  * The kernels only fill dense output blocks (recipient + acceptance word,
+//    flip bytes). The memory-irregular half of each phase — scatter into
+//    shard buckets, min-combine into per-agent slots — stays in the
+//    engine's unchanged scalar pass, which also keeps combine-order
+//    semantics trivially identical.
+
+#include "simd/simd.hpp"
+
+#if defined(__AVX2__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "simd/kernel_ref.hpp"
+#include "util/rng.hpp"
+
+namespace flip::simd {
+namespace {
+
+inline __m256i set1(std::uint64_t v) noexcept {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+/// 64x64->64 multiply from 32x32->64 partials: lo*lo + ((lo*hi + hi*lo)<<32).
+/// (vpmuludq reads the low 32 bits of each 64-bit lane.)
+inline __m256i mul64(__m256i x, __m256i y) noexcept {
+  const __m256i lolo = _mm256_mul_epu32(x, y);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(x, _mm256_srli_epi64(y, 32)),
+                       _mm256_mul_epu32(_mm256_srli_epi64(x, 32), y));
+  return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+/// util/rng.hpp mix64, four lanes at a time, same Mix13 constants.
+inline __m256i mix64v(__m256i z) noexcept {
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+  z = mul64(z, set1(kMix13MulA));
+  z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+  z = mul64(z, set1(kMix13MulB));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+/// Unsigned a < b via the signed compare with both sign bits flipped.
+inline __m256i cmplt_u64(__m256i a, __m256i b) noexcept {
+  const __m256i sign = set1(0x8000'0000'0000'0000ULL);
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, sign),
+                            _mm256_xor_si256(a, sign));
+}
+
+/// Narrows the low 32 bits of four 64-bit lanes into one 128-bit vector.
+inline __m128i narrow_lo32(__m256i v) noexcept {
+  const __m256i packed = _mm256_shuffle_epi32(v, _MM_SHUFFLE(2, 0, 2, 0));
+  return _mm_unpacklo_epi64(_mm256_castsi256_si128(packed),
+                            _mm256_extracti128_si256(packed, 1));
+}
+
+void route_block_avx2(std::uint64_t rkey_hi, std::uint64_t rkey_lo,
+                      const std::uint32_t* entries, std::size_t count,
+                      std::uint64_t n_minus_1, std::uint32_t* to_out,
+                      std::uint64_t* word_out) {
+  const StreamKey rkey{rkey_hi, rkey_lo};
+  const __m256i gamma = set1(kGoldenGamma);
+  const __m256i hi_base = set1(rkey_hi);
+  const __m256i lo_base = set1(rkey_lo);
+  const __m256i s1_mul = set1(kMix13MulA);
+  const __m256i nvec = set1(n_minus_1);
+  const __m256i prio = set1(kPriorityMask);
+  const __m256i agent_mask = set1(kEntryAgentMask);
+
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i e32 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(entries + i));
+    const __m256i e = _mm256_cvtepu32_epi64(e32);
+    const __m256i sender = _mm256_and_si256(e, agent_mask);
+
+    // CounterRng(rkey, sender) state, then draw 1 and draw 2 of the stream.
+    const __m256i s0 = _mm256_add_epi64(hi_base, mul64(sender, gamma));
+    const __m256i s1 = _mm256_xor_si256(lo_base, mul64(sender, s1_mul));
+    const __m256i c1 = _mm256_add_epi64(s0, gamma);
+    const __m256i d1 = mix64v(_mm256_xor_si256(c1, s1));
+    const __m256i d2 =
+        mix64v(_mm256_xor_si256(_mm256_add_epi64(c1, gamma), s1));
+
+    // 128-bit d1 * n_minus_1 from two 32x32->64 partials (n_minus_1 < 2^32):
+    // recipient = high 64 bits, Lemire gate = low 64 bits < n_minus_1.
+    const __m256i lo_prod = _mm256_mul_epu32(d1, nvec);
+    const __m256i hi_prod =
+        _mm256_mul_epu32(_mm256_srli_epi64(d1, 32), nvec);
+    const __m256i high = _mm256_srli_epi64(
+        _mm256_add_epi64(hi_prod, _mm256_srli_epi64(lo_prod, 32)), 32);
+    const __m256i low =
+        _mm256_add_epi64(lo_prod, _mm256_slli_epi64(hi_prod, 32));
+    const __m256i reject = cmplt_u64(low, nvec);
+
+    // to += (to >= sender): ids are < 2^31, so the signed compare is exact;
+    // the all-ones mask subtracts as +1.
+    const __m256i ge = _mm256_or_si256(_mm256_cmpgt_epi64(high, sender),
+                                       _mm256_cmpeq_epi64(high, sender));
+    const __m256i to = _mm256_sub_epi64(high, ge);
+
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(word_out + i),
+                        _mm256_or_si256(_mm256_and_si256(d2, prio), e));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(to_out + i), narrow_lo32(to));
+
+    // Lanes that hit the rejection gate (~2^-33 each) replay scalar.
+    int fixup = _mm256_movemask_pd(_mm256_castsi256_pd(reject));
+    while (fixup != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(fixup));
+      fixup &= fixup - 1;
+      const std::size_t at = i + static_cast<std::size_t>(lane);
+      route_one_ref(rkey, entries[at], n_minus_1, to_out + at, word_out + at);
+    }
+  }
+  for (; i < count; ++i) {
+    route_one_ref(rkey, entries[i], n_minus_1, to_out + i, word_out + i);
+  }
+}
+
+void flip_block_avx2(std::uint64_t ckey_hi, std::uint64_t ckey_lo,
+                     const std::uint32_t* recipients, std::size_t count,
+                     std::uint64_t threshold, std::uint8_t* flip_out) {
+  const StreamKey ckey{ckey_hi, ckey_lo};
+  const __m256i gamma = set1(kGoldenGamma);
+  const __m256i hi_base = set1(ckey_hi);
+  const __m256i lo_base = set1(ckey_lo);
+  const __m256i s1_mul = set1(kMix13MulA);
+  const __m256i thr = set1(threshold);
+
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i a32 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(recipients + i));
+    const __m256i a = _mm256_cvtepu32_epi64(a32);
+    const __m256i s0 = _mm256_add_epi64(hi_base, mul64(a, gamma));
+    const __m256i s1 = _mm256_xor_si256(lo_base, mul64(a, s1_mul));
+    const __m256i d = mix64v(_mm256_xor_si256(_mm256_add_epi64(s0, gamma), s1));
+    // Both sides are < 2^53 after the shift, so the signed compare is exact.
+    const __m256i lt = _mm256_cmpgt_epi64(thr, _mm256_srli_epi64(d, 11));
+    const int mask = _mm256_movemask_pd(_mm256_castsi256_pd(lt));
+    flip_out[i + 0] = static_cast<std::uint8_t>(mask & 1);
+    flip_out[i + 1] = static_cast<std::uint8_t>((mask >> 1) & 1);
+    flip_out[i + 2] = static_cast<std::uint8_t>((mask >> 2) & 1);
+    flip_out[i + 3] = static_cast<std::uint8_t>((mask >> 3) & 1);
+  }
+  for (; i < count; ++i) {
+    flip_out[i] = flip_one_ref(ckey, recipients[i], threshold);
+  }
+}
+
+}  // namespace
+
+const Kernels& avx2_kernels() noexcept {
+  static constexpr Kernels kAvx2{&route_block_avx2, &flip_block_avx2,
+                                 Isa::kAvx2};
+  return kAvx2;
+}
+
+}  // namespace flip::simd
+
+#endif  // __AVX2__ && __x86_64__

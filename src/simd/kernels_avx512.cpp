@@ -1,0 +1,145 @@
+// AVX-512 kernel set: eight 64-bit CounterRng lanes per register. The
+// structural twin of kernels_avx2.cpp (see there for the full design
+// commentary) with the two AVX2 pain points gone: vpmullq (AVX-512DQ) is a
+// native 64x64->64 multiply, so the mix64 chain is two multiplies per step
+// instead of three 32-bit partial products each — and compares produce
+// mask registers directly, so the Lemire rejection gate and the flip
+// decision cost one instruction per block. Runtime-gated in dispatch.cpp
+// behind __builtin_cpu_supports("avx512f") && ("avx512dq").
+
+#include "simd/simd.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "simd/kernel_ref.hpp"
+#include "util/rng.hpp"
+
+namespace flip::simd {
+namespace {
+
+inline __m512i set1(std::uint64_t v) noexcept {
+  return _mm512_set1_epi64(static_cast<long long>(v));
+}
+
+/// util/rng.hpp mix64, eight lanes at a time, same Mix13 constants.
+inline __m512i mix64v(__m512i z) noexcept {
+  z = _mm512_xor_si512(z, _mm512_srli_epi64(z, 30));
+  z = _mm512_mullo_epi64(z, set1(kMix13MulA));
+  z = _mm512_xor_si512(z, _mm512_srli_epi64(z, 27));
+  z = _mm512_mullo_epi64(z, set1(kMix13MulB));
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+}
+
+void route_block_avx512(std::uint64_t rkey_hi, std::uint64_t rkey_lo,
+                        const std::uint32_t* entries, std::size_t count,
+                        std::uint64_t n_minus_1, std::uint32_t* to_out,
+                        std::uint64_t* word_out) {
+  const StreamKey rkey{rkey_hi, rkey_lo};
+  const __m512i gamma = set1(kGoldenGamma);
+  const __m512i hi_base = set1(rkey_hi);
+  const __m512i lo_base = set1(rkey_lo);
+  const __m512i s1_mul = set1(kMix13MulA);
+  const __m512i nvec = set1(n_minus_1);
+  const __m512i prio = set1(kPriorityMask);
+  const __m512i agent_mask = set1(kEntryAgentMask);
+  const __m512i one = set1(1);
+
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i e32 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(entries + i));
+    const __m512i e = _mm512_cvtepu32_epi64(e32);
+    const __m512i sender = _mm512_and_si512(e, agent_mask);
+
+    // CounterRng(rkey, sender) state, then draw 1 and draw 2 of the stream.
+    const __m512i s0 =
+        _mm512_add_epi64(hi_base, _mm512_mullo_epi64(sender, gamma));
+    const __m512i s1 =
+        _mm512_xor_si512(lo_base, _mm512_mullo_epi64(sender, s1_mul));
+    const __m512i c1 = _mm512_add_epi64(s0, gamma);
+    const __m512i d1 = mix64v(_mm512_xor_si512(c1, s1));
+    const __m512i d2 =
+        mix64v(_mm512_xor_si512(_mm512_add_epi64(c1, gamma), s1));
+
+    // 128-bit d1 * n_minus_1 from two 32x32->64 partials (n_minus_1 < 2^32):
+    // recipient = high 64 bits, Lemire gate = low 64 bits < n_minus_1.
+    const __m512i lo_prod = _mm512_mul_epu32(d1, nvec);
+    const __m512i hi_prod =
+        _mm512_mul_epu32(_mm512_srli_epi64(d1, 32), nvec);
+    const __m512i high = _mm512_srli_epi64(
+        _mm512_add_epi64(hi_prod, _mm512_srli_epi64(lo_prod, 32)), 32);
+    const __m512i low =
+        _mm512_add_epi64(lo_prod, _mm512_slli_epi64(hi_prod, 32));
+    const __mmask8 reject = _mm512_cmplt_epu64_mask(low, nvec);
+
+    // to += (to >= sender), as a masked add.
+    const __mmask8 ge = _mm512_cmpge_epu64_mask(high, sender);
+    const __m512i to = _mm512_mask_add_epi64(high, ge, high, one);
+
+    _mm512_storeu_si512(word_out + i,
+                        _mm512_or_si512(_mm512_and_si512(d2, prio), e));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(to_out + i),
+                        _mm512_cvtepi64_epi32(to));
+
+    // Lanes that hit the rejection gate (~2^-33 each) replay scalar.
+    unsigned fixup = reject;
+    while (fixup != 0) {
+      const int lane = __builtin_ctz(fixup);
+      fixup &= fixup - 1;
+      const std::size_t at = i + static_cast<std::size_t>(lane);
+      route_one_ref(rkey, entries[at], n_minus_1, to_out + at, word_out + at);
+    }
+  }
+  for (; i < count; ++i) {
+    route_one_ref(rkey, entries[i], n_minus_1, to_out + i, word_out + i);
+  }
+}
+
+void flip_block_avx512(std::uint64_t ckey_hi, std::uint64_t ckey_lo,
+                       const std::uint32_t* recipients, std::size_t count,
+                       std::uint64_t threshold, std::uint8_t* flip_out) {
+  const StreamKey ckey{ckey_hi, ckey_lo};
+  const __m512i gamma = set1(kGoldenGamma);
+  const __m512i hi_base = set1(ckey_hi);
+  const __m512i lo_base = set1(ckey_lo);
+  const __m512i s1_mul = set1(kMix13MulA);
+  const __m512i thr = set1(threshold);
+
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i a32 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(recipients + i));
+    const __m512i a = _mm512_cvtepu32_epi64(a32);
+    const __m512i s0 =
+        _mm512_add_epi64(hi_base, _mm512_mullo_epi64(a, gamma));
+    const __m512i s1 =
+        _mm512_xor_si512(lo_base, _mm512_mullo_epi64(a, s1_mul));
+    const __m512i d =
+        mix64v(_mm512_xor_si512(_mm512_add_epi64(s0, gamma), s1));
+    const __mmask8 lt =
+        _mm512_cmplt_epu64_mask(_mm512_srli_epi64(d, 11), thr);
+    for (int lane = 0; lane < 8; ++lane) {
+      flip_out[i + static_cast<std::size_t>(lane)] =
+          static_cast<std::uint8_t>((lt >> lane) & 1);
+    }
+  }
+  for (; i < count; ++i) {
+    flip_out[i] = flip_one_ref(ckey, recipients[i], threshold);
+  }
+}
+
+}  // namespace
+
+const Kernels& avx512_kernels() noexcept {
+  static constexpr Kernels kAvx512{&route_block_avx512, &flip_block_avx512,
+                                   Isa::kAvx512};
+  return kAvx512;
+}
+
+}  // namespace flip::simd
+
+#endif  // __AVX512F__ && __AVX512DQ__ && __x86_64__

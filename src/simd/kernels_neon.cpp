@@ -1,0 +1,130 @@
+// NEON (aarch64) kernel set: two 64-bit CounterRng lanes per register.
+// Same structure as kernels_avx2.cpp — mul64 from 32x32->64 vmull_u32
+// partials, vector Lemire gate with scalar replay of rejected lanes, dense
+// output blocks only — see that file for the full design commentary.
+
+#include "simd/simd.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "simd/kernel_ref.hpp"
+#include "util/rng.hpp"
+
+namespace flip::simd {
+namespace {
+
+/// 64x64->64 multiply: lo*lo + ((lo*hi + hi*lo) << 32).
+inline uint64x2_t mul64(uint64x2_t x, uint64x2_t y) noexcept {
+  const uint32x2_t x_lo = vmovn_u64(x);
+  const uint32x2_t y_lo = vmovn_u64(y);
+  const uint32x2_t x_hi = vshrn_n_u64(x, 32);
+  const uint32x2_t y_hi = vshrn_n_u64(y, 32);
+  const uint64x2_t lolo = vmull_u32(x_lo, y_lo);
+  const uint64x2_t cross = vmlal_u32(vmull_u32(x_lo, y_hi), x_hi, y_lo);
+  return vaddq_u64(lolo, vshlq_n_u64(cross, 32));
+}
+
+/// util/rng.hpp mix64, two lanes at a time, same Mix13 constants.
+inline uint64x2_t mix64v(uint64x2_t z) noexcept {
+  z = veorq_u64(z, vshrq_n_u64(z, 30));
+  z = mul64(z, vdupq_n_u64(kMix13MulA));
+  z = veorq_u64(z, vshrq_n_u64(z, 27));
+  z = mul64(z, vdupq_n_u64(kMix13MulB));
+  return veorq_u64(z, vshrq_n_u64(z, 31));
+}
+
+void route_block_neon(std::uint64_t rkey_hi, std::uint64_t rkey_lo,
+                      const std::uint32_t* entries, std::size_t count,
+                      std::uint64_t n_minus_1, std::uint32_t* to_out,
+                      std::uint64_t* word_out) {
+  const StreamKey rkey{rkey_hi, rkey_lo};
+  const uint64x2_t gamma = vdupq_n_u64(kGoldenGamma);
+  const uint64x2_t hi_base = vdupq_n_u64(rkey_hi);
+  const uint64x2_t lo_base = vdupq_n_u64(rkey_lo);
+  const uint64x2_t s1_mul = vdupq_n_u64(kMix13MulA);
+  const uint64x2_t nvec = vdupq_n_u64(n_minus_1);
+  const uint32x2_t n32 = vdup_n_u32(static_cast<std::uint32_t>(n_minus_1));
+  const uint64x2_t prio = vdupq_n_u64(kPriorityMask);
+  const uint64x2_t agent_mask = vdupq_n_u64(kEntryAgentMask);
+
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const uint64x2_t e = vmovl_u32(vld1_u32(entries + i));
+    const uint64x2_t sender = vandq_u64(e, agent_mask);
+
+    // CounterRng(rkey, sender) state, then draw 1 and draw 2 of the stream.
+    const uint64x2_t s0 = vaddq_u64(hi_base, mul64(sender, gamma));
+    const uint64x2_t s1 = veorq_u64(lo_base, mul64(sender, s1_mul));
+    const uint64x2_t c1 = vaddq_u64(s0, gamma);
+    const uint64x2_t d1 = mix64v(veorq_u64(c1, s1));
+    const uint64x2_t d2 = mix64v(veorq_u64(vaddq_u64(c1, gamma), s1));
+
+    // 128-bit d1 * n_minus_1 from two 32x32->64 partials (n_minus_1 < 2^32).
+    const uint64x2_t lo_prod = vmull_u32(vmovn_u64(d1), n32);
+    const uint64x2_t hi_prod = vmull_u32(vshrn_n_u64(d1, 32), n32);
+    const uint64x2_t high =
+        vshrq_n_u64(vaddq_u64(hi_prod, vshrq_n_u64(lo_prod, 32)), 32);
+    const uint64x2_t low = vaddq_u64(lo_prod, vshlq_n_u64(hi_prod, 32));
+    const uint64x2_t reject = vcltq_u64(low, nvec);
+
+    // to += (to >= sender): the all-ones mask subtracts as +1.
+    const uint64x2_t to = vsubq_u64(high, vcgeq_u64(high, sender));
+
+    vst1q_u64(word_out + i, vorrq_u64(vandq_u64(d2, prio), e));
+    to_out[i + 0] = static_cast<std::uint32_t>(vgetq_lane_u64(to, 0));
+    to_out[i + 1] = static_cast<std::uint32_t>(vgetq_lane_u64(to, 1));
+
+    // Lanes that hit the Lemire rejection gate (~2^-33 each) replay scalar.
+    if (vgetq_lane_u64(reject, 0) != 0) {
+      route_one_ref(rkey, entries[i], n_minus_1, to_out + i, word_out + i);
+    }
+    if (vgetq_lane_u64(reject, 1) != 0) {
+      route_one_ref(rkey, entries[i + 1], n_minus_1, to_out + i + 1,
+                    word_out + i + 1);
+    }
+  }
+  for (; i < count; ++i) {
+    route_one_ref(rkey, entries[i], n_minus_1, to_out + i, word_out + i);
+  }
+}
+
+void flip_block_neon(std::uint64_t ckey_hi, std::uint64_t ckey_lo,
+                     const std::uint32_t* recipients, std::size_t count,
+                     std::uint64_t threshold, std::uint8_t* flip_out) {
+  const StreamKey ckey{ckey_hi, ckey_lo};
+  const uint64x2_t gamma = vdupq_n_u64(kGoldenGamma);
+  const uint64x2_t hi_base = vdupq_n_u64(ckey_hi);
+  const uint64x2_t lo_base = vdupq_n_u64(ckey_lo);
+  const uint64x2_t s1_mul = vdupq_n_u64(kMix13MulA);
+  const uint64x2_t thr = vdupq_n_u64(threshold);
+
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const uint64x2_t a = vmovl_u32(vld1_u32(recipients + i));
+    const uint64x2_t s0 = vaddq_u64(hi_base, mul64(a, gamma));
+    const uint64x2_t s1 = veorq_u64(lo_base, mul64(a, s1_mul));
+    const uint64x2_t d = mix64v(veorq_u64(vaddq_u64(s0, gamma), s1));
+    const uint64x2_t lt = vcltq_u64(vshrq_n_u64(d, 11), thr);
+    flip_out[i + 0] = static_cast<std::uint8_t>(vgetq_lane_u64(lt, 0) & 1);
+    flip_out[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u64(lt, 1) & 1);
+  }
+  for (; i < count; ++i) {
+    flip_out[i] = flip_one_ref(ckey, recipients[i], threshold);
+  }
+}
+
+}  // namespace
+
+const Kernels& neon_kernels() noexcept {
+  static constexpr Kernels kNeon{&route_block_neon, &flip_block_neon,
+                                 Isa::kNeon};
+  return kNeon;
+}
+
+}  // namespace flip::simd
+
+#endif  // __aarch64__

@@ -1,0 +1,42 @@
+// The always-compiled scalar kernel set: plain loops over the per-lane
+// reference in kernel_ref.hpp. This is both the FLIP_SIMD=OFF implementation
+// and the runtime fallback a FLIP_SIMD=ON binary dispatches on machines
+// without the compiled vector ISA.
+
+#include <cstdint>
+
+#include "simd/kernel_ref.hpp"
+#include "simd/simd.hpp"
+#include "util/rng.hpp"
+
+namespace flip::simd {
+namespace {
+
+void route_block_scalar(std::uint64_t rkey_hi, std::uint64_t rkey_lo,
+                        const std::uint32_t* entries, std::size_t count,
+                        std::uint64_t n_minus_1, std::uint32_t* to_out,
+                        std::uint64_t* word_out) {
+  const StreamKey rkey{rkey_hi, rkey_lo};
+  for (std::size_t i = 0; i < count; ++i) {
+    route_one_ref(rkey, entries[i], n_minus_1, to_out + i, word_out + i);
+  }
+}
+
+void flip_block_scalar(std::uint64_t ckey_hi, std::uint64_t ckey_lo,
+                       const std::uint32_t* recipients, std::size_t count,
+                       std::uint64_t threshold, std::uint8_t* flip_out) {
+  const StreamKey ckey{ckey_hi, ckey_lo};
+  for (std::size_t i = 0; i < count; ++i) {
+    flip_out[i] = flip_one_ref(ckey, recipients[i], threshold);
+  }
+}
+
+}  // namespace
+
+const Kernels& scalar_kernels() noexcept {
+  static constexpr Kernels kScalar{&route_block_scalar, &flip_block_scalar,
+                                   Isa::kScalar};
+  return kScalar;
+}
+
+}  // namespace flip::simd

@@ -110,11 +110,18 @@ Xoshiro256 make_stream(std::uint64_t seed, std::uint64_t stream);
 // Counter-based streams: the repo-wide determinism contract.
 // ---------------------------------------------------------------------------
 
+// Stafford's Mix13 multipliers. Named (rather than inlined literals) so the
+// SIMD kernels in src/simd/ broadcast the very same constants into their
+// vector lanes — the golden-vector tests then pin one derivation chain, not
+// two copies of it.
+inline constexpr std::uint64_t kMix13MulA = 0xbf58476d1ce4e5b9ULL;
+inline constexpr std::uint64_t kMix13MulB = 0x94d049bb133111ebULL;
+
 /// The SplitMix64 finalizer (Stafford's Mix13 constants): a strong 64-bit
 /// bijection. All counter-based keys and words funnel through this.
 [[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = (z ^ (z >> 30)) * kMix13MulA;
+  z = (z ^ (z >> 27)) * kMix13MulB;
   return z ^ (z >> 31);
 }
 
@@ -198,7 +205,7 @@ class CounterRng {
   /// differs), and every emitted word still passes through mix64.
   constexpr CounterRng(const StreamKey& round_key, std::uint64_t agent) noexcept
       : s0_(round_key.hi + agent * kGoldenGamma),
-        s1_(round_key.lo ^ (agent * 0xbf58476d1ce4e5b9ULL)) {}
+        s1_(round_key.lo ^ (agent * kMix13MulA)) {}
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {

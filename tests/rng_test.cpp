@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/environment.hpp"  // kChurnInitRound
+#include "simd/simd.hpp"
 
 namespace flip {
 namespace {
@@ -295,6 +296,67 @@ TEST(CounterRngTest, WordsAreApproximatelyUniform) {
   EXPECT_NEAR(mean / kAgents, 0.5, 0.005);
   EXPECT_NEAR(static_cast<double>(high_bit) / kAgents, 0.5, 0.01);
   EXPECT_NEAR(static_cast<double>(low_bit) / kAgents, 0.5, 0.01);
+}
+
+// --- SIMD block-kernel chain -------------------------------------------
+//
+// The src/simd/ kernels recompute the mix64 chain lane-parallel, so the
+// Mix13 multipliers are now named constants shared between the scalar
+// mix64 and the vector kernels. Pin the constants AND the full blocked
+// route/flip chain (key -> per-agent draws -> Lemire index -> self-skip ->
+// acceptance word / threshold compare) through the always-compiled scalar
+// kernel set. simd_kernels_test.cpp then holds every vector set to the
+// same bytes, so these vectors transitively pin the SIMD path too. Like
+// the vectors above: never "fix" these constants — fix the code.
+
+TEST(CounterRngTest, Mix13ConstantsArePinned) {
+  EXPECT_EQ(kMix13MulA, 0xbf58476d1ce4e5b9ULL);
+  EXPECT_EQ(kMix13MulB, 0x94d049bb133111ebULL);
+  EXPECT_EQ(kGoldenGamma, 0x9e3779b97f4a7c15ULL);
+  // mix64 is exactly the Mix13 finalizer over these constants; reference
+  // value from the published splitmix64 implementation (first output of
+  // seed 0 is mix64(kGoldenGamma)).
+  EXPECT_EQ(mix64(kGoldenGamma), 0xe220a8397b1dcdafULL);
+}
+
+TEST(CounterRngTest, SimdRouteBlockGoldenVectors) {
+  const StreamKey tk = trial_stream_key(0x5eed, 0);
+  const StreamKey route0 = round_stream_key(tk, RngPurpose::kRoute, 0);
+  // Mixed plain/kSendBit entries; n - 1 = 100.
+  const std::uint32_t entries[6] = {0u,   7u,                 0x8000'0003u,
+                                    100u, 0x8000'0000u | 55u, 12u};
+  std::uint32_t to[6];
+  std::uint64_t word[6];
+  simd::scalar_kernels().route_block(route0.hi, route0.lo, entries, 6, 100,
+                                     to, word);
+  const std::uint32_t to_golden[6] = {34u, 2u, 78u, 86u, 59u, 36u};
+  const std::uint64_t word_golden[6] = {
+      0x0984c24a00000000ULL, 0xc1772bfe00000007ULL, 0x7466f88880000003ULL,
+      0xfb0acc6a00000064ULL, 0xc0f86f3c80000037ULL, 0x9dbac9b00000000cULL};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(to[i], to_golden[i]) << "lane " << i;
+    EXPECT_EQ(word[i], word_golden[i]) << "lane " << i;
+  }
+  // Cross-check against the per-agent stream vectors pinned above: agent
+  // 7's acceptance priority is the top half of its SECOND stream word.
+  EXPECT_EQ(word[1] >> 32, 0xc1772bfe3acef3a2ULL >> 32);
+}
+
+TEST(CounterRngTest, SimdFlipBlockGoldenVectors) {
+  const StreamKey tk = trial_stream_key(0x5eed, 0);
+  const StreamKey chan3 = round_stream_key(tk, RngPurpose::kChannel, 3);
+  const std::uint32_t recipients[6] = {0u, 1u, 7u, 100u, 4095u, 65535u};
+  std::uint8_t flips[6];
+  // threshold = 2^51, i.e. a BSC at eps = 0.25 (flip prob 1/4 over 2^53).
+  simd::scalar_kernels().flip_block(chan3.hi, chan3.lo, recipients, 6,
+                                    std::uint64_t{1} << 51, flips);
+  const std::uint8_t golden[6] = {0, 0, 0, 1, 0, 0};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(flips[i], golden[i]) << "recipient " << recipients[i];
+  }
+  // Agent 7's first kChannel word is pinned above as 0x799516a71222f412;
+  // its top 53 bits are far above the eps = 0.25 threshold, so no flip.
+  EXPECT_EQ(flips[2], (0x799516a71222f412ULL >> 11) < (1ULL << 51) ? 1 : 0);
 }
 
 TEST(CounterRngTest, DrawPrimitivesAcceptCounterStreams) {

@@ -1,0 +1,234 @@
+// Block-kernel exactness (src/simd/): every runnable kernel set must produce
+// bytes identical to an independently-written CounterRng reference — not to
+// kernel_ref.hpp, so a bug in the shared per-lane helper cannot vouch for
+// itself. Also pins the dispatch machinery: force_isa round-trips, the
+// scalar set is always runnable, and the packed-layout constants the simd
+// layer mirrors stay equal to the sim-layer originals.
+
+#include "simd/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/batch_engine.hpp"
+#include "sim/mailbox.hpp"
+#include "support/proptest.hpp"
+#include "util/rng.hpp"
+
+namespace flip {
+namespace {
+
+/// Restores the best-ISA dispatch no matter how a test exits.
+struct IsaGuard {
+  ~IsaGuard() { simd::reset_isa(); }
+};
+
+/// Every kernel set force_isa() accepts on this build + machine. Always
+/// contains the scalar set; contains vector sets only in FLIP_SIMD builds
+/// on capable hardware.
+std::vector<simd::Isa> runnable_isas() {
+  std::vector<simd::Isa> isas;
+  for (const simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kAvx2,
+                              simd::Isa::kAvx512, simd::Isa::kNeon}) {
+    if (simd::force_isa(isa)) isas.push_back(isa);
+  }
+  simd::reset_isa();
+  return isas;
+}
+
+/// The reference the kernels must match, written directly against the
+/// public RNG/mailbox primitives (the same calls detail::route_combine
+/// makes): Lemire recipient draw, self-skip, acceptance_word composition.
+void route_reference(const StreamKey& rkey, std::uint32_t entry,
+                     std::uint64_t n_minus_1, std::uint32_t* to_out,
+                     std::uint64_t* word_out) {
+  const std::uint32_t sender = entry & detail::kAgentMask;
+  CounterRng rng(rkey, sender);
+  auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
+  to += (to >= sender);
+  *to_out = to;
+  *word_out = acceptance_word(rng(), entry);
+}
+
+std::uint8_t flip_reference(const StreamKey& ckey, std::uint32_t to,
+                            std::uint64_t threshold) {
+  CounterRng rng(ckey, to);
+  return (rng() >> 11) < threshold ? 1 : 0;
+}
+
+TEST(SimdKernelsTest, MirroredLayoutConstantsMatchSimLayer) {
+  EXPECT_EQ(simd::kEntryAgentMask, detail::kAgentMask);
+  EXPECT_EQ(simd::kPriorityMask | detail::kSendBit | detail::kAgentMask,
+            ~std::uint64_t{0});
+  // The word composition the kernels perform IS acceptance_word.
+  const std::uint64_t draw = 0x0123'4567'89ab'cdefULL;
+  const std::uint32_t entry = detail::kSendBit | 42u;
+  EXPECT_EQ((draw & simd::kPriorityMask) | entry,
+            acceptance_word(draw, entry));
+}
+
+TEST(SimdKernelsTest, ScalarSetIsAlwaysRunnable) {
+  EXPECT_EQ(simd::scalar_kernels().isa, simd::Isa::kScalar);
+  EXPECT_TRUE(simd::force_isa(simd::Isa::kScalar));
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  simd::reset_isa();
+  EXPECT_EQ(simd::active_isa(), simd::best_isa());
+  if constexpr (!simd::kCompiled) {
+    EXPECT_EQ(simd::best_isa(), simd::Isa::kScalar);
+    EXPECT_FALSE(simd::enabled());
+  }
+}
+
+TEST(SimdKernelsTest, IsaNamesAreStable) {
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kScalar), "scalar");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kAvx2), "avx2");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kAvx512), "avx512");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kNeon), "neon");
+}
+
+TEST(SimdKernelsTest, ForceIsaRoundTripsThroughEveryRunnableSet) {
+  IsaGuard guard;
+  for (const simd::Isa isa : runnable_isas()) {
+    ASSERT_TRUE(simd::force_isa(isa));
+    EXPECT_EQ(simd::active_isa(), isa);
+    EXPECT_EQ(simd::active().isa, isa);
+  }
+  simd::reset_isa();
+  EXPECT_EQ(simd::active_isa(), simd::best_isa());
+}
+
+// Every runnable kernel set, against the independent reference, over random
+// keys / entry blocks / population sizes — block sizes sweep the vector
+// width boundaries (0, 1, lane-1, lane, lane+1, ..., several full blocks)
+// so the tail paths are exercised on every iteration.
+TEST(SimdKernelsTest, RouteBlockMatchesCounterRngReference) {
+  IsaGuard guard;
+  const std::vector<simd::Isa> isas = runnable_isas();
+  proptest::check(
+      "route_block", 120, 0x51b7, [&](proptest::Gen gen, int) {
+        const StreamKey rkey{gen.u64(), gen.u64()};
+        const std::uint64_t n_minus_1 =
+            gen.chance(0.5) ? gen.range(1, 2048)
+                            : gen.range(1, 0xffff'fffeULL);
+        const auto count = static_cast<std::size_t>(gen.pick(
+            {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{3},
+             std::uint64_t{7}, std::uint64_t{8}, std::uint64_t{9},
+             std::uint64_t{31}, gen.range(2, 700)}));
+        std::vector<std::uint32_t> entries(count);
+        for (auto& e : entries) {
+          const auto sender =
+              static_cast<std::uint32_t>(gen.index(n_minus_1 + 1));
+          e = (gen.chance(0.5) ? detail::kSendBit : 0u) | sender;
+        }
+        std::vector<std::uint32_t> to(count), to_ref(count);
+        std::vector<std::uint64_t> word(count), word_ref(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          route_reference(rkey, entries[i], n_minus_1, &to_ref[i],
+                          &word_ref[i]);
+        }
+        for (const simd::Isa isa : isas) {
+          ASSERT_TRUE(simd::force_isa(isa));
+          simd::active().route_block(rkey.hi, rkey.lo, entries.data(), count,
+                                     n_minus_1, to.data(), word.data());
+          for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(to[i], to_ref[i])
+                << simd::isa_name(isa) << " recipient lane " << i;
+            ASSERT_EQ(word[i], word_ref[i])
+                << simd::isa_name(isa) << " word lane " << i;
+          }
+        }
+      });
+}
+
+TEST(SimdKernelsTest, FlipBlockMatchesCounterRngReference) {
+  IsaGuard guard;
+  const std::vector<simd::Isa> isas = runnable_isas();
+  proptest::check(
+      "flip_block", 120, 0xf11b, [&](proptest::Gen gen, int) {
+        const StreamKey ckey{gen.u64(), gen.u64()};
+        // Thresholds span the whole valid eps range (0 at eps = 0.5 up to
+        // 2^52 at eps -> 0) plus the endpoints.
+        const std::uint64_t threshold = gen.pick(
+            {std::uint64_t{0}, std::uint64_t{1},
+             std::uint64_t{1} << 52, gen.index(std::uint64_t{1} << 53)});
+        const auto count = static_cast<std::size_t>(gen.range(0, 700));
+        std::vector<std::uint32_t> recipients(count);
+        for (auto& a : recipients) {
+          a = static_cast<std::uint32_t>(gen.u64()) & detail::kAgentMask;
+        }
+        std::vector<std::uint8_t> flips(count), flips_ref(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          flips_ref[i] = flip_reference(ckey, recipients[i], threshold);
+        }
+        for (const simd::Isa isa : isas) {
+          ASSERT_TRUE(simd::force_isa(isa));
+          simd::active().flip_block(ckey.hi, ckey.lo, recipients.data(),
+                                    count, threshold, flips.data());
+          for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(flips[i], flips_ref[i])
+                << simd::isa_name(isa) << " flip lane " << i;
+          }
+        }
+      });
+}
+
+// The blocked detail:: twins, against the plain scalar loops, at the layer
+// where churn filtering and the touched/slot bookkeeping live — one level
+// above the kernels, one below the whole engine.
+TEST(SimdKernelsTest, RouteCombineSimdMatchesScalarLoop) {
+  if constexpr (!simd::kCompiled) {
+    GTEST_SKIP() << "FLIP_SIMD=OFF build: engine never calls the twins";
+  }
+  IsaGuard guard;
+  simd::reset_isa();
+  proptest::check(
+      "route_combine_simd", 60, 0xc0b1, [&](proptest::Gen gen, int) {
+        const std::size_t n = static_cast<std::size_t>(gen.range(2, 3000));
+        const StreamKey rkey{gen.u64(), gen.u64()};
+        const auto nsend = static_cast<std::size_t>(gen.range(0, 600));
+        const bool churn = gen.chance(0.5);
+        std::vector<std::uint32_t> send(nsend);
+        for (auto& e : send) {
+          e = (gen.chance(0.5) ? detail::kSendBit : 0u) |
+              static_cast<std::uint32_t>(gen.index(n));
+        }
+        std::vector<std::uint8_t> awake(n, 1);
+        if (churn) {
+          for (auto& a : awake) a = gen.chance(0.8) ? 1 : 0;
+        }
+        std::vector<std::uint64_t> slot_a(n, detail::kEmptySlot);
+        std::vector<std::uint64_t> slot_b(n, detail::kEmptySlot);
+        std::vector<AgentId> touched_a(n + 1), touched_b(n + 1);
+        const auto run = [&](auto fn, std::uint64_t* slot, AgentId* touched) {
+          return churn ? fn.template operator()<true>(slot, touched)
+                       : fn.template operator()<false>(slot, touched);
+        };
+        const auto scalar = [&]<bool kChurn>(std::uint64_t* slot,
+                                             AgentId* touched) {
+          return detail::route_combine<kChurn>(send.data(), nsend, n - 1,
+                                               rkey, awake.data(), slot,
+                                               touched);
+        };
+        const auto simd_fn = [&]<bool kChurn>(std::uint64_t* slot,
+                                              AgentId* touched) {
+          return detail::route_combine_simd<kChurn>(send.data(), nsend, n - 1,
+                                                    rkey, awake.data(), slot,
+                                                    touched);
+        };
+        const detail::RoutePartial a =
+            run(scalar, slot_a.data(), touched_a.data());
+        const detail::RoutePartial b =
+            run(simd_fn, slot_b.data(), touched_b.data());
+        ASSERT_EQ(a.sent, b.sent);
+        ASSERT_EQ(a.touched, b.touched);
+        EXPECT_EQ(slot_a, slot_b);
+        for (std::size_t i = 0; i < a.touched; ++i) {
+          ASSERT_EQ(touched_a[i], touched_b[i]) << "touched order @" << i;
+        }
+      });
+}
+
+}  // namespace
+}  // namespace flip
