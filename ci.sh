@@ -53,6 +53,26 @@ else
   echo "python3 not found; skipping flipsim JSON validation" >&2
 fi
 
+# Surrogate accuracy gate: run the CI-sized surrogate-vs-batch error-band
+# harness (flipsim --validate-surrogate over every supported registry
+# entry) and audit the flipsim-validate-v1 document it writes — the script
+# recomputes each cell's |error| <= band verdict from the raw numbers, so
+# a broken emitter fails like a broken model. The committed trajectory
+# artifact (larger n, more trials) is audited the same way so an
+# out-of-band cell can't be committed as "reference". Then a bench_surrogate
+# smoke: the mean-field engine must answer an n = 10^8 cell without the
+# exact engines' hours.
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/check_surrogate_accuracy.py "$BUILD_DIR/tools/flipsim" \
+    "$BUILD_DIR/flipsim_validate_surrogate.json" --n 1024 --trials 24
+  python3 tools/check_surrogate_accuracy.py --check \
+    bench/results/VALIDATION_surrogate.json
+else
+  echo "python3 not found; skipping surrogate accuracy gate" >&2
+fi
+"$BUILD_DIR/bench/bench_surrogate" --n 100000000 --evals 2 \
+  --json "$BUILD_DIR/bench_surrogate_smoke.json" >/dev/null
+
 # Fast-path perf gate (Release builds only — the batch/classic speedup is
 # an optimization property, meaningless at -O0): re-run the CI-sized
 # engine A/B from docs/PERFORMANCE.md and fail if the measured speedup

@@ -215,4 +215,64 @@ std::string sweep_to_bench_json(const SweepResult& result,
   return json.str();
 }
 
+std::string validation_to_json(const SurrogateValidationResult& result) {
+  JsonWriter json;
+  json.begin_object()
+      .field("schema", "flipsim-validate-v1")
+      .field("mc_trials_per_cell",
+             static_cast<std::uint64_t>(result.spec.trials))
+      .field("surrogate_trials_per_cell",
+             static_cast<std::uint64_t>(result.spec.surrogate_trials))
+      .field("seed", result.spec.seed)
+      .field("static_tolerance", kSurrogateStaticTolerance)
+      .field("dynamic_tolerance", kSurrogateDynamicTolerance)
+      .field("cells", static_cast<std::uint64_t>(result.cells.size()))
+      .field("all_pass", result.all_pass)
+      .field("wall_seconds", result.wall_seconds);
+  json.key("results").begin_array();
+  for (const SurrogateValidationCell& cell : result.cells) {
+    json.begin_object()
+        .field("scenario", cell.scenario)
+        .field("n", static_cast<std::uint64_t>(cell.config.n))
+        .field("eps", cell.config.eps)
+        .field("channel", cell.config.channel)
+        .field("schedule", cell.config.schedule.describe())
+        .field("churn", cell.config.churn.describe())
+        .field("dynamic", cell.dynamic)
+        .field("success_mc", cell.success_mc)
+        .field("mc_wilson_low", cell.mc_low)
+        .field("mc_wilson_high", cell.mc_high)
+        .field("success_surrogate", cell.success_surrogate)
+        .field("abs_error", cell.abs_error)
+        .field("tolerance", cell.tolerance)
+        .field("band", cell.band)
+        .field("pass", cell.pass)
+        .field("convergence_mc", cell.convergence_mc)
+        .field("convergence_surrogate", cell.convergence_surrogate)
+        .field("mc_seconds", cell.mc_seconds)
+        .field("surrogate_seconds", cell.surrogate_seconds)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+TextTable validation_table(const SurrogateValidationResult& result) {
+  TextTable table({"scenario", "n", "env", "mc", "surrogate", "|err|",
+                   "band", "verdict"});
+  for (const SurrogateValidationCell& cell : result.cells) {
+    table.row()
+        .cell(cell.scenario)
+        .cell(cell.config.n)
+        .cell(cell.dynamic ? "dynamic" : "static")
+        .cell(cell.success_mc, 3)
+        .cell(cell.success_surrogate, 3)
+        .cell(cell.abs_error, 3)
+        .cell(cell.band, 3)
+        .cell(cell.pass ? "pass" : "FAIL");
+  }
+  return table;
+}
+
 }  // namespace flip::cli

@@ -37,4 +37,16 @@ namespace flip::cli {
 [[nodiscard]] std::string point_key(const SweepResult& result,
                                     const SweepPoint& point);
 
+/// Pretty-printed "flipsim-validate-v1" document for the surrogate
+/// validation harness: spec-level parameters and the tolerance constants,
+/// then one entry per cell with both success estimates, the absolute
+/// error, the band it was held to, and the pass verdict.
+/// tools/check_surrogate_accuracy.py consumes this.
+[[nodiscard]] std::string validation_to_json(
+    const SurrogateValidationResult& result);
+
+/// Human-readable validation table for the terminal.
+[[nodiscard]] TextTable validation_table(
+    const SurrogateValidationResult& result);
+
 }  // namespace flip::cli

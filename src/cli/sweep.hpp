@@ -83,4 +83,82 @@ std::optional<std::string> validate_shards(std::size_t shards);
 std::optional<std::string> validate_eps_values(
     const std::vector<double>& epss);
 
+/// Validates an --engine request against the scenario's registry entry:
+/// the surrogate mode is rejected on scenarios with no mean-field model
+/// (adversarial, desync, baselines) with the supported alternatives named,
+/// BEFORE any simulation runs. Exact modes pass for every known scenario;
+/// an unknown scenario name also fails here (same message as the
+/// registry's, so the user is pointed at --list either way).
+std::optional<std::string> validate_engine(std::string_view scenario,
+                                           EngineMode engine);
+
+// --- surrogate validation harness (flipsim --validate-surrogate) --------
+//
+// Runs surrogate and BatchEngine side by side over the supported registry
+// entries at overlapping n and checks |success_hat - success_mc| against a
+// per-cell error band. The band is the Monte-Carlo Wilson-interval
+// halfwidth (sampling noise the exact side cannot beat) PLUS a documented
+// model tolerance for the surrogate's approximations (agent independence,
+// expectation-of-nonlinear-function gaps):
+
+/// Static environments: the mean-field model's finite-n correlation error,
+/// measured well under 0.05 at n >= 1k on the supported entries; 0.10
+/// leaves headroom without masking a broken recurrence (a wrong stage
+/// model is off by ~0.5, not 0.1).
+inline constexpr double kSurrogateStaticTolerance = 0.10;
+/// Dynamic environments (schedule / churn / near-threshold ramps): the
+/// burst lottery and the awake chain linearize harder nonlinearities, and
+/// near-threshold scenarios sit on the steep part of the success curve
+/// where small rate errors move the outcome most.
+inline constexpr double kSurrogateDynamicTolerance = 0.16;
+
+/// What to validate. Empty `scenarios` = every registry entry with
+/// supports_surrogate.
+struct SurrogateValidationSpec {
+  std::vector<std::string> scenarios;
+  std::vector<std::size_t> ns = {1024};
+  /// Monte-Carlo trials per cell (the expensive side).
+  std::size_t trials = 32;
+  /// Stratified surrogate trials per cell: the van der Corput mapping
+  /// recovers the analytic probability to within 1/surrogate_trials, so
+  /// 4096 contributes < 2.5e-4 quantization to the measured error.
+  std::size_t surrogate_trials = 4096;
+  std::uint64_t seed = 0x5eedULL;
+  std::size_t threads = 0;
+};
+
+/// One (scenario, n) comparison.
+struct SurrogateValidationCell {
+  std::string scenario;
+  ScenarioConfig config;  ///< the resolved (batch-side) grid point
+  bool dynamic = false;   ///< schedule or churn enabled -> dynamic tolerance
+  double success_mc = 0.0;
+  double mc_low = 0.0;    ///< Wilson interval of the MC estimate
+  double mc_high = 0.0;
+  double success_surrogate = 0.0;
+  double abs_error = 0.0;  ///< |success_surrogate - success_mc|
+  double tolerance = 0.0;  ///< the model tolerance constant applied
+  double band = 0.0;       ///< Wilson halfwidth + tolerance
+  bool pass = false;       ///< abs_error <= band
+  /// Convergence-round estimates (NaN when a side records none). Reported
+  /// for inspection; the pass gate is the success band only — convergence
+  /// deltas are probe-grid-quantized and scenario-dependent.
+  double convergence_mc = 0.0;
+  double convergence_surrogate = 0.0;
+  double mc_seconds = 0.0;
+  double surrogate_seconds = 0.0;
+};
+
+struct SurrogateValidationResult {
+  SurrogateValidationSpec spec;
+  std::vector<SurrogateValidationCell> cells;
+  bool all_pass = true;
+  double wall_seconds = 0.0;
+};
+
+/// Runs the harness. Throws std::invalid_argument when a named scenario is
+/// unknown or does not support the surrogate engine.
+SurrogateValidationResult run_surrogate_validation(
+    const SurrogateValidationSpec& spec);
+
 }  // namespace flip::cli

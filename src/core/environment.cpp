@@ -86,7 +86,7 @@ void EnvironmentSchedule::validate() const {
   }
 }
 
-double EnvironmentSchedule::eps_at(const StreamKey& key, Round r) const {
+double EnvironmentSchedule::segment_eps_at(Round r) const {
   double eps = base_eps;
   for (const EpsSegment& seg : segments) {
     if (r < seg.begin) continue;
@@ -106,11 +106,24 @@ double EnvironmentSchedule::eps_at(const StreamKey& key, Round r) const {
                      static_cast<double>(seg.end - seg.begin);
     eps = seg.eps_from + t * (seg.eps_to - seg.eps_from);
   }
+  return eps;
+}
+
+double EnvironmentSchedule::eps_at(const StreamKey& key, Round r) const {
+  double eps = segment_eps_at(r);
   if (burst_prob > 0.0 && burst_len > 0) {
     const Round window = r / burst_len;
     CounterRng rng(
         round_stream_key(key, RngPurpose::kEnvironment, window), 0);
     if (bernoulli(rng, burst_prob)) eps = burst_eps;
+  }
+  return eps;
+}
+
+double EnvironmentSchedule::expected_eps_at(Round r) const {
+  const double eps = segment_eps_at(r);
+  if (burst_prob > 0.0 && burst_len > 0) {
+    return (1.0 - burst_prob) * eps + burst_prob * burst_eps;
   }
   return eps;
 }

@@ -89,6 +89,18 @@ struct EnvironmentSchedule {
   /// segment ends (end == 0) are treated as "forever" here.
   [[nodiscard]] double eps_at(const StreamKey& key, Round r) const;
 
+  /// The deterministic piecewise-segment eps of round r — eps_at without
+  /// the burst lottery. Shared by eps_at and expected_eps_at.
+  [[nodiscard]] double segment_eps_at(Round r) const;
+
+  /// The EXPECTED channel advantage of round r: the deterministic segment
+  /// value blended with the burst lottery's expectation,
+  ///   (1 - burst_prob) * segment_eps(r) + burst_prob * burst_eps.
+  /// No randomness is consumed. Because per-message correctness is LINEAR
+  /// in eps (P(correct) = 1/2 + 2*eps*delta), this expectation is exact in
+  /// the mean — the identity the surrogate engine's rate modifiers rest on.
+  [[nodiscard]] double expected_eps_at(Round r) const;
+
   /// A copy with base_eps == 0 replaced by `nominal_eps` and open segment
   /// ends replaced by `total_rounds` (segments that start at or past the
   /// end are dropped). Engines and channels consume resolved schedules.

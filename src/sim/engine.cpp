@@ -7,6 +7,7 @@ namespace flip {
 std::optional<EngineMode> parse_engine_mode(std::string_view name) noexcept {
   if (name == "batch") return EngineMode::kBatch;
   if (name == "classic") return EngineMode::kClassic;
+  if (name == "surrogate") return EngineMode::kSurrogate;
   return std::nullopt;
 }
 

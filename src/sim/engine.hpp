@@ -84,18 +84,30 @@ struct EngineOptions {
 };
 
 /// Which simulation substrate a workload runs on. kBatch is the
-/// statically-dispatched fast path (sim/batch_engine.hpp); both substrates
-/// draw from the same counter-keyed per-agent streams, so the two modes
-/// produce identical metrics for the same (seed, trial) — kClassic exists
-/// to prove that, and to time the difference.
-enum class EngineMode { kBatch, kClassic };
+/// statically-dispatched fast path (sim/batch_engine.hpp); both exact
+/// substrates draw from the same counter-keyed per-agent streams, so the
+/// two modes produce identical metrics for the same (seed, trial) —
+/// kClassic exists to prove that, and to time the difference. kSurrogate
+/// is NOT an exact substrate: it integrates the mean-field state evolution
+/// (sim/surrogate_engine.hpp) and answers in closed form, milliseconds at
+/// n = 10^9 — held within stated error bands of kBatch by the validation
+/// harness (flipsim --validate-surrogate), never bit-equal to it.
+enum class EngineMode { kBatch, kClassic, kSurrogate };
 
 [[nodiscard]] constexpr std::string_view engine_mode_name(
     EngineMode mode) noexcept {
-  return mode == EngineMode::kBatch ? "batch" : "classic";
+  switch (mode) {
+    case EngineMode::kClassic:
+      return "classic";
+    case EngineMode::kSurrogate:
+      return "surrogate";
+    case EngineMode::kBatch:
+      break;
+  }
+  return "batch";
 }
 
-/// Parses "batch" / "classic"; nullopt on anything else.
+/// Parses "batch" / "classic" / "surrogate"; nullopt on anything else.
 [[nodiscard]] std::optional<EngineMode> parse_engine_mode(
     std::string_view name) noexcept;
 

@@ -101,32 +101,42 @@ void register_builtin(ScenarioRegistry& registry) {
     return info;
   };
 
+  // Marks a scenario the mean-field surrogate engine can model: the
+  // breathe families under rate-modeled environments. NOT the adversarial
+  // ablation (stateful channel), the desync entries (per-agent clocks),
+  // or the baseline dynamics (their factories never dispatch on engine
+  // mode in the first place).
+  const auto sur = [](ScenarioInfo info) {
+    info.supports_surrogate = true;
+    return info;
+  };
+
   registry.add(
-      env({"broadcast", "Section 2 noisy broadcast: the two-stage breathe protocol",
-       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true),
+      sur(env({"broadcast", "Section 2 noisy broadcast: the two-stage breathe protocol",
+       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true)),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      env({"broadcast_small",
+      sur(env({"broadcast_small",
        "CI-sized broadcast (seconds per trial even in Debug)", "broadcast",
-       256, 0.3, bsc_or_hetero}, true, true),
+       256, 0.3, bsc_or_hetero}, true, true)),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      env({"broadcast_large", "Broadcast at the sizes the scaling benches use",
-       "broadcast", 8192, 0.2, bsc_or_hetero}, true, true),
+      sur(env({"broadcast_large", "Broadcast at the sizes the scaling benches use",
+       "broadcast", 8192, 0.2, bsc_or_hetero}, true, true)),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      env({"broadcast_stage1",
+      sur(env({"broadcast_stage1",
        "Stage I in isolation; success = every agent activated", "broadcast",
-       1024, 0.2, bsc_or_hetero}, true, true),
+       1024, 0.2, bsc_or_hetero}, true, true)),
       [](const ScenarioConfig& config) {
         BroadcastScenario scenario = broadcast_from(config);
         scenario.stage1_only = true;
@@ -134,9 +144,9 @@ void register_builtin(ScenarioRegistry& registry) {
       });
 
   registry.add(
-      env({"broadcast_variant_rules",
+      sur(env({"broadcast_variant_rules",
        "Remarks 2.1/2.10 rule variants: first-message pick, prefix subset",
-       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true),
+       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true)),
       [](const ScenarioConfig& config) {
         BroadcastScenario scenario = broadcast_from(config);
         scenario.stage1_pick = Stage1Pick::kFirstMessage;
@@ -157,10 +167,10 @@ void register_builtin(ScenarioRegistry& registry) {
     EnvironmentSchedule ramp;
     ramp.segments.push_back(EpsSegment{0, 0, 0.35, 0.1});
     registry.add(
-        env({"broadcast_eps_ramp",
+        sur(env({"broadcast_eps_ramp",
          "Broadcast under a whole-run eps ramp 0.35 -> 0.1 (ends below the "
          "calibrated advantage)",
-         "broadcast", 1024, 0.2, bsc, ramp}, true, true),
+         "broadcast", 1024, 0.2, bsc, ramp}, true, true)),
         [](const ScenarioConfig& config) {
           return broadcast_trial_fn(broadcast_from(config));
         });
@@ -176,10 +186,10 @@ void register_builtin(ScenarioRegistry& registry) {
     burst.burst_len = 16;
     burst.burst_eps = 0.02;
     registry.add(
-        env({"broadcast_burst",
+        sur(env({"broadcast_burst",
          "Broadcast with correlated noise bursts (8% of 16-round windows "
          "at eps 0.02)",
-         "broadcast", 1024, 0.2, bsc, burst}, true, true),
+         "broadcast", 1024, 0.2, bsc, burst}, true, true)),
         [](const ScenarioConfig& config) {
           return broadcast_trial_fn(broadcast_from(config));
         });
@@ -209,9 +219,9 @@ void register_builtin(ScenarioRegistry& registry) {
     churn.sleep_prob = 0.005;
     churn.wake_prob = 0.1;
     registry.add(
-        env({"broadcast_churn",
+        sur(env({"broadcast_churn",
          "Broadcast with agent churn (sleep 0.005 / wake 0.1 per round)",
-         "broadcast", 1024, 0.2, bsc, EnvironmentSchedule{}, churn}, true, true),
+         "broadcast", 1024, 0.2, bsc, EnvironmentSchedule{}, churn}, true, true)),
         [](const ScenarioConfig& config) {
           return broadcast_trial_fn(broadcast_from(config));
         });
@@ -222,10 +232,10 @@ void register_builtin(ScenarioRegistry& registry) {
     ChurnSpec join_churn = churn;
     join_churn.start_asleep = 0.25;
     registry.add(
-        env({"majority_churn",
+        sur(env({"majority_churn",
          "Majority-consensus with churn and 25% late joiners "
          "(start_asleep 0.25)",
-         "majority", 1024, 0.2, bsc, EnvironmentSchedule{}, join_churn}, true, true),
+         "majority", 1024, 0.2, bsc, EnvironmentSchedule{}, join_churn}, true, true)),
         [](const ScenarioConfig& config) {
           MajorityScenario scenario;
           scenario.n = config.n;
@@ -251,9 +261,9 @@ void register_builtin(ScenarioRegistry& registry) {
       });
 
   registry.add(
-      env({"majority",
+      sur(env({"majority",
        "Corollary 2.18 majority-consensus: |A| = n/16, majority-bias 0.25",
-       "majority", 1024, 0.2, bsc}, true, true),
+       "majority", 1024, 0.2, bsc}, true, true)),
       [](const ScenarioConfig& config) {
         MajorityScenario scenario;
         scenario.n = config.n;
@@ -271,9 +281,9 @@ void register_builtin(ScenarioRegistry& registry) {
       });
 
   registry.add(
-      {"boost",
+      sur({"boost",
        "Stage II in isolation (Lemma 2.14): bias 0.02 boosted to consensus",
-       "boost", 4096, 0.25, bsc},
+       "boost", 4096, 0.25, bsc}),
       [](const ScenarioConfig& config) {
         BoostScenario scenario;
         scenario.n = config.n;
@@ -538,6 +548,14 @@ ScenarioConfig ScenarioRegistry::resolve(std::string_view name,
   config.channel = o.channel.value_or(entry.info.channels.front());
   config.engine = o.engine.value_or(EngineMode::kBatch);
   config.shards = o.shards.value_or(1);
+  if (config.engine == EngineMode::kSurrogate &&
+      !entry.info.supports_surrogate) {
+    throw std::invalid_argument(
+        "scenario '" + entry.info.name +
+        "' has no mean-field surrogate model (the surrogate engine covers "
+        "the broadcast/majority/boost families; adversarial, desync and "
+        "baseline entries need --engine batch or --engine classic)");
+  }
   // An override the factory would silently ignore is worse than an error:
   // the run would execute the static environment while reporting the
   // override in its output params.

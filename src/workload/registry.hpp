@@ -44,6 +44,13 @@ struct ScenarioInfo {
   /// in the output params would mislabel the data.
   bool supports_schedule = false;
   bool supports_churn = false;
+  /// Whether EngineMode::kSurrogate can model this scenario (the mean-field
+  /// engine of sim/surrogate_engine.hpp covers the breathe families —
+  /// broadcast / majority / boost — under BSC, heterogeneous, schedule and
+  /// churn environments; the adversarial ablation, the desync scenarios,
+  /// and the baseline dynamics have no per-round rate model). resolve()
+  /// rejects `--engine surrogate` on unsupported entries.
+  bool supports_surrogate = false;
 };
 
 /// One resolved grid point the factory builds a TrialFn for.

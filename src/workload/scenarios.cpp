@@ -8,6 +8,7 @@
 #include "sim/batch_engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/series.hpp"
+#include "sim/surrogate_engine.hpp"
 
 namespace flip {
 
@@ -89,6 +90,69 @@ BreatheConfig boost_breathe_config(const Params& params,
   return config;
 }
 
+// Scenario -> SurrogateSpec derivations for EngineMode::kSurrogate. These
+// deliberately bypass the BreatheConfig builders: majority_config
+// materializes an O(n) seed vector, which at the surrogate's n = 1e9 would
+// cost more memory than the whole analysis — the spec carries counts only.
+
+SurrogateSpec broadcast_surrogate_spec(const BroadcastScenario& scenario) {
+  if (scenario.adversarial_budget != 0) {
+    throw std::invalid_argument(
+        "broadcast: the adversarial channel is stateful and order-"
+        "dependent — no per-round rate exists for the surrogate engine; "
+        "use --engine batch or --engine classic");
+  }
+  SurrogateSpec spec;
+  spec.n = scenario.n;
+  spec.eps = scenario.eps;
+  spec.tuning = scenario.tuning;
+  spec.initial_set = 1;
+  spec.initial_correct = 1;
+  spec.stage1_only = scenario.stage1_only;
+  spec.heterogeneous = scenario.heterogeneous_noise;
+  spec.schedule = scenario.schedule;
+  spec.churn = scenario.churn;
+  spec.probe_every = scenario.probe_every;
+  // stage1_pick / stage2_subset need no mapping: uniform-vs-first message
+  // and uniform-vs-prefix subset have identical per-agent marginals, so
+  // the mean-field state evolution is the same for all four combinations.
+  return spec;
+}
+
+SurrogateSpec majority_surrogate_spec(const MajorityScenario& scenario) {
+  if (!(scenario.majority_bias > 0.0) || scenario.majority_bias > 0.5) {
+    throw std::invalid_argument("run_majority: majority_bias not in (0, 0.5]");
+  }
+  SurrogateSpec spec;
+  spec.n = scenario.n;
+  spec.eps = scenario.eps;
+  spec.tuning = scenario.tuning;
+  spec.initial_set = scenario.initial_set;
+  spec.initial_correct = static_cast<std::size_t>(
+      std::llround((0.5 + scenario.majority_bias) *
+                   static_cast<double>(scenario.initial_set)));
+  spec.auto_join_phase = true;
+  spec.schedule = scenario.schedule;
+  spec.churn = scenario.churn;
+  spec.probe_every = scenario.probe_every;
+  return spec;
+}
+
+SurrogateSpec boost_surrogate_spec(const BoostScenario& scenario) {
+  if (!(scenario.initial_bias > 0.0) || scenario.initial_bias > 0.5) {
+    throw std::invalid_argument("run_boost: initial_bias not in (0, 0.5]");
+  }
+  SurrogateSpec spec;
+  spec.n = scenario.n;
+  spec.eps = scenario.eps;
+  spec.tuning = scenario.tuning;
+  spec.initial_set = scenario.n;
+  spec.initial_correct = static_cast<std::size_t>(std::llround(
+      (0.5 + scenario.initial_bias) * static_cast<double>(scenario.n)));
+  spec.skip_stage1 = true;
+  return spec;
+}
+
 /// Maps a BreatheFastResult onto the RunDetail shape the classic path
 /// produces from the protocol's introspection.
 RunDetail fast_to_detail(BreatheFastResult&& fast) {
@@ -134,6 +198,14 @@ RunDetail run_breathe_scenario(const Params& params,
                                std::size_t shards, bool stage1_only,
                                Round probe_every, std::uint64_t seed,
                                std::size_t trial) {
+  if (engine_mode == EngineMode::kSurrogate) {
+    // The surrogate yields analytic moments, not one execution's samples:
+    // there is no RunDetail to return. The *_trial_fn adapters intercept
+    // kSurrogate before reaching here.
+    throw std::invalid_argument(
+        "breathe scenario: the surrogate engine has no per-execution "
+        "RunDetail; use the trial-fn adapters");
+  }
   if (env.heterogeneous && env.schedule.enabled()) {
     throw std::invalid_argument(
         "breathe scenario: heterogeneous noise and an eps schedule are "
@@ -276,6 +348,12 @@ RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
 
 RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
                      std::size_t trial) {
+  if (scenario.engine == EngineMode::kSurrogate) {
+    throw std::invalid_argument(
+        "desync: per-agent clock offsets break the homogeneous-population "
+        "assumption of the surrogate engine; use --engine batch or "
+        "--engine classic");
+  }
   const Params params = Params::calibrated(scenario.n, scenario.eps,
                                            scenario.tuning);
   const StreamKey key = trial_stream_key(seed, trial);
@@ -343,24 +421,39 @@ RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
 }
 
 TrialFn broadcast_trial_fn(BroadcastScenario scenario) {
+  if (scenario.engine == EngineMode::kSurrogate) {
+    return surrogate_trial_fn(broadcast_surrogate_spec(scenario));
+  }
   return [scenario](std::uint64_t seed, std::size_t trial) {
     return to_outcome(run_broadcast(scenario, seed, trial));
   };
 }
 
 TrialFn majority_trial_fn(MajorityScenario scenario) {
+  if (scenario.engine == EngineMode::kSurrogate) {
+    return surrogate_trial_fn(majority_surrogate_spec(scenario));
+  }
   return [scenario](std::uint64_t seed, std::size_t trial) {
     return to_outcome(run_majority(scenario, seed, trial));
   };
 }
 
 TrialFn boost_trial_fn(BoostScenario scenario) {
+  if (scenario.engine == EngineMode::kSurrogate) {
+    return surrogate_trial_fn(boost_surrogate_spec(scenario));
+  }
   return [scenario](std::uint64_t seed, std::size_t trial) {
     return to_outcome(run_boost(scenario, seed, trial));
   };
 }
 
 TrialFn desync_trial_fn(DesyncScenario scenario) {
+  if (scenario.engine == EngineMode::kSurrogate) {
+    throw std::invalid_argument(
+        "desync: per-agent clock offsets break the homogeneous-population "
+        "assumption of the surrogate engine; use --engine batch or "
+        "--engine classic");
+  }
   return [scenario](std::uint64_t seed, std::size_t trial) {
     return to_outcome(run_desync(scenario, seed, trial));
   };

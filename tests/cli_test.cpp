@@ -357,6 +357,50 @@ TEST(ValidateEpsTest, RejectsValuesOutsideModelDomain) {
   EXPECT_TRUE(validate_eps_values({-0.1}).has_value());
 }
 
+TEST(ValidateEngineTest, ExactEnginesPassForEveryKnownScenario) {
+  for (const ScenarioInfo* info : ScenarioRegistry::instance().list()) {
+    EXPECT_EQ(validate_engine(info->name, EngineMode::kBatch), std::nullopt)
+        << info->name;
+    EXPECT_EQ(validate_engine(info->name, EngineMode::kClassic),
+              std::nullopt)
+        << info->name;
+  }
+}
+
+TEST(ValidateEngineTest, SurrogateAcceptedExactlyOnSupportedEntries) {
+  for (const ScenarioInfo* info : ScenarioRegistry::instance().list()) {
+    const auto error = validate_engine(info->name, EngineMode::kSurrogate);
+    if (info->supports_surrogate) {
+      EXPECT_EQ(error, std::nullopt) << info->name;
+    } else {
+      ASSERT_TRUE(error.has_value()) << info->name;
+      // Actionable: names the offending scenario and the engines that DO
+      // work there.
+      EXPECT_NE(error->find(info->name), std::string::npos) << *error;
+      EXPECT_NE(error->find("--engine batch"), std::string::npos) << *error;
+      EXPECT_NE(error->find("--engine classic"), std::string::npos)
+          << *error;
+    }
+  }
+  // The rejection set is exactly the unmodelable families.
+  EXPECT_TRUE(validate_engine("broadcast_adversarial",
+                              EngineMode::kSurrogate)
+                  .has_value());
+  EXPECT_TRUE(
+      validate_engine("desync", EngineMode::kSurrogate).has_value());
+  EXPECT_TRUE(
+      validate_engine("baseline_voter", EngineMode::kSurrogate).has_value());
+  EXPECT_EQ(validate_engine("broadcast", EngineMode::kSurrogate),
+            std::nullopt);
+}
+
+TEST(ValidateEngineTest, UnknownScenarioFailsAtTheArgumentLayer) {
+  const auto error = validate_engine("no_such_thing", EngineMode::kBatch);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("no_such_thing"), std::string::npos);
+  EXPECT_NE(error->find("--list"), std::string::npos);  // points at help
+}
+
 TEST(ReportTest, PointKeyIsStable) {
   const SweepResult result = known_result();
   EXPECT_EQ(point_key(result, result.points[0]), "demo_n64_eps0.25");

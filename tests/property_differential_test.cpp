@@ -18,6 +18,12 @@
 //     (statistical, fixed seed set).
 //  5. RNG lane disjointness — the purpose-keyed round streams never share
 //     a key or a first word across purposes, rounds, trials, or agents.
+//  6. Surrogate error bands — the mean-field engine stays within the
+//     documented band of BatchEngine over random overrides (schedules,
+//     churn) on every supported entry.
+//  7. Surrogate registry coverage — every supports_surrogate entry runs
+//     under the surrogate engine with finite, in-range outputs; every
+//     other entry is rejected at resolve().
 
 #include <algorithm>
 #include <cmath>
@@ -33,6 +39,7 @@
 #include <rapidcheck/gtest.h>
 #endif
 
+#include "cli/sweep.hpp"
 #include "core/environment.hpp"
 #include "sim/trial.hpp"
 #include "support/proptest.hpp"
@@ -308,6 +315,99 @@ TEST(PropertyDifferentialTest, RoundStreamKeyPackingIsInjective) {
     }
   }
   EXPECT_EQ(keys.size(), expected);
+}
+
+// Invariant 6: the mean-field surrogate stays within its DOCUMENTED error
+// band of the exact BatchEngine over random configurations of every
+// supported entry — the same contract flipsim --validate-surrogate gates
+// in CI, here exercised with random schedules and churn instead of the
+// registry presets. The band is the MC Wilson halfwidth (the exact side's
+// own sampling noise) plus the static/dynamic model tolerance from
+// cli/sweep.hpp; a surrogate recurrence gone wrong misses it by ~0.5, not
+// by noise.
+TEST(PropertyDifferentialTest, SurrogateStaysWithinErrorBandOfBatch) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  std::vector<const ScenarioInfo*> supported;
+  for (const ScenarioInfo* info : registry.list()) {
+    if (info->supports_surrogate) supported.push_back(info);
+  }
+  ASSERT_FALSE(supported.empty());
+  proptest::check(
+      "surrogate_error_band", 20, 0xba2d, [&](proptest::Gen gen, int) {
+        const ScenarioInfo& info = *gen.pick_from(supported);
+        ScenarioOverrides overrides = random_overrides(gen, info);
+        overrides.n = gen.range(128, 320);
+
+        overrides.engine = EngineMode::kBatch;
+        TrialOptions options;
+        options.trials = 32;
+        options.master_seed = gen.u64();
+        const TrialSummary mc =
+            run_trials(registry.make(info.name, overrides), options);
+
+        overrides.engine = EngineMode::kSurrogate;
+        TrialOptions sur_options = options;
+        sur_options.trials = 2048;  // stratified: quantization < 5e-4
+        const TrialSummary sur =
+            run_trials(registry.make(info.name, overrides), sur_options);
+
+        const bool dynamic =
+            overrides.schedule.has_value() || overrides.churn.has_value();
+        const double tolerance = dynamic ? cli::kSurrogateDynamicTolerance
+                                         : cli::kSurrogateStaticTolerance;
+        const double band =
+            0.5 * (mc.success.high - mc.success.low) + tolerance;
+        EXPECT_LE(std::abs(sur.success.estimate - mc.success.estimate), band)
+            << info.name << " n=" << *overrides.n << " surrogate="
+            << sur.success.estimate << " mc=" << mc.success.estimate
+            << (dynamic ? " (dynamic band)" : " (static band)");
+      });
+}
+
+// Invariant 7: surrogate registry coverage is exact — every entry flagged
+// supports_surrogate resolves, runs, and produces finite in-range outputs
+// under --engine surrogate; every entry NOT flagged is rejected at
+// resolve() (the argument layer), never deep in a sweep.
+TEST(PropertyDifferentialTest, SurrogateRegistryCoverageIsExact) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  std::size_t supported = 0;
+  for (const ScenarioInfo* info : registry.list()) {
+    ScenarioOverrides overrides;
+    overrides.engine = EngineMode::kSurrogate;
+    if (!info->supports_surrogate) {
+      EXPECT_THROW(registry.resolve(info->name, overrides),
+                   std::invalid_argument)
+          << info->name << " accepted the surrogate engine without a model";
+      continue;
+    }
+    ++supported;
+    const TrialFn fn = registry.make(info->name, overrides);
+    for (std::size_t trial = 0; trial < 4; ++trial) {
+      const TrialOutcome outcome = fn(0x5eed, trial);
+      const std::string what = info->name + " trial " +
+                               std::to_string(trial);
+      EXPECT_TRUE(std::isfinite(outcome.rounds)) << what;
+      EXPECT_GT(outcome.rounds, 0.0) << what;
+      EXPECT_TRUE(std::isfinite(outcome.messages)) << what;
+      EXPECT_GE(outcome.messages, 0.0) << what;
+      EXPECT_TRUE(std::isfinite(outcome.correct_fraction)) << what;
+      EXPECT_GE(outcome.correct_fraction, 0.0) << what;
+      EXPECT_LE(outcome.correct_fraction, 1.0 + 1e-12) << what;
+      EXPECT_LE(outcome.flipped, outcome.delivered) << what;
+      // convergence_round is either NaN (no probes / never crossed) or a
+      // real round inside the budget.
+      if (!std::isnan(outcome.convergence_round)) {
+        EXPECT_GE(outcome.convergence_round, 0.0) << what;
+        EXPECT_LE(outcome.convergence_round, outcome.rounds) << what;
+      }
+    }
+  }
+  // The supported family is broadcast/majority/boost — at least the 11
+  // entries PR 7 flagged; a regression that quietly unflags one (or flags
+  // an unmodelable one) shows up as a count change here.
+  EXPECT_GE(supported, 11u);
+  EXPECT_LT(supported, registry.list().size())
+      << "adversarial/desync/baseline entries must stay unflagged";
 }
 
 // rapidcheck-backed duplicates of the invariants above, active only when

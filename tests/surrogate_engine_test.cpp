@@ -1,0 +1,391 @@
+// Unit suite for the mean-field surrogate engine (sim/surrogate_engine).
+//
+// Layers, matching the header's model description:
+//  * spec validation — every unrepresentable spec throws, with the exact
+//    scenario runners' exception type;
+//  * the stratified trial mapping — radical_inverse_base2 determinism and
+//    stratification, and the TrialFn recovering the analytic probability
+//    at rate 1/T;
+//  * golden pins against core/theory's closed forms — the Stage II bias
+//    trace against theory::stage2_bias_trajectory (the same Lemma 2.11
+//    majority computation, independently coded);
+//  * the dynamic-environment rate modifiers — the burst linearization is
+//    EXACT against an equivalent static schedule, churn's awake chain has
+//    the right fixed points, heterogeneous noise boosts the effective
+//    advantage;
+//  * monotonicity properties over random configurations (proptest.hpp):
+//    more realized channel advantage never hurts, longer final boosting
+//    never hurts. (The paper frames the first as "more noise never helps";
+//    eps is the channel ADVANTAGE here, so the direction reads inverted
+//    but is the same claim.)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/environment.hpp"
+#include "core/params.hpp"
+#include "core/theory.hpp"
+#include "sim/surrogate_engine.hpp"
+#include "support/proptest.hpp"
+
+namespace flip {
+namespace {
+
+/// A calibrated-but-weakened tuning whose success probability lands
+/// strictly inside (0, 1): short finishing and final phases leave real
+/// failure mass, which the stratification and band tests need — at the
+/// default tuning every supported scenario succeeds with p ~ 1 and a
+/// comparison proves little.
+Tuning weak_tuning() {
+  Tuning tuning;
+  tuning.f_mult = 1.0;
+  tuning.final_mult = 0.25;
+  return tuning;
+}
+
+TEST(SurrogateSpecTest, RejectsUnrepresentableSpecs) {
+  SurrogateSpec spec;
+  spec.n = 64;
+
+  spec.initial_set = 0;
+  EXPECT_THROW(run_surrogate(spec), std::invalid_argument);
+  spec.initial_set = 65;
+  EXPECT_THROW(run_surrogate(spec), std::invalid_argument);
+
+  spec.initial_set = 4;
+  spec.initial_correct = 5;
+  EXPECT_THROW(run_surrogate(spec), std::invalid_argument);
+  spec.initial_correct = 4;
+
+  spec.skip_stage1 = true;  // requires initial_set == n
+  EXPECT_THROW(run_surrogate(spec), std::invalid_argument);
+  spec.initial_set = spec.initial_correct = 64;
+  spec.stage1_only = true;  // contradicts skip_stage1
+  EXPECT_THROW(run_surrogate(spec), std::invalid_argument);
+  spec.skip_stage1 = false;
+  spec.stage1_only = false;
+  spec.initial_set = spec.initial_correct = 1;
+
+  spec.heterogeneous = true;
+  spec.schedule.burst_prob = 0.1;
+  spec.schedule.burst_len = 4;
+  spec.schedule.burst_eps = 0.05;
+  EXPECT_THROW(run_surrogate(spec), std::invalid_argument);
+  spec.schedule = EnvironmentSchedule{};
+  EXPECT_NO_THROW(run_surrogate(spec));
+}
+
+TEST(RadicalInverseTest, BitReversalIsExactOnKnownPoints) {
+  EXPECT_EQ(radical_inverse_base2(0), 0.0);
+  EXPECT_EQ(radical_inverse_base2(1), 0.5);
+  EXPECT_EQ(radical_inverse_base2(2), 0.25);
+  EXPECT_EQ(radical_inverse_base2(3), 0.75);
+  EXPECT_EQ(radical_inverse_base2(4), 0.125);
+  EXPECT_EQ(radical_inverse_base2(std::uint64_t{1} << 63),
+            std::ldexp(1.0, -64));
+}
+
+TEST(RadicalInverseTest, FirstPowerOfTwoBlockIsAStratifiedPermutation) {
+  // The defining van der Corput property: {vdc(0..2^k - 1)} is exactly
+  // {j / 2^k}. This is what makes a T-trial success rate recover the
+  // analytic probability at rate 1/T instead of 1/sqrt(T).
+  constexpr std::uint64_t kBlock = 256;
+  std::set<double> seen;
+  for (std::uint64_t i = 0; i < kBlock; ++i) {
+    const double u = radical_inverse_base2(i);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    // Deterministic: a second evaluation is bit-identical.
+    EXPECT_EQ(u, radical_inverse_base2(i));
+    seen.insert(u);
+  }
+  ASSERT_EQ(seen.size(), kBlock);
+  std::uint64_t j = 0;
+  for (const double u : seen) {
+    EXPECT_EQ(u, static_cast<double>(j) / static_cast<double>(kBlock));
+    ++j;
+  }
+}
+
+TEST(SurrogateTrialFnTest, RecoversAnalyticProbabilityAtRateOneOverT) {
+  SurrogateSpec spec;
+  spec.n = 512;
+  spec.eps = 0.1;
+  spec.tuning = weak_tuning();
+  const SurrogateResult analysis = run_surrogate(spec);
+  ASSERT_GT(analysis.success_probability, 0.0);
+  ASSERT_LT(analysis.success_probability, 1.0)
+      << "weak_tuning no longer leaves failure mass; the stratification "
+         "check would be vacuous";
+
+  const TrialFn fn = surrogate_trial_fn(spec);
+  constexpr std::size_t kTrials = 512;
+  std::size_t successes = 0;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    const TrialOutcome outcome = fn(0x5eed, t);
+    // The seed never matters: the analysis has no randomness to seed.
+    EXPECT_EQ(outcome.success, fn(0xdead'beef, t).success);
+    successes += outcome.success ? 1 : 0;
+    EXPECT_EQ(outcome.rounds, static_cast<double>(analysis.rounds));
+    EXPECT_EQ(outcome.messages, analysis.expected_messages);
+  }
+  // Stratification: over a power-of-two block the empirical rate equals
+  // floor/ceil of p * T — error < 1/T, not the ~sqrt(p(1-p)/T) of iid
+  // sampling.
+  const double expected = analysis.success_probability *
+                          static_cast<double>(kTrials);
+  EXPECT_GE(static_cast<double>(successes), std::floor(expected));
+  EXPECT_LE(static_cast<double>(successes), std::ceil(expected));
+}
+
+TEST(SurrogateGoldenTest, Stage2BiasTraceTracksTheoryTrajectory) {
+  // Boost problem: the whole population opinionated at bias delta0, Stage
+  // II only. The surrogate's per-phase bias must track core/theory's
+  // independently-coded mean-field map (same Lemma 2.11 majority
+  // computation; theory uses the approximate acceptance probability
+  // 1 - (1 - 1/n)^(n-1), the surrogate the exact sender-count form, hence
+  // the tolerance).
+  const std::size_t n = 4096;
+  const double eps = 0.2;
+  const double delta0 = 0.05;
+  SurrogateSpec spec;
+  spec.n = n;
+  spec.eps = eps;
+  spec.skip_stage1 = true;
+  spec.initial_set = n;
+  spec.initial_correct =
+      static_cast<std::size_t>(std::llround((0.5 + delta0) * n));
+  const SurrogateResult result = run_surrogate(spec);
+
+  const Params params = Params::calibrated(n, eps);
+  const StageTwoSchedule& s2 = params.stage2();
+  const double delta_start =
+      static_cast<double>(spec.initial_correct) / static_cast<double>(n) -
+      0.5;
+  // theory_trace[0] is delta0 itself; entry i+1 is the bias after boost
+  // phase i — lining up with stage2_bias_trace[i].
+  const std::vector<double> theory_trace = theory::stage2_bias_trajectory(
+      n, eps, delta_start, s2.half_length(0), s2.m, s2.k);
+
+  ASSERT_EQ(result.stage2_bias_trace.size(), s2.k + 1);
+  ASSERT_EQ(theory_trace.size(), s2.k + 1);
+  EXPECT_EQ(theory_trace.front(), delta_start);
+  for (std::size_t i = 0; i + 1 < theory_trace.size(); ++i) {
+    EXPECT_NEAR(result.stage2_bias_trace[i], theory_trace[i + 1], 0.02)
+        << "boost phase " << i;
+    if (i > 0) {
+      EXPECT_GE(result.stage2_bias_trace[i],
+                result.stage2_bias_trace[i - 1] - 1e-12)
+          << "bias shrank across boost phase " << i;
+    }
+  }
+  // The trajectory ends saturated: bias ~ 1/2, success ~ 1.
+  EXPECT_NEAR(result.stage2_bias_trace.back(), 0.5, 0.01);
+  EXPECT_GT(result.success_probability, 0.9);
+}
+
+TEST(SurrogateRateModifierTest, BurstLinearizationIsExactAgainstStaticMean) {
+  // P(correct) is linear in eps, so replacing the burst lottery by its
+  // expectation is exact in the mean — the surrogate must produce the SAME
+  // integration as a static schedule stepped to (1-p) eps + p eps_burst.
+  SurrogateSpec burst;
+  burst.n = 1024;
+  burst.eps = 0.25;
+  burst.tuning = weak_tuning();
+  burst.schedule.burst_prob = 0.2;
+  burst.schedule.burst_len = 8;
+  burst.schedule.burst_eps = 0.05;
+
+  SurrogateSpec stepped = burst;
+  stepped.schedule = EnvironmentSchedule{};
+  const double mean_eps = (1.0 - burst.schedule.burst_prob) * burst.eps +
+                          burst.schedule.burst_prob *
+                              burst.schedule.burst_eps;
+  stepped.schedule.segments.push_back(EpsSegment{0, 0, mean_eps, mean_eps});
+
+  const SurrogateResult a = run_surrogate(burst);
+  const SurrogateResult b = run_surrogate(stepped);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_NEAR(a.success_probability, b.success_probability, 1e-12);
+  EXPECT_NEAR(a.correct_fraction, b.correct_fraction, 1e-12);
+  EXPECT_NEAR(a.expected_flipped, b.expected_flipped,
+              1e-9 * std::max(1.0, a.expected_flipped));
+  // And the degraded mean advantage cannot beat the clean channel.
+  SurrogateSpec clean = burst;
+  clean.schedule = EnvironmentSchedule{};
+  EXPECT_LE(a.success_probability,
+            run_surrogate(clean).success_probability + 1e-12);
+}
+
+TEST(SurrogateRateModifierTest, ChurnAwakeChainFixedPoints) {
+  SurrogateSpec spec;
+  spec.n = 1024;
+  spec.eps = 0.2;
+  spec.tuning = weak_tuning();
+  const SurrogateResult baseline = run_surrogate(spec);
+
+  // Everyone asleep forever: no messages, no activation, no success.
+  SurrogateSpec dead = spec;
+  dead.churn.start_asleep = 1.0;
+  dead.churn.wake_prob = 0.0;
+  const SurrogateResult dead_result = run_surrogate(dead);
+  EXPECT_EQ(dead_result.expected_messages, 0.0);
+  EXPECT_EQ(dead_result.success_probability, 0.0);
+  EXPECT_NEAR(dead_result.activation_fraction,
+              1.0 / static_cast<double>(spec.n), 1e-12);
+
+  // Enabled churn whose chain sits at the all-awake fixed point (sleep=0,
+  // start_asleep=0) must reproduce the disabled-churn integration — this
+  // drives Stage II through the Poisson-binomial DP with constant
+  // acceptance, pinning the DP against the closed-form binomial path.
+  SurrogateSpec awake = spec;
+  awake.churn.wake_prob = 1.0;
+  ASSERT_TRUE(awake.churn.enabled());
+  const SurrogateResult awake_result = run_surrogate(awake);
+  EXPECT_NEAR(awake_result.success_probability,
+              baseline.success_probability, 1e-9);
+  EXPECT_NEAR(awake_result.expected_messages, baseline.expected_messages,
+              1e-6 * std::max(1.0, baseline.expected_messages));
+
+  // Mild churn keeps some agents off the air: it can only hurt.
+  SurrogateSpec churned = spec;
+  churned.churn.sleep_prob = 0.02;
+  churned.churn.wake_prob = 0.1;
+  EXPECT_LE(run_surrogate(churned).success_probability,
+            baseline.success_probability + 1e-12);
+}
+
+TEST(SurrogateRateModifierTest, HeterogeneousChannelBoostsAdvantage) {
+  // Same calibration (same eps field -> same round budget); the
+  // heterogeneous channel's effective advantage 1/4 + eps/2 >= eps for
+  // every eps in (0, 1/2], so it can only help.
+  SurrogateSpec bsc;
+  bsc.n = 1024;
+  bsc.eps = 0.2;
+  bsc.tuning = weak_tuning();
+  SurrogateSpec het = bsc;
+  het.heterogeneous = true;
+
+  const SurrogateResult a = run_surrogate(bsc);
+  const SurrogateResult b = run_surrogate(het);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_GE(b.success_probability, a.success_probability - 1e-12);
+  // Fewer expected flips: the effective flip probability drops.
+  EXPECT_LT(b.expected_flipped, a.expected_flipped);
+}
+
+TEST(SurrogateResultTest, MetricsConserveMessagesAndBoundFlips) {
+  proptest::check(
+      "surrogate_metrics_conservation", 40, 0x50044, [](proptest::Gen gen,
+                                                       int) {
+        SurrogateSpec spec;
+        spec.n = static_cast<std::size_t>(gen.range(64, 4096));
+        spec.eps = gen.real(0.05, 0.45);
+        spec.probe_every = 64;
+        if (gen.chance(0.4)) {
+          spec.churn.sleep_prob = gen.real(0.0, 0.03);
+          spec.churn.wake_prob = gen.real(0.05, 0.5);
+        }
+        const SurrogateResult result = run_surrogate(spec);
+        EXPECT_NEAR(result.expected_delivered + result.expected_dropped,
+                    result.expected_messages,
+                    1e-6 * std::max(1.0, result.expected_messages));
+        EXPECT_LE(result.expected_delivered,
+                  result.expected_messages * (1.0 + 1e-12));
+        EXPECT_LE(result.expected_flipped,
+                  result.expected_delivered * (1.0 + 1e-12));
+        EXPECT_GE(result.success_probability, 0.0);
+        EXPECT_LE(result.success_probability, 1.0);
+        EXPECT_GE(result.correct_fraction, 0.0);
+        EXPECT_LE(result.correct_fraction, 1.0 + 1e-12);
+        if (std::isfinite(result.convergence_round)) {
+          EXPECT_EQ(std::fmod(result.convergence_round,
+                              static_cast<double>(spec.probe_every)),
+                    0.0);
+          EXPECT_LT(result.convergence_round,
+                    static_cast<double>(result.rounds));
+        }
+      });
+}
+
+// The ISSUE's phrasing "success non-increasing in eps" reads inverted
+// here: eps is the channel ADVANTAGE (noise is 1/2 - eps), so the
+// monotone direction is "more realized advantage never hurts". Both
+// phrasings are the same claim about noise.
+TEST(SurrogatePropertyTest, MoreRealizedAdvantageNeverHurts) {
+  proptest::check(
+      "surrogate_eps_monotonicity", 30, 0xeb5, [](proptest::Gen gen, int) {
+        SurrogateSpec base;
+        base.n = static_cast<std::size_t>(gen.range(128, 2048));
+        base.eps = 0.4;  // fixed calibration; realized eps varies below
+        base.tuning = weak_tuning();
+        const double lo = gen.real(0.02, 0.38);
+        const double hi = gen.real(lo, 0.4);
+
+        const auto success_at = [&](double realized) {
+          SurrogateSpec spec = base;
+          spec.schedule.segments.push_back(
+              EpsSegment{0, 0, realized, realized});
+          return run_surrogate(spec).success_probability;
+        };
+        EXPECT_LE(success_at(lo), success_at(hi) + 1e-12)
+            << "realized eps " << lo << " beat " << hi;
+      });
+}
+
+TEST(SurrogatePropertyTest, LongerFinalBoostingNeverHurts) {
+  proptest::check(
+      "surrogate_rounds_monotonicity", 20, 0xb005, [](proptest::Gen gen,
+                                                      int) {
+        SurrogateSpec spec;
+        spec.n = static_cast<std::size_t>(gen.range(128, 2048));
+        spec.eps = gen.real(0.1, 0.4);
+        spec.tuning = weak_tuning();
+        double previous = -1.0;
+        for (const double final_mult : {0.25, 0.5, 1.0, 2.0}) {
+          spec.tuning.final_mult = final_mult;
+          const double success = run_surrogate(spec).success_probability;
+          EXPECT_GE(success, previous - 1e-12)
+              << "success fell when final_mult rose to " << final_mult;
+          previous = success;
+        }
+      });
+}
+
+TEST(SurrogateStage1Test, Stage1OnlyTracksActivationNotOpinion) {
+  SurrogateSpec spec;
+  spec.n = 1024;
+  spec.eps = 0.2;
+  spec.stage1_only = true;
+  spec.probe_every = 1;
+  const SurrogateResult result = run_surrogate(spec);
+
+  const Params params = Params::calibrated(spec.n, spec.eps);
+  EXPECT_EQ(result.rounds, params.stage1().total_rounds());
+  ASSERT_EQ(result.activation_trace.size(), params.stage1().num_phases());
+  for (std::size_t i = 1; i < result.activation_trace.size(); ++i) {
+    EXPECT_GE(result.activation_trace[i], result.activation_trace[i - 1]);
+    EXPECT_LE(result.activation_trace[i],
+              static_cast<double>(spec.n) * (1.0 + 1e-12));
+  }
+  // Calibrated Stage I activates everyone w.h.p.; the expected trajectory
+  // crosses the 99% probe threshold well inside the budget.
+  EXPECT_GT(result.success_probability, 0.5);
+  EXPECT_NEAR(result.activation_fraction, 1.0, 1e-3);
+  // Breathe semantics: agents activated mid-phase buffer until the phase
+  // ends, so expected activation crosses 99% only when the finishing
+  // phase applies its boundary — the budget's last round. A per-round
+  // probe grid therefore converges exactly there; a coarser grid that has
+  // no probe at/after the boundary reports NaN, like the exact engines.
+  EXPECT_EQ(result.convergence_round,
+            static_cast<double>(result.rounds - 1));
+  EXPECT_TRUE(result.stage2_bias_trace.empty());
+}
+
+}  // namespace
+}  // namespace flip

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Surrogate accuracy gate: the mean-field engine must stay inside its
+error bands of the exact BatchEngine on every supported registry entry.
+
+Usage:
+  check_surrogate_accuracy.py <flipsim-binary> <out-json> [--n LIST]
+      [--trials T]
+  check_surrogate_accuracy.py --check <validate-json> [<validate-json>...]
+
+Default mode runs the CI-sized harness
+
+  flipsim --validate-surrogate --n <LIST> --trials <T> --json <out-json>
+
+(defaults: n=1024, 24 Monte-Carlo trials per cell) and then audits the
+flipsim-validate-v1 document it produced. --check mode audits already-
+written documents only — ci runs it over the committed trajectory artifact
+bench/results/VALIDATION_surrogate.json, so a band violation cannot be
+committed as "reference" either.
+
+The audit does not trust the producer's verdicts. For every cell it
+recomputes, from the raw numbers in the document:
+
+  * abs_error    == |success_surrogate - success_mc|
+  * band         == (mc_wilson_high - mc_wilson_low) / 2 + tolerance
+  * tolerance    in {static_tolerance, dynamic_tolerance} per the cell's
+                    dynamic flag (the document's declared constants)
+  * pass         == abs_error <= band
+
+and fails on any mismatch between the recomputation and the stored fields,
+any cell out of band, a false all_pass, an empty cell list, or a non-finite
+success estimate on either side. So a broken emitter (always-true pass
+flags, NaN probabilities serialized as null) fails the gate exactly like a
+broken model.
+
+The band design (docs/PERFORMANCE.md): the Wilson halfwidth is the Monte-
+Carlo side's own sampling noise — no analytic model can be held closer to
+an MC estimate than the estimate's noise — and the added tolerance is the
+surrogate's documented model error (agent-independence at finite n;
+linearized burst/churn). Static and dynamic environments carry different
+tolerances; both come from the document itself so this gate never drifts
+from the C++ constants in src/cli/sweep.hpp.
+
+Shared by ci.sh and ci.yml so the two CI paths cannot drift.
+"""
+
+import json
+import math
+import subprocess
+import sys
+
+DEFAULT_NS = "1024"
+DEFAULT_TRIALS = "24"
+SCHEMA = "flipsim-validate-v1"
+# Recomputation slack only — covers decimal round-tripping of the stored
+# doubles, not model error.
+RECOMP_EPS = 1e-9
+
+
+def fail(msg):
+    raise SystemExit(f"surrogate accuracy gate: {msg}")
+
+
+def finite(value):
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def audit(path):
+    """Audits one flipsim-validate-v1 document; returns (cells, worst)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema {doc.get('schema')!r} is not {SCHEMA!r}")
+    tolerances = {
+        False: doc["static_tolerance"],
+        True: doc["dynamic_tolerance"],
+    }
+    results = doc.get("results", [])
+    if not results:
+        fail(f"{path}: no cells — nothing was validated")
+    if len(results) != doc.get("cells"):
+        fail(f"{path}: cells={doc.get('cells')} but {len(results)} results")
+
+    worst = (0.0, None)  # (error / band, cell label)
+    for cell in results:
+        label = f"{path}: {cell.get('scenario')} n={cell.get('n')}"
+        for key in ("success_mc", "success_surrogate", "mc_wilson_low",
+                    "mc_wilson_high"):
+            if not finite(cell.get(key)):
+                fail(f"{label}: {key}={cell.get(key)!r} is not finite")
+        if not 0.0 <= cell["success_surrogate"] <= 1.0:
+            fail(f"{label}: success_surrogate={cell['success_surrogate']} "
+                 "is not a probability")
+
+        err = abs(cell["success_surrogate"] - cell["success_mc"])
+        tol = tolerances[bool(cell["dynamic"])]
+        band = (cell["mc_wilson_high"] - cell["mc_wilson_low"]) / 2 + tol
+        for key, value in (("abs_error", err), ("tolerance", tol),
+                           ("band", band)):
+            if abs(cell[key] - value) > RECOMP_EPS:
+                fail(f"{label}: stored {key}={cell[key]} but recomputed "
+                     f"{value} — emitter and gate disagree")
+        in_band = err <= band + RECOMP_EPS
+        if cell["pass"] != in_band or not in_band:
+            fail(f"{label}: |{cell['success_surrogate']:.4f} - "
+                 f"{cell['success_mc']:.4f}| = {err:.4f} vs band "
+                 f"{band:.4f} (tolerance {tol}, "
+                 f"stored pass={cell['pass']})")
+        if band > 0 and err / band > worst[0]:
+            worst = (err / band, label)
+    if not doc.get("all_pass"):
+        fail(f"{path}: all_pass is false with every cell in band — "
+             "emitter bug")
+    return len(results), worst
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[0] == "--check":
+        paths = argv[1:]
+    else:
+        if len(argv) < 2:
+            raise SystemExit(__doc__)
+        flipsim, out_path = argv[0], argv[1]
+        ns, trials = DEFAULT_NS, DEFAULT_TRIALS
+        rest = argv[2:]
+        while rest:
+            flag = rest.pop(0)
+            if flag == "--n":
+                ns = rest.pop(0)
+            elif flag == "--trials":
+                trials = rest.pop(0)
+            else:
+                raise SystemExit(f"unknown flag {flag!r}\n\n{__doc__}")
+        subprocess.run(
+            [flipsim, "--validate-surrogate", "--n", ns, "--trials", trials,
+             "--quiet", "--json", out_path],
+            check=True)
+        paths = [out_path]
+
+    total = 0
+    worst = (0.0, None)
+    for path in paths:
+        cells, path_worst = audit(path)
+        total += cells
+        if path_worst[0] > worst[0]:
+            worst = path_worst
+    where = f" (worst: {worst[1]}, {worst[0]:.0%} of band)" if worst[1] \
+        else ""
+    print(f"surrogate accuracy ok: {total} cell(s) across {len(paths)} "
+          f"document(s), all within band{where}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

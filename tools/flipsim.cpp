@@ -43,6 +43,7 @@ struct CliFlags {
   std::string engine = "batch";
   std::string schedule;
   std::string churn;
+  bool validate_surrogate = false;
   bool json = false;
   std::string json_path;  // empty with json=true -> stdout
   bool csv = false;
@@ -143,8 +144,9 @@ int main(int argc, char** argv) {
                   "results are bit-identical for every value",
                   &flags.shards);
   parser.add_option("--engine", "mode",
-                    "simulation substrate: batch (SoA fast path, default) "
-                    "or classic (reference Engine); results are identical",
+                    "simulation substrate: batch (SoA fast path, default), "
+                    "classic (reference Engine; identical results), or "
+                    "surrogate (mean-field closed form, n up to 1e9)",
                     &flags.engine);
   parser.add_option("--schedule", "spec",
                     "eps schedule override: ramp:E0:E1 | ramp:R0:R1:E0:E1 | "
@@ -154,6 +156,12 @@ int main(int argc, char** argv) {
                     "agent churn override: SLEEP:WAKE[:START_ASLEEP] "
                     "per-round probabilities",
                     &flags.churn);
+  parser.add_flag("--validate-surrogate",
+                  "run the surrogate-vs-batch error-band harness instead of "
+                  "a sweep (--scenario optional: default is every supported "
+                  "entry; --n/--trials/--seed/--threads apply; --json writes "
+                  "flipsim-validate-v1)",
+                  &flags.validate_surrogate);
   parser.add_optional_value("--json", "path",
                             "write flipsim-sweep-v1 JSON (no path: stdout)",
                             &flags.json_path, &flags.json);
@@ -192,8 +200,11 @@ int main(int argc, char** argv) {
 
   if (flags.list) return list_scenarios();
   if (!flags.describe.empty()) return describe_scenario(flags.describe);
-  if (flags.scenario.empty()) {
-    std::cerr << "error: --scenario is required (or --list / --describe)\n\n"
+  // --validate-surrogate picks its own scenario set (every supported
+  // registry entry) when --scenario is omitted; a sweep always needs one.
+  if (flags.scenario.empty() && !flags.validate_surrogate) {
+    std::cerr << "error: --scenario is required (or --list / --describe / "
+                 "--validate-surrogate)\n\n"
               << parser.usage();
     return 2;
   }
@@ -273,8 +284,56 @@ int main(int argc, char** argv) {
     spec.engine = *mode;
   } else {
     std::cerr << "error: --engine: unknown mode '" << flags.engine
-              << "' (batch | classic)\n";
+              << "' (batch | classic | surrogate)\n";
     return 2;
+  }
+  // Engine-scenario compatibility is an argument error, not a mid-sweep
+  // exception: surrogate on a scenario with no mean-field model (and any
+  // scenario typo) is rejected here with the alternatives named.
+  if (!flags.scenario.empty()) {
+    if (const auto engine_error =
+            flip::cli::validate_engine(flags.scenario, spec.engine)) {
+      std::cerr << "error: " << *engine_error << "\n";
+      return 2;
+    }
+  }
+
+  if (flags.validate_surrogate) {
+    flip::cli::SurrogateValidationSpec vspec;
+    if (!flags.scenario.empty()) vspec.scenarios.push_back(flags.scenario);
+    if (!spec.ns.empty()) vspec.ns = spec.ns;
+    if (flags.trials) vspec.trials = *flags.trials;
+    vspec.seed = spec.seed;
+    vspec.threads = spec.threads;
+    try {
+      const flip::cli::SurrogateValidationResult validation =
+          flip::cli::run_surrogate_validation(vspec);
+      const bool json_to_stdout = flags.json && flags.json_path.empty();
+      if (!flags.quiet && !json_to_stdout) {
+        std::cout << "flipsim: surrogate validation, "
+                  << validation.cells.size() << " cell(s), "
+                  << flip::format_fixed(validation.wall_seconds, 2) << " s, "
+                  << (validation.all_pass ? "all within band"
+                                          : "BAND VIOLATION")
+                  << "\n\n"
+                  << flip::cli::validation_table(validation);
+      }
+      if (flags.json) {
+        const std::string json = flip::cli::validation_to_json(validation);
+        if (json_to_stdout) {
+          std::cout << json << '\n';
+        } else if (!write_file(flags.json_path, json)) {
+          return 1;
+        }
+      }
+      // Exit 0 either way: the harness reports, the CI gate
+      // (tools/check_surrogate_accuracy.py) enforces — so a band failure
+      // still produces the JSON artifact for inspection.
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   if (flags.json && flags.json_path.empty() && flags.csv &&
