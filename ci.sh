@@ -15,14 +15,19 @@ cmake --build "$BUILD_DIR" -j
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
 
 # Smoke sweeps: flipsim must enumerate the registry and emit schema-valid
-# JSON for a small static sweep AND a dynamic-environment one (correlated
-# noise bursts at a CI-friendly size). The JSON lands in the build dir; CI
-# uploads it as an artifact.
+# JSON for a small static sweep, a dynamic-environment one (correlated
+# noise bursts at a CI-friendly size), AND a sparse-topology one (the
+# --topology override on a graph preset, exercising the GraphRecipient
+# route + per-round rewiring end to end). The JSON lands in the build
+# dir; CI uploads it as an artifact.
 "$BUILD_DIR/tools/flipsim" --list >/dev/null
 "$BUILD_DIR/tools/flipsim" --scenario broadcast_small --trials 8 \
   --json "$BUILD_DIR/flipsim_smoke.json"
 "$BUILD_DIR/tools/flipsim" --scenario broadcast_burst --n 256 --eps 0.3 \
   --trials 4 --json "$BUILD_DIR/flipsim_dynamic.json"
+"$BUILD_DIR/tools/flipsim" --scenario broadcast_dynamic_rewire --n 256 \
+  --eps 0.3 --trials 4 --topology dynamic:8:0.2 \
+  --json "$BUILD_DIR/flipsim_topology.json"
 if command -v python3 >/dev/null 2>&1; then
   python3 - "$BUILD_DIR/flipsim_smoke.json" <<'EOF'
 import json, sys
@@ -46,8 +51,18 @@ assert doc["schema"] == "flipsim-sweep-v1", doc.get("schema")
 assert doc["scenario"] == "broadcast_burst"
 point = doc["points"][0]
 assert point["params"]["schedule"].startswith("burst("), point["params"]
+assert point["params"]["topology"] == "complete", point["params"]
 assert "convergence_rounds" in point, sorted(point.keys())
 print("flipsim dynamic-scenario JSON ok:", sys.argv[1])
+EOF
+  python3 - "$BUILD_DIR/flipsim_topology.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "flipsim-sweep-v1", doc.get("schema")
+assert doc["scenario"] == "broadcast_dynamic_rewire"
+point = doc["points"][0]
+assert point["params"]["topology"] == "dynamic(k=8 p=0.2)", point["params"]
+print("flipsim topology JSON ok:", sys.argv[1])
 EOF
 else
   echo "python3 not found; skipping flipsim JSON validation" >&2
@@ -125,10 +140,12 @@ fi
 # delta merge) and the helping ThreadPool wait are the only cross-thread
 # code in the repo; race-check them under a dedicated instrumented build.
 # The filter includes the churn-enabled sharded tests, the
-# dynamic-scenario sweep matrix, and (FLIP_SIMD is ON here too) the
-# property/differential suites, which drive the vector kernels from
-# sharded rounds. Skip with FLIP_SKIP_TSAN=1 (e.g. toolchains without
-# tsan runtimes).
+# dynamic-scenario AND sparse-topology sweep matrices (per-round graph
+# rewiring + the locality-partitioned sharded route run under
+# SweepDeterminism/Registry/PropertyDifferential), and (FLIP_SIMD is ON
+# here too) the property/differential suites, which drive the vector
+# kernels from sharded rounds. Skip with FLIP_SKIP_TSAN=1 (e.g.
+# toolchains without tsan runtimes).
 if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -136,7 +153,7 @@ if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
     -DFLIP_BUILD_EXAMPLES=OFF -DFLIP_BUILD_TOOLS=OFF
   cmake --build "$TSAN_DIR" -j
   (cd "$TSAN_DIR" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest|PropertyDifferentialTest|SimdDifferentialTest|SimdKernelsTest')
+    -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest|PropertyDifferentialTest|SimdDifferentialTest|SimdKernelsTest|RegistryTest.TopologyEntriesRunBitEqualAcrossSubstratesAndShards')
 else
   echo "skipping ThreadSanitizer pass (FLIP_SKIP_TSAN=1)"
 fi

@@ -76,6 +76,7 @@ std::string sweep_to_json(const SweepResult& result) {
         .field("channel", point.config.channel)
         .field("schedule", point.config.schedule.describe())
         .field("churn", point.config.churn.describe())
+        .field("topology", point.config.topology.describe())
         .end_object();
     json.field("trials", static_cast<std::uint64_t>(point.summary.trials))
         .field("successes",
@@ -109,7 +110,8 @@ std::string sweep_to_csv(const SweepResult& result) {
   // JsonWriter::number, which maps non-finite values to "null" — never the
   // locale/platform-dependent "nan"/"inf" spellings of raw streams.
   std::string csv =
-      "scenario,n,eps,channel,schedule,churn,trials,successes,success_rate,"
+      "scenario,n,eps,channel,schedule,churn,topology,trials,successes,"
+      "success_rate,"
       "success_low,success_high,rounds_mean,rounds_stddev,rounds_min,"
       "rounds_max,messages_mean,messages_stddev,correct_fraction_mean,"
       "convergence_mean,converged,wall_seconds\n";
@@ -121,6 +123,9 @@ std::string sweep_to_csv(const SweepResult& result) {
     csv += ',' + point.config.channel;
     csv += ',' + point.config.schedule.describe();
     csv += ',' + point.config.churn.describe();
+    // TopologySpec::describe() is comma-free by construction ("ring(k=8)"),
+    // so it needs no CSV quoting.
+    csv += ',' + point.config.topology.describe();
     csv += ',' + std::to_string(s.trials);
     csv += ',' + std::to_string(s.successes);
     csv += ',' + JsonWriter::number(s.success.estimate);

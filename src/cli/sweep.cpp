@@ -57,6 +57,7 @@ std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec) {
         overrides.shards = spec.shards;
         overrides.schedule = spec.schedule;
         overrides.churn = spec.churn;
+        overrides.topology = spec.topology;
         grid.push_back(registry.resolve(spec.scenario, overrides));
       }
     }
@@ -113,6 +114,33 @@ std::optional<std::string> validate_engine(std::string_view scenario,
            "' has no mean-field surrogate model (the surrogate engine "
            "covers the broadcast/majority/boost families; use --engine "
            "batch or --engine classic here)";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_topology(
+    std::string_view scenario, const std::optional<TopologySpec>& topology,
+    EngineMode engine) {
+  const ScenarioInfo* info = ScenarioRegistry::instance().find(scenario);
+  if (info == nullptr) {
+    return "--scenario: unknown scenario '" + std::string(scenario) +
+           "' (see flipsim --list)";
+  }
+  if (topology && !topology->complete() && !info->supports_topology) {
+    return "--topology: scenario '" + info->name +
+           "' does not run on a sparse interaction graph (the broadcast/"
+           "majority/boost families do; see flipsim --list)";
+  }
+  // The graph the sweep would actually run: the override when given, the
+  // registered default otherwise — the preset topology entries are sparse
+  // without any flag on the command line.
+  const TopologySpec& effective =
+      topology ? *topology : info->default_topology;
+  if (engine == EngineMode::kSurrogate && !effective.complete()) {
+    return "--engine: scenario '" + info->name +
+           "': the mean-field surrogate engine models the complete "
+           "interaction graph only, not topology '" + effective.describe() +
+           "'; use --engine batch or --engine classic";
   }
   return std::nullopt;
 }

@@ -37,6 +37,10 @@ struct SweepSpec {
   /// environment for classic entries and a preset for the dynamic ones.
   std::optional<EnvironmentSchedule> schedule;
   std::optional<ChurnSpec> churn;
+  /// Interaction-graph override (flipsim --topology). Unset means "use the
+  /// scenario's registered default" — complete for the classic entries, a
+  /// preset sparse family for the topology entries.
+  std::optional<TopologySpec> topology;
 };
 
 /// One grid point's resolved parameters and aggregated results. Per-point
@@ -91,6 +95,17 @@ std::optional<std::string> validate_eps_values(
 /// registry's, so the user is pointed at --list either way).
 std::optional<std::string> validate_engine(std::string_view scenario,
                                            EngineMode engine);
+
+/// Validates a --topology request against the scenario's registry entry:
+/// a non-complete graph is rejected on scenarios whose factory ignores it
+/// (adversarial, desync, baselines), and any effective non-complete graph
+/// (the override, or the scenario's default when no override was given) is
+/// rejected under the surrogate engine, which models the complete graph
+/// only. Both fail at the argument layer, naming the scenario and the
+/// topology, BEFORE any simulation runs.
+std::optional<std::string> validate_topology(
+    std::string_view scenario, const std::optional<TopologySpec>& topology,
+    EngineMode engine);
 
 // --- surrogate validation harness (flipsim --validate-surrogate) --------
 //

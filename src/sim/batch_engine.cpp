@@ -24,6 +24,12 @@ void BatchEngine::prepare_breathe(const Params& params,
   }
 
   const std::size_t n = params.n();
+  // Resolve the interaction graph first: it throws on families that do not
+  // fit n, and the route phase consults it every round. Sharding stays the
+  // contiguous agent-block partition, which for ring/grid (row-major) is
+  // also a graph-locality partition — a shard's senders mostly write slots
+  // inside or adjacent to their own block.
+  topo_ = ResolvedTopology::resolve(options.engine.topology, n);
   // Cap the shard count at n/2 so every block holds >= 2 agents: tinier
   // shards are pure overhead, and the fastdiv reciprocal below wraps to 0
   // at block size 1. Results are shard-invariant, so clamping is harmless.

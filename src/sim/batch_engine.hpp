@@ -55,6 +55,7 @@
 
 #include "core/breathe.hpp"
 #include "core/params.hpp"
+#include "core/topology.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 #include "sim/engine.hpp"
@@ -252,14 +253,44 @@ struct DeliverPartial {
   std::uint64_t asleep_drops = 0;
 };
 
+/// Recipient policies for the route loops below. Both consume the same
+/// kRoute words (one uniform_index draw, then the caller takes the
+/// acceptance-priority word), so swapping policies never shifts any other
+/// stream — the topology's draw bound is the ONE bound the scalar, SIMD,
+/// and sharded route paths share.
+///
+/// The complete graph keeps its own policy (rather than going through
+/// ResolvedTopology::recipient) so the historical hot loop compiles to the
+/// identical branch-free body it always had.
+struct CompleteRecipient {
+  std::uint64_t draw_bound;  ///< n - 1: uniform over the other agents
+  template <typename Rng>
+  std::uint32_t operator()(Rng& rng, std::uint32_t sender) const {
+    auto to = static_cast<std::uint32_t>(uniform_index(rng, draw_bound));
+    to += (to >= sender);
+    return to;
+  }
+};
+
+/// Sparse topologies: the drawn index selects an out-neighbor; the rewired
+/// kinds additionally read the round's kTopology-lane key.
+struct GraphRecipient {
+  const ResolvedTopology* topo;
+  StreamKey topo_key;
+  template <typename Rng>
+  std::uint32_t operator()(Rng& rng, std::uint32_t sender) const {
+    return topo->recipient(rng, topo_key, sender);
+  }
+};
+
 /// Routes one shard's senders and min-combines in place (the single-shard
 /// fast path: no bucket materialization). kChurn filters asleep senders
 /// through `awake` (unused when false — the template keeps the common
 /// static-population loop branch-free).
-template <bool kChurn>
+template <bool kChurn, typename RecipientFn>
 [[gnu::noinline]] inline RoutePartial route_combine(
     const std::uint32_t* __restrict__ send, std::size_t nsend,
-    std::uint64_t n_minus_1, const StreamKey rkey,
+    const RecipientFn recipient, const StreamKey rkey,
     const std::uint8_t* __restrict__ awake,
     std::uint64_t* __restrict__ slot, AgentId* __restrict__ tdata) {
   RoutePartial partial;
@@ -272,8 +303,7 @@ template <bool kChurn>
     }
     ++partial.sent;
     CounterRng rng(rkey, sender);
-    auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
-    to += (to >= sender);
+    const std::uint32_t to = recipient(rng, sender);
     tsize = combine(to, acceptance_word(rng(), (e & kSendBit) | sender),
                     slot, tdata, tsize);
   }
@@ -284,11 +314,11 @@ template <bool kChurn>
 /// Routes one shard's senders into per-destination-shard buckets (the
 /// multi-shard route phase; `shard_mul` is the fastdiv reciprocal of the
 /// shard block size). Returns the number of messages sent.
-template <bool kChurn>
+template <bool kChurn, typename RecipientFn>
 [[gnu::noinline]] inline std::uint64_t route_scatter(
     const std::uint32_t* __restrict__ send, std::size_t nsend,
-    std::uint64_t n_minus_1, const StreamKey rkey, std::uint64_t shard_mul,
-    const std::uint8_t* __restrict__ awake,
+    const RecipientFn recipient, const StreamKey rkey,
+    std::uint64_t shard_mul, const std::uint8_t* __restrict__ awake,
     std::vector<RoutedMsg>* __restrict__ out) {
   std::uint64_t sent = 0;
   for (std::size_t i = 0; i < nsend; ++i) {
@@ -299,8 +329,7 @@ template <bool kChurn>
     }
     ++sent;
     CounterRng rng(rkey, sender);
-    auto to = static_cast<std::uint32_t>(uniform_index(rng, n_minus_1));
-    to += (to >= sender);
+    const std::uint32_t to = recipient(rng, sender);
     const auto dst = static_cast<std::size_t>(
         (static_cast<unsigned __int128>(to) * shard_mul) >> 64);
     out[dst].push_back(
@@ -448,11 +477,14 @@ inline std::size_t filter_awake(const std::uint32_t* __restrict__ block,
   return live_count;
 }
 
-/// route_combine, SIMD-blocked (single-shard fast path).
+/// route_combine, SIMD-blocked (single-shard fast path). `draw_bound` is
+/// the topology's recipient draw bound; the kernels implement the complete
+/// graph only (self-skip baked in), so run_breathe routes sparse topologies
+/// through the scalar loops — draw_bound always equals n - 1 here.
 template <bool kChurn>
 [[gnu::noinline]] inline RoutePartial route_combine_simd(
     const std::uint32_t* __restrict__ send, std::size_t nsend,
-    std::uint64_t n_minus_1, const StreamKey rkey,
+    std::uint64_t draw_bound, const StreamKey rkey,
     const std::uint8_t* __restrict__ awake,
     std::uint64_t* __restrict__ slot, AgentId* __restrict__ tdata) {
   const simd::Kernels kernels = simd::active();
@@ -469,7 +501,7 @@ template <bool kChurn>
       count = filter_awake(block, take, awake, live);
       block = live;
     }
-    kernels.route_block(rkey.hi, rkey.lo, block, count, n_minus_1, to_buf,
+    kernels.route_block(rkey.hi, rkey.lo, block, count, draw_bound, to_buf,
                         word_buf);
     for (std::size_t i = 0; i < count; ++i) {
       tsize = combine(to_buf[i], word_buf[i], slot, tdata, tsize);
@@ -480,11 +512,12 @@ template <bool kChurn>
   return partial;
 }
 
-/// route_scatter, SIMD-blocked (multi-shard route phase).
+/// route_scatter, SIMD-blocked (multi-shard route phase). Same complete-
+/// graph-only draw_bound contract as route_combine_simd.
 template <bool kChurn>
 [[gnu::noinline]] inline std::uint64_t route_scatter_simd(
     const std::uint32_t* __restrict__ send, std::size_t nsend,
-    std::uint64_t n_minus_1, const StreamKey rkey, std::uint64_t shard_mul,
+    std::uint64_t draw_bound, const StreamKey rkey, std::uint64_t shard_mul,
     const std::uint8_t* __restrict__ awake,
     std::vector<RoutedMsg>* __restrict__ out) {
   const simd::Kernels kernels = simd::active();
@@ -500,7 +533,7 @@ template <bool kChurn>
       count = filter_awake(block, take, awake, live);
       block = live;
     }
-    kernels.route_block(rkey.hi, rkey.lo, block, count, n_minus_1, to_buf,
+    kernels.route_block(rkey.hi, rkey.lo, block, count, draw_bound, to_buf,
                         word_buf);
     for (std::size_t i = 0; i < count; ++i) {
       const std::uint32_t to = to_buf[i];
@@ -657,6 +690,8 @@ class BatchEngine {
     send_buffer_.clear();
     if (send_buffer_.capacity() < n) send_buffer_.reserve(n);
 
+    const ResolvedTopology topo =
+        ResolvedTopology::resolve(options.topology, n);
     const ChurnSpec& churn = options.churn;
     const bool churn_on = churn.enabled();
     if (churn_on) {
@@ -687,6 +722,8 @@ class BatchEngine {
 
       mailbox_.reset();
       const StreamKey route_key = round_stream_key(key, RngPurpose::kRoute, r);
+      const StreamKey topo_key =
+          topo.keyed() ? topo.round_key(key, r) : StreamKey{};
       std::uint64_t sent = 0;
       for (const Message& msg : send_buffer_) {
         if (msg.sender >= mailbox_.population()) {
@@ -695,8 +732,7 @@ class BatchEngine {
         if (churn_on && awake_[msg.sender] == 0) continue;
         ++sent;
         CounterRng rng(route_key, msg.sender);
-        auto to = static_cast<AgentId>(uniform_index(rng, n - 1));
-        if (to >= msg.sender) ++to;
+        const AgentId to = topo.recipient(rng, topo_key, msg.sender);
         mailbox_.offer(to, msg.sender, msg.bit,
                        acceptance_word(rng(), msg.bit, msg.sender));
       }
@@ -758,7 +794,11 @@ class BatchEngine {
     Metrics& metrics = result.metrics;
 
     const std::size_t n = params.n();
-    const std::uint64_t n_minus_1 = n - 1;
+    const ResolvedTopology& topo = topo_;
+    const bool topo_complete = topo.complete();
+    // The one recipient draw bound every route path shares: n - 1 on the
+    // complete graph, the out-degree on sparse topologies.
+    const std::uint64_t draw_bound = topo.draw_bound();
     const bool uniform_pick =
         config.stage1_pick == Stage1Pick::kUniformMessage;
     auto flips = detail::make_flip(channel);
@@ -766,8 +806,10 @@ class BatchEngine {
     // the active set is one (src/simd/simd.hpp), the round phases run the
     // blocked twins; results are bit-identical either way, so this is a
     // pure wall-clock decision. kCompiled folds the whole branch out of
-    // FLIP_SIMD=OFF builds.
-    const bool use_simd = simd::kCompiled && simd::enabled();
+    // FLIP_SIMD=OFF builds. The route kernels implement the complete graph
+    // only, so sparse topologies legitimately fall back to the scalar
+    // route loops (deliver still vectorizes — it is topology-blind).
+    const bool use_simd = simd::kCompiled && simd::enabled() && topo_complete;
     const std::size_t shards = shards_;
     const ChurnSpec& churn = options.engine.churn;
     const bool churn_on = churn.enabled();
@@ -780,6 +822,8 @@ class BatchEngine {
       const bool in_s1 = r < stage1_rounds;
       const StreamKey route_key =
           round_stream_key(trial_key_, RngPurpose::kRoute, r);
+      const StreamKey topo_key =
+          topo.keyed() ? topo.round_key(trial_key_, r) : StreamKey{};
       const StreamKey channel_key =
           round_stream_key(trial_key_, RngPurpose::kChannel, r);
       const StreamKey protocol_key =
@@ -821,34 +865,44 @@ class BatchEngine {
       for_each_shard([&](std::size_t s) {
         ShardScratch& sh = shard_[s];
         // One statement of each argument list; the bool_constant picks the
-        // churn-filtered or branch-free loop instantiation.
-        const auto route = [&](auto churn_c) {
+        // churn-filtered or branch-free loop instantiation, the recipient
+        // policy the complete-graph or neighbor-set draw (use_simd is
+        // false whenever the policy is GraphRecipient, so the kernel calls
+        // only ever see the complete graph's draw_bound).
+        const auto route = [&](auto churn_c, const auto recipient) {
           constexpr bool kChurn = decltype(churn_c)::value;
           if (shards == 1) {
             const detail::RoutePartial partial =
                 use_simd ? detail::route_combine_simd<kChurn>(
-                               sh.send.data(), sh.send.size(), n_minus_1,
+                               sh.send.data(), sh.send.size(), draw_bound,
                                route_key, awake, slot, sh.touched.data())
                          : detail::route_combine<kChurn>(
-                               sh.send.data(), sh.send.size(), n_minus_1,
+                               sh.send.data(), sh.send.size(), recipient,
                                route_key, awake, slot, sh.touched.data());
             sh.touched_count = partial.touched;
             sh.sent = partial.sent;
           } else {
             sh.sent = use_simd ? detail::route_scatter_simd<kChurn>(
                                      sh.send.data(), sh.send.size(),
-                                     n_minus_1, route_key, shard_mul_, awake,
-                                     sh.out.data())
+                                     draw_bound, route_key, shard_mul_,
+                                     awake, sh.out.data())
                                : detail::route_scatter<kChurn>(
                                      sh.send.data(), sh.send.size(),
-                                     n_minus_1, route_key, shard_mul_, awake,
-                                     sh.out.data());
+                                     recipient, route_key, shard_mul_,
+                                     awake, sh.out.data());
           }
         };
-        if (churn_on) {
-          route(std::true_type{});
+        const auto route_dispatch = [&](const auto recipient) {
+          if (churn_on) {
+            route(std::true_type{}, recipient);
+          } else {
+            route(std::false_type{}, recipient);
+          }
+        };
+        if (topo_complete) {
+          route_dispatch(detail::CompleteRecipient{draw_bound});
         } else {
-          route(std::false_type{});
+          route_dispatch(detail::GraphRecipient{&topo, topo_key});
         }
       });
 
@@ -1023,6 +1077,9 @@ class BatchEngine {
   std::vector<std::uint64_t> acc_;   ///< packed sample counters per agent
   std::vector<std::uint64_t> slot_;  ///< best acceptance_word, or kEmptySlot
   std::vector<ShardScratch> shard_;
+  /// The trial's resolved interaction graph (prepare_breathe). Complete by
+  /// default — the identity route path.
+  ResolvedTopology topo_{};
   StreamKey trial_key_{};
   std::size_t shards_ = 1;
   std::size_t shard_block_ = 0;  ///< agents per shard, ceil(n / shards)

@@ -24,6 +24,8 @@ Engine::Engine(std::size_t n, NoiseChannel& channel, Xoshiro256& rng,
 Metrics Engine::run(Protocol& protocol, Round max_rounds) {
   Metrics metrics;
   const std::size_t n = mailbox_.population();
+  const ResolvedTopology topo =
+      ResolvedTopology::resolve(options_.topology, n);
   const ChurnSpec& churn = options_.churn;
   const bool churn_on = churn.enabled();
   if (churn_on) {
@@ -53,6 +55,11 @@ Metrics Engine::run(Protocol& protocol, Round max_rounds) {
 
     mailbox_.reset();
     const StreamKey route_key = round_stream_key(key_, RngPurpose::kRoute, r);
+    // The rewired topologies read the kTopology lane; the others ignore the
+    // key entirely (and complete skips neighbor lookup altogether inside
+    // recipient()).
+    const StreamKey topo_key =
+        topo.keyed() ? topo.round_key(key_, r) : StreamKey{};
     std::uint64_t sent = 0;
     for (const Message& msg : send_buffer_) {
       if (msg.sender >= n) {
@@ -63,11 +70,11 @@ Metrics Engine::run(Protocol& protocol, Round max_rounds) {
       // shifts nobody else's draws).
       if (churn_on && awake_[msg.sender] == 0) continue;
       ++sent;
-      // The sender's stream: word 0.. the recipient (uniform over the n-1
-      // other agents), next word the acceptance priority.
+      // The sender's stream: word 0.. the recipient index (uniform over
+      // its out-neighbors — the n-1 other agents on the complete graph),
+      // next word the acceptance priority.
       CounterRng rng(route_key, msg.sender);
-      auto to = static_cast<AgentId>(uniform_index(rng, n - 1));
-      if (to >= msg.sender) ++to;
+      const AgentId to = topo.recipient(rng, topo_key, msg.sender);
       mailbox_.offer(to, msg.sender, msg.bit,
                      acceptance_word(rng(), msg.bit, msg.sender));
     }

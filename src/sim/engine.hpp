@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/environment.hpp"
+#include "core/topology.hpp"
 #include "net/channel.hpp"
 #include "net/message.hpp"
 #include "sim/mailbox.hpp"
@@ -81,6 +82,13 @@ struct EngineOptions {
   /// accept (their accepted message is counted as dropped, and no kChannel
   /// draw is made for them). Identical semantics on every substrate.
   ChurnSpec churn{};
+  /// Interaction graph (core/topology.hpp). The default complete graph is
+  /// the zero-cost identity path: recipient draws are bit-for-bit the
+  /// historical uniform_index(n-1) formula. Sparse kinds restrict each
+  /// sender's recipient draw to its out-neighbor set, resolved against n
+  /// at run() time (throws std::invalid_argument if the family does not
+  /// fit the population). Identical neighbor sets on every substrate.
+  TopologySpec topology{};
 };
 
 /// Which simulation substrate a workload runs on. kBatch is the

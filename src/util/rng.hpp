@@ -168,9 +168,11 @@ enum class RngPurpose : std::uint64_t {
   kSubset = 3,    ///< phase-end per-agent draws (Stage II majority subset)
   kSetup = 4,     ///< per-agent scenario setup (desync wake offsets)
   kChurn = 5,     ///< per-agent join/sleep/wake transitions (environment)
-  // round_stream_key packs the purpose into 3 bits next to the round, so
-  // 7 is the last free purpose value.
   kEnvironment = 6,  ///< round-scoped environment draws (noise-burst lottery)
+  // round_stream_key packs the purpose into 3 bits next to the round;
+  // kTopology takes the last free value — the lane space is now full, and
+  // widening the packing would change every committed golden vector.
+  kTopology = 7,  ///< interaction-graph edges (small-world/dynamic rewiring)
 };
 
 /// The key shared by every agent's `purpose` stream in round `round`.

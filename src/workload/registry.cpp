@@ -45,6 +45,7 @@ BroadcastScenario broadcast_from(const ScenarioConfig& config) {
   scenario.shards = config.shards;
   scenario.schedule = config.schedule;
   scenario.churn = config.churn;
+  scenario.topology = config.topology;
   if (config.channel == kChannelAdversarial) {
     // Ablation budget: n/2 deterministic flips — the same order of
     // magnitude of extra flips the default burst schedule injects, but
@@ -52,7 +53,7 @@ BroadcastScenario broadcast_from(const ScenarioConfig& config) {
     scenario.adversarial_budget = config.n / 2;
   }
   if (scenario.schedule.enabled() || scenario.churn.enabled() ||
-      scenario.adversarial_budget > 0) {
+      !scenario.topology.complete() || scenario.adversarial_budget > 0) {
     scenario.probe_every = kDynamicProbeEvery;
   }
   return scenario;
@@ -111,32 +112,43 @@ void register_builtin(ScenarioRegistry& registry) {
     return info;
   };
 
+  // Marks a scenario whose factory plumbs a non-complete interaction graph
+  // through to the engines (the breathe families — broadcast / majority /
+  // boost; the desync protocols and baseline dynamics stay complete-only).
+  // `spec`, when given, becomes the entry's default topology
+  // (TopologySpec::parse grammar).
+  const auto topo = [](ScenarioInfo info, const char* spec = nullptr) {
+    info.supports_topology = true;
+    if (spec != nullptr) info.default_topology = TopologySpec::parse(spec);
+    return info;
+  };
+
   registry.add(
-      sur(env({"broadcast", "Section 2 noisy broadcast: the two-stage breathe protocol",
-       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true)),
+      topo(sur(env({"broadcast", "Section 2 noisy broadcast: the two-stage breathe protocol",
+       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true))),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      sur(env({"broadcast_small",
+      topo(sur(env({"broadcast_small",
        "CI-sized broadcast (seconds per trial even in Debug)", "broadcast",
-       256, 0.3, bsc_or_hetero}, true, true)),
+       256, 0.3, bsc_or_hetero}, true, true))),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      sur(env({"broadcast_large", "Broadcast at the sizes the scaling benches use",
-       "broadcast", 8192, 0.2, bsc_or_hetero}, true, true)),
+      topo(sur(env({"broadcast_large", "Broadcast at the sizes the scaling benches use",
+       "broadcast", 8192, 0.2, bsc_or_hetero}, true, true))),
       [](const ScenarioConfig& config) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
   registry.add(
-      sur(env({"broadcast_stage1",
+      topo(sur(env({"broadcast_stage1",
        "Stage I in isolation; success = every agent activated", "broadcast",
-       1024, 0.2, bsc_or_hetero}, true, true)),
+       1024, 0.2, bsc_or_hetero}, true, true))),
       [](const ScenarioConfig& config) {
         BroadcastScenario scenario = broadcast_from(config);
         scenario.stage1_only = true;
@@ -144,9 +156,9 @@ void register_builtin(ScenarioRegistry& registry) {
       });
 
   registry.add(
-      sur(env({"broadcast_variant_rules",
+      topo(sur(env({"broadcast_variant_rules",
        "Remarks 2.1/2.10 rule variants: first-message pick, prefix subset",
-       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true)),
+       "broadcast", 1024, 0.2, bsc_or_hetero}, true, true))),
       [](const ScenarioConfig& config) {
         BroadcastScenario scenario = broadcast_from(config);
         scenario.stage1_pick = Stage1Pick::kFirstMessage;
@@ -167,10 +179,10 @@ void register_builtin(ScenarioRegistry& registry) {
     EnvironmentSchedule ramp;
     ramp.segments.push_back(EpsSegment{0, 0, 0.35, 0.1});
     registry.add(
-        sur(env({"broadcast_eps_ramp",
+        topo(sur(env({"broadcast_eps_ramp",
          "Broadcast under a whole-run eps ramp 0.35 -> 0.1 (ends below the "
          "calibrated advantage)",
-         "broadcast", 1024, 0.2, bsc, ramp}, true, true)),
+         "broadcast", 1024, 0.2, bsc, ramp}, true, true))),
         [](const ScenarioConfig& config) {
           return broadcast_trial_fn(broadcast_from(config));
         });
@@ -186,10 +198,10 @@ void register_builtin(ScenarioRegistry& registry) {
     burst.burst_len = 16;
     burst.burst_eps = 0.02;
     registry.add(
-        sur(env({"broadcast_burst",
+        topo(sur(env({"broadcast_burst",
          "Broadcast with correlated noise bursts (8% of 16-round windows "
          "at eps 0.02)",
-         "broadcast", 1024, 0.2, bsc, burst}, true, true)),
+         "broadcast", 1024, 0.2, bsc, burst}, true, true))),
         [](const ScenarioConfig& config) {
           return broadcast_trial_fn(broadcast_from(config));
         });
@@ -219,9 +231,9 @@ void register_builtin(ScenarioRegistry& registry) {
     churn.sleep_prob = 0.005;
     churn.wake_prob = 0.1;
     registry.add(
-        sur(env({"broadcast_churn",
+        topo(sur(env({"broadcast_churn",
          "Broadcast with agent churn (sleep 0.005 / wake 0.1 per round)",
-         "broadcast", 1024, 0.2, bsc, EnvironmentSchedule{}, churn}, true, true)),
+         "broadcast", 1024, 0.2, bsc, EnvironmentSchedule{}, churn}, true, true))),
         [](const ScenarioConfig& config) {
           return broadcast_trial_fn(broadcast_from(config));
         });
@@ -232,10 +244,10 @@ void register_builtin(ScenarioRegistry& registry) {
     ChurnSpec join_churn = churn;
     join_churn.start_asleep = 0.25;
     registry.add(
-        sur(env({"majority_churn",
+        topo(sur(env({"majority_churn",
          "Majority-consensus with churn and 25% late joiners "
          "(start_asleep 0.25)",
-         "majority", 1024, 0.2, bsc, EnvironmentSchedule{}, join_churn}, true, true)),
+         "majority", 1024, 0.2, bsc, EnvironmentSchedule{}, join_churn}, true, true))),
         [](const ScenarioConfig& config) {
           MajorityScenario scenario;
           scenario.n = config.n;
@@ -246,6 +258,7 @@ void register_builtin(ScenarioRegistry& registry) {
           scenario.shards = config.shards;
           scenario.schedule = config.schedule;
           scenario.churn = config.churn;
+          scenario.topology = config.topology;
           scenario.probe_every = kDynamicProbeEvery;
           return majority_trial_fn(scenario);
         });
@@ -260,10 +273,46 @@ void register_builtin(ScenarioRegistry& registry) {
         return broadcast_trial_fn(broadcast_from(config));
       });
 
+  // --- sparse-topology scenarios (core/topology.hpp) --------------------
+  // The paper's open empirical question: where do the broadcast/majority
+  // noise thresholds sit when the interaction graph is NOT complete? Each
+  // entry presets one family at n = 1024 (the grid factors as 32 x 32);
+  // --topology overrides the family on any of the breathe entries above.
+  // All run the same counter-keyed streams, so batch == classic == any
+  // shard count, bit for bit.
+
   registry.add(
-      sur(env({"majority",
-       "Corollary 2.18 majority-consensus: |A| = n/16, majority-bias 0.25",
-       "majority", 1024, 0.2, bsc}, true, true)),
+      topo(env({"broadcast_ring_k8",
+       "Broadcast on the k = 8 ring: diameter n/8 dwarfs the O(log n) "
+       "stage budgets (locality stress case)",
+       "broadcast", 1024, 0.2, bsc}, true, true), "ring:8"),
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      topo(env({"broadcast_grid_r2",
+       "Broadcast on a 2-D torus, Chebyshev radius 2 (degree 24, diameter "
+       "~sqrt(n)/4)",
+       "broadcast", 1024, 0.2, bsc}, true, true), "grid:2"),
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      topo(env({"broadcast_smallworld",
+       "Broadcast on a Watts-Strogatz small world (k = 8, rewire p = 0.1): "
+       "shortcuts restore O(log n) diameter",
+       "broadcast", 1024, 0.2, bsc}, true, true), "smallworld:8:0.1"),
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      topo(env({"majority_smallworld",
+       "Majority-consensus on a Watts-Strogatz small world (k = 8, rewire "
+       "p = 0.1)",
+       "majority", 1024, 0.2, bsc}, true, true), "smallworld:8:0.1"),
       [](const ScenarioConfig& config) {
         MajorityScenario scenario;
         scenario.n = config.n;
@@ -274,22 +323,53 @@ void register_builtin(ScenarioRegistry& registry) {
         scenario.shards = config.shards;
         scenario.schedule = config.schedule;
         scenario.churn = config.churn;
-        if (scenario.schedule.enabled() || scenario.churn.enabled()) {
+        scenario.topology = config.topology;
+        scenario.probe_every = kDynamicProbeEvery;
+        return majority_trial_fn(scenario);
+      });
+
+  registry.add(
+      topo(env({"broadcast_dynamic_rewire",
+       "Broadcast on a per-round rewired k = 8 graph (p = 0.1 per edge per "
+       "round): the graph itself churns",
+       "broadcast", 1024, 0.2, bsc}, true, true), "dynamic:8:0.1"),
+      [](const ScenarioConfig& config) {
+        return broadcast_trial_fn(broadcast_from(config));
+      });
+
+  registry.add(
+      topo(sur(env({"majority",
+       "Corollary 2.18 majority-consensus: |A| = n/16, majority-bias 0.25",
+       "majority", 1024, 0.2, bsc}, true, true))),
+      [](const ScenarioConfig& config) {
+        MajorityScenario scenario;
+        scenario.n = config.n;
+        scenario.eps = config.eps;
+        scenario.initial_set = std::max<std::size_t>(64, config.n / 16);
+        scenario.majority_bias = 0.25;
+        scenario.engine = config.engine;
+        scenario.shards = config.shards;
+        scenario.schedule = config.schedule;
+        scenario.churn = config.churn;
+        scenario.topology = config.topology;
+        if (scenario.schedule.enabled() || scenario.churn.enabled() ||
+            !scenario.topology.complete()) {
           scenario.probe_every = kDynamicProbeEvery;
         }
         return majority_trial_fn(scenario);
       });
 
   registry.add(
-      sur({"boost",
+      topo(sur({"boost",
        "Stage II in isolation (Lemma 2.14): bias 0.02 boosted to consensus",
-       "boost", 4096, 0.25, bsc}),
+       "boost", 4096, 0.25, bsc})),
       [](const ScenarioConfig& config) {
         BoostScenario scenario;
         scenario.n = config.n;
         scenario.eps = config.eps;
         scenario.engine = config.engine;
         scenario.shards = config.shards;
+        scenario.topology = config.topology;
         return boost_trial_fn(scenario);
       });
 
@@ -491,12 +571,14 @@ void ScenarioRegistry::add(ScenarioInfo info, ScenarioFactory factory) {
   try {
     info.default_schedule.validate();
     info.default_churn.validate();
+    info.default_topology.validate();
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
                                 "': " + e.what());
   }
   if ((info.default_schedule.enabled() && !info.supports_schedule) ||
-      (info.default_churn.enabled() && !info.supports_churn)) {
+      (info.default_churn.enabled() && !info.supports_churn) ||
+      (!info.default_topology.complete() && !info.supports_topology)) {
     throw std::invalid_argument("ScenarioRegistry::add: '" + info.name +
                                 "' registers a dynamic default it does not "
                                 "declare support for");
@@ -567,8 +649,24 @@ ScenarioConfig ScenarioRegistry::resolve(std::string_view name,
     throw std::invalid_argument("scenario '" + entry.info.name +
                                 "' does not support agent churn");
   }
+  if (o.topology && !o.topology->complete() &&
+      !entry.info.supports_topology) {
+    throw std::invalid_argument(
+        "scenario '" + entry.info.name +
+        "' does not support a topology override (the breathe families — "
+        "broadcast/majority/boost entries — do)");
+  }
   config.schedule = o.schedule.value_or(entry.info.default_schedule);
   config.churn = o.churn.value_or(entry.info.default_churn);
+  config.topology = o.topology.value_or(entry.info.default_topology);
+  if (config.engine == EngineMode::kSurrogate &&
+      !config.topology.complete()) {
+    throw std::invalid_argument(
+        "scenario '" + entry.info.name +
+        "': the mean-field surrogate engine models the complete interaction "
+        "graph only, not topology '" + config.topology.describe() +
+        "'; use --engine batch or --engine classic");
+  }
   try {
     config.schedule.validate();
     config.churn.validate();
@@ -584,6 +682,15 @@ ScenarioConfig ScenarioRegistry::resolve(std::string_view name,
   if (config.n < 2) {
     throw std::invalid_argument("scenario '" + entry.info.name +
                                 "': n must be >= 2");
+  }
+  // n-dependent topology validation (k <= n - 2, grid factorization):
+  // resolve here so a bad (topology, n) pair fails before any trial runs,
+  // with the scenario named.
+  try {
+    (void)ResolvedTopology::resolve(config.topology, config.n);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("scenario '" + entry.info.name +
+                                "': " + e.what());
   }
   if (!(config.eps > 0.0) || config.eps > 0.5) {
     throw std::invalid_argument("scenario '" + entry.info.name +

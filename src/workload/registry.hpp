@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/environment.hpp"
+#include "core/topology.hpp"
 #include "sim/engine.hpp"
 #include "sim/trial.hpp"
 
@@ -38,12 +39,20 @@ struct ScenarioInfo {
   /// entries. Overridable per sweep via --schedule / --churn.
   EnvironmentSchedule default_schedule{};
   ChurnSpec default_churn{};
+  /// Interaction-graph default (core/topology.hpp): complete for the
+  /// classic scenarios, a preset sparse family for the topology entries.
+  /// Overridable per sweep via --topology on supporting scenarios.
+  TopologySpec default_topology{};
   /// Whether this scenario's factory honors a schedule / churn override.
   /// resolve() REJECTS an enabled override on a scenario that does not —
   /// silently running the static environment while reporting the override
   /// in the output params would mislabel the data.
   bool supports_schedule = false;
   bool supports_churn = false;
+  /// Whether the factory honors a non-complete topology override (the
+  /// breathe families — broadcast / majority / boost). Same rejection rule
+  /// as the schedule/churn flags.
+  bool supports_topology = false;
   /// Whether EngineMode::kSurrogate can model this scenario (the mean-field
   /// engine of sim/surrogate_engine.hpp covers the breathe families —
   /// broadcast / majority / boost — under BSC, heterogeneous, schedule and
@@ -70,6 +79,11 @@ struct ScenarioConfig {
   /// scenario's registered default otherwise. Validated by resolve().
   EnvironmentSchedule schedule{};
   ChurnSpec churn{};
+  /// Resolved interaction graph: the override when one was given, the
+  /// scenario's registered default otherwise. resolve() validates it
+  /// against n (and rejects non-complete graphs on the surrogate engine,
+  /// which has no sparse-graph rate model).
+  TopologySpec topology{};
 };
 
 /// Optional overrides for the registry's defaults (empty = default).
@@ -81,6 +95,7 @@ struct ScenarioOverrides {
   std::optional<std::size_t> shards;
   std::optional<EnvironmentSchedule> schedule;
   std::optional<ChurnSpec> churn;
+  std::optional<TopologySpec> topology;
 };
 
 /// Upper bound resolve() accepts for ScenarioConfig::shards: beyond this a

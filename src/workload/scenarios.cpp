@@ -95,6 +95,19 @@ BreatheConfig boost_breathe_config(const Params& params,
 // materializes an O(n) seed vector, which at the surrogate's n = 1e9 would
 // cost more memory than the whole analysis — the spec carries counts only.
 
+/// The mean-field rate equations assume every sender reaches every
+/// recipient with probability 1/(n-1): a sparse interaction graph has no
+/// homogeneous per-round rate, so the surrogate refuses it rather than
+/// silently integrating the wrong dynamics.
+void reject_sparse_topology(const TopologySpec& topology, const char* what) {
+  if (!topology.complete()) {
+    throw std::invalid_argument(
+        std::string(what) + ": the mean-field surrogate engine models the "
+        "complete interaction graph only, not topology '" +
+        topology.describe() + "'; use --engine batch or --engine classic");
+  }
+}
+
 SurrogateSpec broadcast_surrogate_spec(const BroadcastScenario& scenario) {
   if (scenario.adversarial_budget != 0) {
     throw std::invalid_argument(
@@ -102,6 +115,7 @@ SurrogateSpec broadcast_surrogate_spec(const BroadcastScenario& scenario) {
         "dependent — no per-round rate exists for the surrogate engine; "
         "use --engine batch or --engine classic");
   }
+  reject_sparse_topology(scenario.topology, "broadcast");
   SurrogateSpec spec;
   spec.n = scenario.n;
   spec.eps = scenario.eps;
@@ -123,6 +137,7 @@ SurrogateSpec majority_surrogate_spec(const MajorityScenario& scenario) {
   if (!(scenario.majority_bias > 0.0) || scenario.majority_bias > 0.5) {
     throw std::invalid_argument("run_majority: majority_bias not in (0, 0.5]");
   }
+  reject_sparse_topology(scenario.topology, "majority");
   SurrogateSpec spec;
   spec.n = scenario.n;
   spec.eps = scenario.eps;
@@ -142,6 +157,7 @@ SurrogateSpec boost_surrogate_spec(const BoostScenario& scenario) {
   if (!(scenario.initial_bias > 0.0) || scenario.initial_bias > 0.5) {
     throw std::invalid_argument("run_boost: initial_bias not in (0, 0.5]");
   }
+  reject_sparse_topology(scenario.topology, "boost");
   SurrogateSpec spec;
   spec.n = scenario.n;
   spec.eps = scenario.eps;
@@ -184,6 +200,8 @@ struct BreatheEnvironment {
   bool heterogeneous = false;
   EnvironmentSchedule schedule{};
   ChurnSpec churn{};
+  /// Interaction graph; orthogonal to the channel choice, like churn.
+  TopologySpec topology{};
   std::uint64_t adversarial_budget = 0;
 };
 
@@ -221,6 +239,7 @@ RunDetail run_breathe_scenario(const Params& params,
   EngineOptions options;
   options.probe_every = probe_every;
   options.churn = env.churn;
+  options.topology = env.topology;
   const Round budget =
       BatchEngine::breathe_schedule(params, config, stage1_only).budget;
   // Anchor open-ended schedule segments ("ramp over the whole run") to the
@@ -309,6 +328,7 @@ RunDetail run_broadcast(const BroadcastScenario& scenario, std::uint64_t seed,
   env.heterogeneous = scenario.heterogeneous_noise;
   env.schedule = scenario.schedule;
   env.churn = scenario.churn;
+  env.topology = scenario.topology;
   env.adversarial_budget = scenario.adversarial_budget;
   RunDetail detail = run_breathe_scenario(
       params, broadcast_breathe_config(scenario), scenario.eps, env,
@@ -331,6 +351,7 @@ RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
   BreatheEnvironment env;
   env.schedule = scenario.schedule;
   env.churn = scenario.churn;
+  env.topology = scenario.topology;
   return run_breathe_scenario(
       params, majority_breathe_config(params, scenario), scenario.eps, env,
       scenario.engine, scenario.shards,
@@ -340,9 +361,11 @@ RunDetail run_majority(const MajorityScenario& scenario, std::uint64_t seed,
 RunDetail run_boost(const BoostScenario& scenario, std::uint64_t seed,
                     std::size_t trial) {
   const Params params = boost_params(scenario);
+  BreatheEnvironment env;
+  env.topology = scenario.topology;
   return run_breathe_scenario(
-      params, boost_breathe_config(params, scenario), scenario.eps,
-      BreatheEnvironment{}, scenario.engine, scenario.shards,
+      params, boost_breathe_config(params, scenario), scenario.eps, env,
+      scenario.engine, scenario.shards,
       /*stage1_only=*/false, /*probe_every=*/0, seed, trial);
 }
 

@@ -19,6 +19,7 @@
 #include "core/desync.hpp"
 #include "core/environment.hpp"
 #include "core/params.hpp"
+#include "core/topology.hpp"
 #include "sim/metrics.hpp"
 #include "sim/trial.hpp"
 
@@ -55,6 +56,12 @@ struct BroadcastScenario {
   /// default to the paper's static environment.
   EnvironmentSchedule schedule{};
   ChurnSpec churn{};
+  /// Interaction graph (core/topology.hpp): complete by default — the
+  /// paper's uniform push. Sparse families restrict each sender's
+  /// recipient draw to its neighbor set, resolved against n when the run
+  /// starts. The surrogate engine models the complete graph only and
+  /// rejects everything else.
+  TopologySpec topology{};
   /// Ablation vs the stochastic schedules: > 0 replaces the channel with a
   /// budget-bounded AdversarialChannel (deterministic early flips). The
   /// adversary is stateful/order-dependent, so these runs always use the
@@ -79,6 +86,8 @@ struct MajorityScenario {
   /// Dynamic environment, as in BroadcastScenario.
   EnvironmentSchedule schedule{};
   ChurnSpec churn{};
+  /// Interaction graph, as in BroadcastScenario.
+  TopologySpec topology{};
 };
 
 /// Stage II in isolation (Lemma 2.14 / bench E7): the whole population is
@@ -91,6 +100,8 @@ struct BoostScenario {
   Opinion correct = Opinion::kOne;
   EngineMode engine = EngineMode::kBatch;
   std::size_t shards = 1;
+  /// Interaction graph, as in BroadcastScenario.
+  TopologySpec topology{};
 };
 
 /// Section 3 broadcast without a global clock.

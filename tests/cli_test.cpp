@@ -238,7 +238,8 @@ TEST(ReportTest, SweepJsonGolden) {
       "        \"eps\": 0.25,\n"
       "        \"channel\": \"bsc\",\n"
       "        \"schedule\": \"static\",\n"
-      "        \"churn\": \"none\"\n"
+      "        \"churn\": \"none\",\n"
+      "        \"topology\": \"complete\"\n"
       "      },\n"
       "      \"trials\": 2,\n"
       "      \"successes\": 1,\n"
@@ -289,11 +290,13 @@ TEST(ReportTest, SweepJsonGolden) {
 
 TEST(ReportTest, SweepCsvGolden) {
   const std::string expected =
-      "scenario,n,eps,channel,schedule,churn,trials,successes,success_rate,"
+      "scenario,n,eps,channel,schedule,churn,topology,trials,successes,"
+      "success_rate,"
       "success_low,success_high,rounds_mean,rounds_stddev,rounds_min,"
       "rounds_max,messages_mean,messages_stddev,correct_fraction_mean,"
       "convergence_mean,converged,wall_seconds\n"
-      "demo,64,0.25,bsc,static,none,2,1,0.5,0.125,0.875,1100,0,1100,1100,"
+      "demo,64,0.25,bsc,static,none,complete,2,1,0.5,0.125,0.875,1100,0,"
+      "1100,1100,"
       "500,0,1,null,0,1.5\n";
   EXPECT_EQ(sweep_to_csv(known_result()), expected);
 }
@@ -399,6 +402,101 @@ TEST(ValidateEngineTest, UnknownScenarioFailsAtTheArgumentLayer) {
   ASSERT_TRUE(error.has_value());
   EXPECT_NE(error->find("no_such_thing"), std::string::npos);
   EXPECT_NE(error->find("--list"), std::string::npos);  // points at help
+}
+
+TEST(ValidateTopologyTest, CompleteAndUnsetPassEverywhere) {
+  for (const ScenarioInfo* info : ScenarioRegistry::instance().list()) {
+    EXPECT_EQ(validate_topology(info->name, std::nullopt, EngineMode::kBatch),
+              std::nullopt)
+        << info->name;
+    EXPECT_EQ(validate_topology(info->name, TopologySpec{},
+                                EngineMode::kBatch),
+              std::nullopt)
+        << info->name;
+  }
+}
+
+TEST(ValidateTopologyTest, SparseAcceptedExactlyOnSupportingEntries) {
+  const TopologySpec ring = TopologySpec::parse("ring:8");
+  for (const ScenarioInfo* info : ScenarioRegistry::instance().list()) {
+    const auto error =
+        validate_topology(info->name, ring, EngineMode::kBatch);
+    if (info->supports_topology) {
+      EXPECT_EQ(error, std::nullopt) << info->name;
+    } else {
+      ASSERT_TRUE(error.has_value()) << info->name;
+      EXPECT_NE(error->find(info->name), std::string::npos) << *error;
+    }
+  }
+  // The rejection set is exactly the non-breathe families.
+  EXPECT_TRUE(validate_topology("desync", ring, EngineMode::kBatch)
+                  .has_value());
+  EXPECT_TRUE(validate_topology("baseline_voter", ring, EngineMode::kBatch)
+                  .has_value());
+  EXPECT_EQ(validate_topology("broadcast", ring, EngineMode::kBatch),
+            std::nullopt);
+}
+
+TEST(ValidateTopologyTest, SurrogateRejectsAnyEffectiveSparseGraph) {
+  // Explicit override under the surrogate engine: rejected, naming the
+  // scenario, the topology, and the engines that DO work.
+  const auto error = validate_topology(
+      "broadcast", TopologySpec::parse("ring:8"), EngineMode::kSurrogate);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("broadcast"), std::string::npos) << *error;
+  EXPECT_NE(error->find("ring(k=8)"), std::string::npos) << *error;
+  EXPECT_NE(error->find("--engine batch"), std::string::npos) << *error;
+  EXPECT_NE(error->find("--engine classic"), std::string::npos) << *error;
+  // No override, but the scenario's DEFAULT is sparse: still rejected —
+  // the effective graph is what matters, not the command line.
+  EXPECT_TRUE(validate_topology("broadcast_ring_k8", std::nullopt,
+                                EngineMode::kSurrogate)
+                  .has_value());
+  // Overriding a sparse-default entry back to complete makes the
+  // surrogate legal again.
+  EXPECT_EQ(validate_topology("broadcast_ring_k8", TopologySpec{},
+                              EngineMode::kSurrogate),
+            std::nullopt);
+  EXPECT_EQ(validate_topology("broadcast", std::nullopt,
+                              EngineMode::kSurrogate),
+            std::nullopt);
+}
+
+TEST(ValidateTopologyTest, UnknownScenarioFailsAtTheArgumentLayer) {
+  const auto error =
+      validate_topology("no_such_thing", std::nullopt, EngineMode::kBatch);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("no_such_thing"), std::string::npos);
+  EXPECT_NE(error->find("--list"), std::string::npos);
+}
+
+TEST(SweepTest, TopologyOverrideReachesEveryGridPoint) {
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.ns = {64, 128};
+  spec.topology = TopologySpec::parse("ring:8");
+  const auto grid = expand_grid(spec);
+  ASSERT_EQ(grid.size(), 2u);
+  for (const ScenarioConfig& config : grid) {
+    EXPECT_EQ(config.topology.describe(), "ring(k=8)");
+  }
+  // Without an override the scenario default flows through instead.
+  SweepSpec preset;
+  preset.scenario = "broadcast_ring_k8";
+  const auto preset_grid = expand_grid(preset);
+  ASSERT_EQ(preset_grid.size(), 1u);
+  EXPECT_EQ(preset_grid[0].topology.describe(), "ring(k=8)");
+}
+
+TEST(SweepTest, TopologyTooLargeForGridFailsBeforeRunning) {
+  // resolve() checks the graph against n: a ring needing more neighbors
+  // than the population has peers must fail at expand_grid time, not
+  // minutes into the sweep.
+  SweepSpec spec;
+  spec.scenario = "broadcast_small";
+  spec.ns = {64};
+  spec.topology = TopologySpec::parse("ring:64");
+  EXPECT_THROW(expand_grid(spec), std::invalid_argument);
 }
 
 TEST(ReportTest, PointKeyIsStable) {

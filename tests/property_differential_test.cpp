@@ -41,6 +41,7 @@
 
 #include "cli/sweep.hpp"
 #include "core/environment.hpp"
+#include "core/topology.hpp"
 #include "sim/trial.hpp"
 #include "support/proptest.hpp"
 #include "util/rng.hpp"
@@ -106,9 +107,45 @@ ChurnSpec random_churn(proptest::Gen& gen) {
   return churn;
 }
 
+/// A random valid topology spec across every family, sized so it resolves
+/// against any n >= 64 (ring/rewired degrees stay <= 16; grid radius <= 2
+/// paired with the grid-friendly n set below).
+TopologySpec random_topology(proptest::Gen& gen) {
+  TopologySpec spec;
+  switch (gen.range(0, 4)) {
+    case 0:
+      break;  // complete: the identity path must stay in the mix
+    case 1:
+      spec.kind = TopologyKind::kRing;
+      spec.k = 2 * static_cast<std::size_t>(gen.range(1, 8));
+      break;
+    case 2:
+      spec.kind = TopologyKind::kGrid;
+      spec.radius = static_cast<std::size_t>(gen.range(1, 2));
+      break;
+    case 3:
+      spec.kind = TopologyKind::kSmallWorld;
+      spec.k = 2 * static_cast<std::size_t>(gen.range(1, 8));
+      spec.rewire_prob = gen.real(0.0, 0.5);
+      break;
+    default:
+      spec.kind = TopologyKind::kDynamic;
+      spec.k = 2 * static_cast<std::size_t>(gen.range(1, 8));
+      spec.rewire_prob = gen.real(0.05, 0.5);
+      break;
+  }
+  spec.validate();
+  return spec;
+}
+
 /// A random configuration against one registry entry: small n, random
-/// shard count, and (where the scenario supports them) a random schedule
-/// and churn spec. `overrides.engine` is left for the caller.
+/// shard count, and (where the scenario supports them) a random schedule,
+/// churn spec, and topology. `overrides.engine` is left for the caller.
+/// The n draw respects the EFFECTIVE topology (the override when one is
+/// drawn, the entry's default otherwise — the preset topology entries are
+/// sparse with no override at all): a torus needs n with two divisors of
+/// at least 2*radius + 1 each, so grid configs draw from a friendly set
+/// instead of failing resolve() on a prime n.
 ScenarioOverrides random_overrides(proptest::Gen& gen,
                                    const ScenarioInfo& info) {
   ScenarioOverrides overrides;
@@ -118,6 +155,16 @@ ScenarioOverrides random_overrides(proptest::Gen& gen,
   }
   if (info.supports_churn && gen.chance(0.3)) {
     overrides.churn = random_churn(gen);
+  }
+  TopologySpec effective = info.default_topology;
+  if (info.supports_topology && gen.chance(0.5)) {
+    effective = random_topology(gen);
+    overrides.topology = effective;
+  }
+  if (effective.kind == TopologyKind::kGrid) {
+    overrides.n = static_cast<std::size_t>(gen.pick(
+        {std::uint64_t{64}, std::uint64_t{100}, std::uint64_t{128},
+         std::uint64_t{144}, std::uint64_t{196}, std::uint64_t{256}}));
   }
   return overrides;
 }
@@ -154,7 +201,10 @@ TEST(PropertyDifferentialTest, RandomConfigSubstrateAndShardEquality) {
             info.name + " n=" + std::to_string(*batch_overrides.n) +
             " shards=" + std::to_string(*sharded_overrides.shards) +
             (batch_overrides.schedule ? " +schedule" : "") +
-            (batch_overrides.churn ? " +churn" : "");
+            (batch_overrides.churn ? " +churn" : "") +
+            (batch_overrides.topology
+                 ? " topo=" + batch_overrides.topology->describe()
+                 : "");
         expect_outcome_eq(classic, batch, what + " (classic vs batch)");
         expect_outcome_eq(batch, sharded, what + " (batch vs sharded)");
       });
@@ -198,9 +248,13 @@ TEST(PropertyDifferentialTest, TrialSummaryIndependentOfThreadCount) {
 TEST(PropertyDifferentialTest, MessageConservationUnderRandomEnvironments) {
   const ScenarioRegistry& registry = ScenarioRegistry::instance();
   const std::vector<std::string> names = {
-      "broadcast",          "broadcast_small", "broadcast_churn",
-      "broadcast_eps_ramp", "broadcast_burst", "majority",
-      "majority_churn",     "boost"};
+      "broadcast",          "broadcast_small",
+      "broadcast_churn",    "broadcast_eps_ramp",
+      "broadcast_burst",    "majority",
+      "majority_churn",     "boost",
+      "broadcast_ring_k8",  "broadcast_grid_r2",
+      "broadcast_smallworld", "majority_smallworld",
+      "broadcast_dynamic_rewire"};
   for (const std::string& name : names) {
     ASSERT_TRUE(registry.contains(name)) << name;
   }
@@ -215,7 +269,9 @@ TEST(PropertyDifferentialTest, MessageConservationUnderRandomEnvironments) {
         const std::string what =
             name + " n=" + std::to_string(*overrides.n) +
             (overrides.schedule ? " +schedule" : "") +
-            (overrides.churn ? " +churn" : "");
+            (overrides.churn ? " +churn" : "") +
+            (overrides.topology ? " topo=" + overrides.topology->describe()
+                                : "");
         const std::uint64_t accounted =
             outcome.delivered + outcome.dropped + outcome.erased;
         EXPECT_EQ(outcome.messages, static_cast<double>(accounted)) << what;
@@ -263,7 +319,7 @@ TEST(PropertyDifferentialTest, MoreChannelNoiseNeverHelps) {
       << "heaviest noise outperformed the calibrated channel";
 }
 
-// Invariant 5: the seven purpose lanes of the counter-keyed RNG never
+// Invariant 5: the eight purpose lanes of the counter-keyed RNG never
 // collide — across purposes at one (trial, round), across rounds, and
 // across trials — in either the derived StreamKey or the first word agents
 // actually draw. A collision would mean two unrelated code paths silently
@@ -272,7 +328,7 @@ TEST(PropertyDifferentialTest, RngPurposeLanesAreDisjoint) {
   constexpr RngPurpose kPurposes[] = {
       RngPurpose::kRoute,  RngPurpose::kChannel, RngPurpose::kProtocol,
       RngPurpose::kSubset, RngPurpose::kSetup,   RngPurpose::kChurn,
-      RngPurpose::kEnvironment};
+      RngPurpose::kEnvironment, RngPurpose::kTopology};
   std::set<std::pair<std::uint64_t, std::uint64_t>> keys;
   std::set<std::uint64_t> first_words;
   std::size_t streams = 0;
@@ -307,7 +363,7 @@ TEST(PropertyDifferentialTest, RoundStreamKeyPackingIsInjective) {
   std::set<std::pair<std::uint64_t, std::uint64_t>> keys;
   std::size_t expected = 0;
   for (std::uint64_t round = 0; round < 64; ++round) {
-    for (std::uint64_t purpose = 0; purpose < 7; ++purpose) {
+    for (std::uint64_t purpose = 0; purpose < 8; ++purpose) {
       const StreamKey key = round_stream_key(
           trial_key, static_cast<RngPurpose>(purpose), round);
       keys.emplace(key.hi, key.lo);
@@ -337,6 +393,9 @@ TEST(PropertyDifferentialTest, SurrogateStaysWithinErrorBandOfBatch) {
         const ScenarioInfo& info = *gen.pick_from(supported);
         ScenarioOverrides overrides = random_overrides(gen, info);
         overrides.n = gen.range(128, 320);
+        // The surrogate models the complete graph only (resolve() rejects
+        // anything else); pin the override so both sides run comparable.
+        overrides.topology = TopologySpec{};
 
         overrides.engine = EngineMode::kBatch;
         TrialOptions options;

@@ -115,6 +115,111 @@ TEST(RegistryTest, DynamicEnvironmentDefaultsResolveAndOverride) {
   EXPECT_NO_THROW(registry.resolve("desync", schedule_override));
 }
 
+TEST(RegistryTest, TopologyDefaultsResolveAndOverride) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+
+  // The preset sparse entries carry their graph family as the default...
+  EXPECT_EQ(registry.resolve("broadcast_ring_k8", {}).topology.describe(),
+            "ring(k=8)");
+  EXPECT_EQ(registry.resolve("broadcast_grid_r2", {}).topology.describe(),
+            "grid(r=2)");
+  EXPECT_EQ(registry.resolve("broadcast_smallworld", {}).topology.kind,
+            TopologyKind::kSmallWorld);
+  EXPECT_EQ(registry.resolve("majority_smallworld", {}).topology.kind,
+            TopologyKind::kSmallWorld);
+  EXPECT_EQ(registry.resolve("broadcast_dynamic_rewire", {}).topology.kind,
+            TopologyKind::kDynamic);
+
+  // ...the classic entries stay complete...
+  EXPECT_TRUE(registry.resolve("broadcast", {}).topology.complete());
+  EXPECT_TRUE(registry.resolve("majority", {}).topology.complete());
+
+  // ...an explicit override replaces the preset wholesale...
+  ScenarioOverrides to_grid;
+  to_grid.topology = TopologySpec::parse("grid:1");
+  EXPECT_EQ(registry.resolve("broadcast", to_grid).topology.describe(),
+            "grid(r=1)");
+  ScenarioOverrides to_complete;
+  to_complete.topology = TopologySpec{};
+  EXPECT_TRUE(registry.resolve("broadcast_ring_k8", to_complete)
+                  .topology.complete());
+
+  // ...scenarios whose factories ignore the graph reject sparse overrides
+  // (running the complete graph while reporting "ring" in the output
+  // params would mislabel the data); a complete override is the default
+  // behavior and passes everywhere...
+  ScenarioOverrides sparse;
+  sparse.topology = TopologySpec::parse("ring:8");
+  EXPECT_THROW(registry.resolve("desync", sparse), std::invalid_argument);
+  EXPECT_THROW(registry.resolve("baseline_voter", sparse),
+               std::invalid_argument);
+  EXPECT_THROW(registry.resolve("broadcast_adversarial", sparse),
+               std::invalid_argument);
+  EXPECT_NO_THROW(registry.resolve("broadcast", sparse));
+  EXPECT_NO_THROW(registry.resolve("boost", sparse));
+  EXPECT_NO_THROW(registry.resolve("desync", to_complete));
+
+  // ...the surrogate engine rejects any effective sparse graph with an
+  // actionable message naming the scenario and the topology...
+  ScenarioOverrides sparse_surrogate = sparse;
+  sparse_surrogate.engine = EngineMode::kSurrogate;
+  try {
+    const ScenarioConfig config =
+        registry.resolve("broadcast", sparse_surrogate);
+    FAIL() << "surrogate accepted a sparse graph: "
+           << config.topology.describe();
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("broadcast"), std::string::npos) << what;
+    EXPECT_NE(what.find("ring(k=8)"), std::string::npos) << what;
+    EXPECT_NE(what.find("--engine batch"), std::string::npos) << what;
+  }
+
+  // ...and a graph that does not fit n fails resolve() up front, naming
+  // the scenario (a ring needs n >= k + 2; a torus needs a factorization
+  // with both sides >= 2*radius + 1).
+  ScenarioOverrides tight;
+  tight.n = 8;
+  tight.topology = TopologySpec::parse("ring:8");
+  EXPECT_THROW(registry.resolve("broadcast", tight), std::invalid_argument);
+  ScenarioOverrides prime;
+  prime.n = 127;  // prime: no 2-D factorization at all
+  EXPECT_THROW(registry.resolve("broadcast_grid_r2", prime),
+               std::invalid_argument);
+}
+
+// The new sparse-topology entries run end to end on BOTH substrates with a
+// shard fan-out, and the three executions agree bit-for-bit — the
+// registry-level statement of the acceptance bar (the differential suite
+// drives the same invariant over random configs).
+TEST(RegistryTest, TopologyEntriesRunBitEqualAcrossSubstratesAndShards) {
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  for (const char* name :
+       {"broadcast_ring_k8", "broadcast_grid_r2", "broadcast_smallworld",
+        "majority_smallworld", "broadcast_dynamic_rewire"}) {
+    ScenarioOverrides overrides;
+    overrides.n = 128;
+    overrides.engine = EngineMode::kBatch;
+    const TrialOutcome batch = registry.make(name, overrides)(0xF00D, 0);
+    overrides.engine = EngineMode::kClassic;
+    const TrialOutcome classic = registry.make(name, overrides)(0xF00D, 0);
+    overrides.engine = EngineMode::kBatch;
+    overrides.shards = 8;
+    const TrialOutcome sharded = registry.make(name, overrides)(0xF00D, 0);
+    for (const TrialOutcome* other : {&classic, &sharded}) {
+      EXPECT_EQ(batch.success, other->success) << name;
+      EXPECT_EQ(batch.rounds, other->rounds) << name;
+      EXPECT_EQ(batch.messages, other->messages) << name;
+      EXPECT_EQ(batch.correct_fraction, other->correct_fraction) << name;
+      EXPECT_EQ(batch.delivered, other->delivered) << name;
+      EXPECT_EQ(batch.dropped, other->dropped) << name;
+      EXPECT_EQ(batch.erased, other->erased) << name;
+      EXPECT_EQ(batch.flipped, other->flipped) << name;
+    }
+    EXPECT_GT(batch.messages, 0.0) << name;
+  }
+}
+
 TEST(RegistryTest, ResolveAppliesDefaultsAndOverrides) {
   const ScenarioRegistry& registry = ScenarioRegistry::instance();
   const ScenarioConfig defaults =

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/environment.hpp"  // kChurnInitRound
+#include "core/topology.hpp"     // kTopologyStaticRound, kTopologyEdgeStride
 #include "simd/simd.hpp"
 
 namespace flip {
@@ -246,6 +247,42 @@ TEST(CounterRngTest, EnvironmentKeyGoldenVectors) {
   EXPECT_EQ(init_agent3(), 0x111d6d3f27aea08eULL);
 }
 
+// The topology lane added for the interaction-graph layer: per-round keys
+// for the dynamic rewiring, the kTopologyStaticRound sentinel for the
+// once-per-trial small-world graph, and the per-edge streams (edge j of
+// agent a = counter a * kTopologyEdgeStride + j). Pinned like the other
+// lanes — a drift here silently rewires every sparse-topology scenario.
+TEST(CounterRngTest, TopologyKeyGoldenVectors) {
+  constexpr StreamKey tk = trial_stream_key(0x5eed, 0);
+
+  // Dynamic rewiring: round-keyed like route/channel.
+  constexpr StreamKey topo0 =
+      round_stream_key(tk, RngPurpose::kTopology, 0);
+  EXPECT_EQ(topo0.hi, 0xe5df7ff6742246adULL);
+  EXPECT_EQ(topo0.lo, 0xb08e0c312951eb27ULL);
+  CounterRng dyn_edge0(topo0, 0);
+  EXPECT_EQ(dyn_edge0(), 0x29b8a8509aa0a57aULL);
+
+  // Static small-world graph: keyed by the sentinel pseudo-round.
+  constexpr StreamKey stat =
+      round_stream_key(tk, RngPurpose::kTopology, kTopologyStaticRound);
+  EXPECT_EQ(stat.hi, 0x54098e77fd434322ULL);
+  EXPECT_EQ(stat.lo, 0x434ee3bc5fc7e947ULL);
+  CounterRng edge(stat, 3 * kTopologyEdgeStride + 5);  // agent 3, edge 5
+  EXPECT_EQ(edge(), 0x905a59037b6fccb6ULL);
+  EXPECT_EQ(edge(), 0x551624062dfb78dfULL);
+
+  // kChurnInitRound and kTopologyStaticRound share the same sentinel
+  // VALUE; the 3 purpose bits must still keep the lanes apart (the churn
+  // key here is the one pinned in EnvironmentKeyGoldenVectors).
+  static_assert(kChurnInitRound == kTopologyStaticRound);
+  constexpr StreamKey churn_stat =
+      round_stream_key(tk, RngPurpose::kChurn, kTopologyStaticRound);
+  EXPECT_EQ(churn_stat.hi, 0xbd61fc3cd2dc15ddULL);
+  EXPECT_NE(stat.hi, churn_stat.hi);
+  EXPECT_NE(stat.lo, churn_stat.lo);
+}
+
 TEST(CounterRngTest, StreamsAreStatelessAndReplayable) {
   const StreamKey tk = trial_stream_key(123, 45);
   const StreamKey rk = round_stream_key(tk, RngPurpose::kProtocol, 678);
@@ -268,13 +305,16 @@ TEST(CounterRngTest, PurposesAndAgentsAndRoundsSeparateStreams) {
   EXPECT_NE(w, by_round());
   EXPECT_NE(w, by_agent());
 
-  // The environment lanes are their own streams too.
+  // The environment and topology lanes are their own streams too.
   const StreamKey churn = round_stream_key(tk, RngPurpose::kChurn, 5);
   const StreamKey env = round_stream_key(tk, RngPurpose::kEnvironment, 5);
+  const StreamKey topo = round_stream_key(tk, RngPurpose::kTopology, 5);
   CounterRng by_churn(churn, 3);
   CounterRng by_env(env, 3);
+  CounterRng by_topo(topo, 3);
   EXPECT_NE(w, by_churn());
   EXPECT_NE(w, by_env());
+  EXPECT_NE(w, by_topo());
 }
 
 TEST(CounterRngTest, WordsAreApproximatelyUniform) {

@@ -127,6 +127,39 @@ TEST(SimdDifferentialTest, EveryRunnableIsaMatchesScalar) {
   }
 }
 
+// Sparse-topology entries route through GraphRecipient, for which no vector
+// kernel exists: the engine must fall back to the scalar route (deliver
+// still vectorizes — it is topology-blind), so forcing the best vector set
+// and forcing scalar MUST agree bit-for-bit. This pins the use_simd gate in
+// route_dispatch: a kernel-set that silently kept the complete-graph
+// draw-bound on a sparse graph would diverge here immediately.
+TEST(SimdDifferentialTest, SparseTopologyEntriesMatchScalar) {
+  FLIP_REQUIRE_VECTOR_KERNELS();
+  IsaGuard guard;
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  for (const char* name :
+       {"broadcast_ring_k8", "broadcast_grid_r2", "broadcast_smallworld",
+        "majority_smallworld", "broadcast_dynamic_rewire"}) {
+    ASSERT_TRUE(registry.contains(name)) << name;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+      ScenarioOverrides overrides;
+      overrides.n = 256;
+      overrides.shards = shards;
+      const TrialFn fn = registry.make(name, overrides);
+      for (std::size_t trial = 0; trial < 2; ++trial) {
+        const TrialOutcome scalar =
+            run_forced(fn, simd::Isa::kScalar, 0x5eed, trial);
+        const TrialOutcome vector =
+            run_forced(fn, simd::best_isa(), 0x5eed, trial);
+        expect_outcome_eq(scalar, vector,
+                          std::string(name) + " trial " +
+                              std::to_string(trial) + " shards " +
+                              std::to_string(shards));
+      }
+    }
+  }
+}
+
 // A population large enough that every round runs many full vector blocks
 // plus a ragged tail through both hot phases (route + stage-2 deliver with
 // the BSC integer threshold) — small-n registry runs keep blocks short, so

@@ -207,9 +207,9 @@ TEST(SimdKernelsTest, RouteCombineSimdMatchesScalarLoop) {
         };
         const auto scalar = [&]<bool kChurn>(std::uint64_t* slot,
                                              AgentId* touched) {
-          return detail::route_combine<kChurn>(send.data(), nsend, n - 1,
-                                               rkey, awake.data(), slot,
-                                               touched);
+          return detail::route_combine<kChurn>(
+              send.data(), nsend, detail::CompleteRecipient{n - 1}, rkey,
+              awake.data(), slot, touched);
         };
         const auto simd_fn = [&]<bool kChurn>(std::uint64_t* slot,
                                               AgentId* touched) {

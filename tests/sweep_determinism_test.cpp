@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "cli/report.hpp"
 #include "cli/sweep.hpp"
 
 namespace flip::cli {
@@ -126,6 +127,65 @@ TEST(SweepDeterminismTest, DynamicScenariosAgreeAcrossTheMatrix) {
     spec.engine = EngineMode::kClassic;
     expect_points_eq(reference, run_sweep(spec));
   }
+}
+
+// The sparse-topology scenarios run through the same contract: every
+// preset graph family (including the per-round dynamic rewiring and the
+// churn+smallworld combination) agrees exactly across the threads x shards
+// matrix and the substrate A/B.
+TEST(SweepDeterminismTest, TopologyScenariosAgreeAcrossTheMatrix) {
+  for (const char* scenario_name :
+       {"broadcast_ring_k8", "broadcast_grid_r2", "broadcast_smallworld",
+        "majority_smallworld", "broadcast_dynamic_rewire"}) {
+    SweepSpec spec;
+    spec.scenario = scenario_name;
+    spec.ns = {128};
+    spec.trials = 4;
+    spec.threads = 1;
+    spec.shards = 1;
+    const SweepResult reference = run_sweep(spec);
+    SCOPED_TRACE(scenario_name);
+
+    spec.threads = 8;
+    spec.shards = 8;
+    expect_points_eq(reference, run_sweep(spec));
+
+    spec.threads = 1;
+    spec.shards = 1;
+    spec.engine = EngineMode::kClassic;
+    expect_points_eq(reference, run_sweep(spec));
+  }
+}
+
+// The acceptance bar for the topology layer: a --topology ring override on
+// broadcast_ring_k8 renders BYTE-stable flipsim-sweep-v1 JSON across
+// --threads {1,8}. Wall-clock fields are the only nondeterministic outputs
+// (they are measurements, not results), so they are zeroed on both sides;
+// every remaining byte — params, counters, statistics — must agree.
+TEST(SweepDeterminismTest, TopologySweepJsonIsByteStableAcrossThreads) {
+  SweepSpec spec;
+  spec.scenario = "broadcast_ring_k8";
+  spec.topology = TopologySpec::parse("ring");
+  spec.ns = {256};
+  spec.trials = 6;
+  spec.threads = 1;
+  SweepResult serial = run_sweep(spec);
+  spec.threads = 8;
+  SweepResult parallel = run_sweep(spec);
+  const auto normalize = [](SweepResult& result) {
+    result.wall_seconds = 0.0;
+    result.spec.threads = 0;  // 1 vs 8 by construction; not a result
+    for (SweepPoint& point : result.points) {
+      point.summary.wall_seconds = 0.0;
+      point.summary.trial_seconds = {};
+    }
+  };
+  normalize(serial);
+  normalize(parallel);
+  const std::string a = sweep_to_json(serial);
+  EXPECT_EQ(a, sweep_to_json(parallel));
+  // The rendered params name the effective graph.
+  EXPECT_NE(a.find("\"topology\": \"ring(k=8)\""), std::string::npos) << a;
 }
 
 // Shards must also commute with the substrate A/B: a sharded batch sweep

@@ -43,6 +43,7 @@ struct CliFlags {
   std::string engine = "batch";
   std::string schedule;
   std::string churn;
+  std::string topology;
   bool validate_surrogate = false;
   bool json = false;
   std::string json_path;  // empty with json=true -> stdout
@@ -156,6 +157,11 @@ int main(int argc, char** argv) {
                     "agent churn override: SLEEP:WAKE[:START_ASLEEP] "
                     "per-round probabilities",
                     &flags.churn);
+  parser.add_option("--topology", "spec",
+                    "interaction-graph override: complete | ring[:K] | "
+                    "grid[:RADIUS] | smallworld[:K[:PROB]] | "
+                    "dynamic[:K[:PROB]]",
+                    &flags.topology);
   parser.add_flag("--validate-surrogate",
                   "run the surrogate-vs-batch error-band harness instead of "
                   "a sweep (--scenario optional: default is every supported "
@@ -280,6 +286,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!flags.topology.empty()) {
+    try {
+      spec.topology = flip::TopologySpec::parse(flags.topology);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: --topology: " << e.what() << "\n";
+      return 2;
+    }
+  }
   if (const auto mode = flip::parse_engine_mode(flags.engine)) {
     spec.engine = *mode;
   } else {
@@ -294,6 +308,14 @@ int main(int argc, char** argv) {
     if (const auto engine_error =
             flip::cli::validate_engine(flags.scenario, spec.engine)) {
       std::cerr << "error: " << *engine_error << "\n";
+      return 2;
+    }
+    // Topology-scenario and topology-engine compatibility fail here too:
+    // a sparse graph on a scenario that ignores it, or any effective
+    // sparse graph under the surrogate engine, is an argument error.
+    if (const auto topology_error = flip::cli::validate_topology(
+            flags.scenario, spec.topology, spec.engine)) {
+      std::cerr << "error: " << *topology_error << "\n";
       return 2;
     }
   }
