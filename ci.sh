@@ -68,6 +68,48 @@ else
   echo "python3 not found; skipping flipsim JSON validation" >&2
 fi
 
+# Service-mode smoke: start the resident daemon on an ephemeral port, run
+# one client sweep against it, check the streamed lines are valid JSON and
+# identical (timing fields stripped) to the one-shot CLI's --jsonl output,
+# then shut the daemon down cleanly over the wire (docs/SERVICE.md).
+"$BUILD_DIR/tools/flipsim" --serve 0 > "$BUILD_DIR/flipsim_serve.log" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(sed -n 's/^flipsim: serving on 127\.0\.0\.1://p' "$BUILD_DIR/flipsim_serve.log")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "flipsim --serve never reported its port" >&2; exit 1; }
+"$BUILD_DIR/tools/flipsim" --connect "$PORT" --ping >/dev/null
+"$BUILD_DIR/tools/flipsim" --connect "$PORT" --scenario broadcast_small \
+  --trials 8 --jsonl "$BUILD_DIR/flipsim_served.jsonl" --quiet
+"$BUILD_DIR/tools/flipsim" --scenario broadcast_small --trials 8 \
+  --jsonl "$BUILD_DIR/flipsim_oneshot.jsonl" --quiet
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$BUILD_DIR/flipsim_served.jsonl" \
+    "$BUILD_DIR/flipsim_oneshot.jsonl" <<'EOF'
+import json, sys
+served = open(sys.argv[1]).read().splitlines()
+oneshot = open(sys.argv[2]).read().splitlines()
+assert served, "served sweep streamed no lines"
+for line in served:
+    point = json.loads(line)
+    assert {"params", "success_rate", "rounds", "messages"} <= point.keys(), \
+        sorted(point.keys())
+strip = lambda lines: [l.split('"trial_seconds"')[0] for l in lines]
+assert strip(served) == strip(oneshot), \
+    "served sweep diverged from the one-shot CLI"
+print("flipsim service smoke ok:", len(served), "line(s)")
+EOF
+else
+  echo "python3 not found; skipping served-JSONL validation" >&2
+fi
+"$BUILD_DIR/tools/flipsim" --connect "$PORT" --shutdown
+wait "$SERVE_PID"
+trap - EXIT
+
 # Surrogate accuracy gate: run the CI-sized surrogate-vs-batch error-band
 # harness (flipsim --validate-surrogate over every supported registry
 # entry) and audit the flipsim-validate-v1 document it writes — the script
@@ -144,8 +186,12 @@ fi
 # rewiring + the locality-partitioned sharded route run under
 # SweepDeterminism/Registry/PropertyDifferential), and (FLIP_SIMD is ON
 # here too) the property/differential suites, which drive the vector
-# kernels from sharded rounds. Skip with FLIP_SKIP_TSAN=1 (e.g.
-# toolchains without tsan runtimes).
+# kernels from sharded rounds. The service layer runs here too: the sweep
+# daemon's ingest/runner threads, the ring-buffer handoff, the framing
+# helpers, and the thread-local TrialArena lease stack
+# (ServiceTest/RingBufferTest/FrameTest/TrialArenaTest — none need the
+# flipsim binary, so FLIP_BUILD_TOOLS=OFF is fine). Skip with
+# FLIP_SKIP_TSAN=1 (e.g. toolchains without tsan runtimes).
 if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_DIR="${BUILD_DIR}-tsan"
   cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -153,7 +199,7 @@ if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
     -DFLIP_BUILD_EXAMPLES=OFF -DFLIP_BUILD_TOOLS=OFF
   cmake --build "$TSAN_DIR" -j
   (cd "$TSAN_DIR" && ctest --output-on-failure -j "$(nproc)" \
-    -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest|PropertyDifferentialTest|SimdDifferentialTest|SimdKernelsTest|RegistryTest.TopologyEntriesRunBitEqualAcrossSubstratesAndShards')
+    -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest|PropertyDifferentialTest|SimdDifferentialTest|SimdKernelsTest|ServiceTest|RingBufferTest|FrameTest|TrialArenaTest|RegistryTest.TopologyEntriesRunBitEqualAcrossSubstratesAndShards')
 else
   echo "skipping ThreadSanitizer pass (FLIP_SKIP_TSAN=1)"
 fi

@@ -54,6 +54,49 @@ std::string point_key(const SweepResult& result, const SweepPoint& point) {
   return key;
 }
 
+void append_sweep_point(JsonWriter& json, const SweepPoint& point) {
+  json.begin_object();
+  json.key("params")
+      .begin_object()
+      .field("n", static_cast<std::uint64_t>(point.config.n))
+      .field("eps", point.config.eps)
+      .field("channel", point.config.channel)
+      .field("schedule", point.config.schedule.describe())
+      .field("churn", point.config.churn.describe())
+      .field("topology", point.config.topology.describe())
+      .end_object();
+  json.field("trials", static_cast<std::uint64_t>(point.summary.trials))
+      .field("successes",
+             static_cast<std::uint64_t>(point.summary.successes));
+  json.key("success_rate")
+      .begin_object()
+      .field("estimate", point.summary.success.estimate)
+      .field("wilson_low", point.summary.success.low)
+      .field("wilson_high", point.summary.success.high)
+      .end_object();
+  json.key("rounds");
+  stats_object(json, point.summary.rounds);
+  json.key("messages");
+  stats_object(json, point.summary.messages);
+  json.key("correct_fraction");
+  stats_object(json, point.summary.correct_fraction);
+  json.key("convergence_rounds");
+  convergence_object(json, point.summary);
+  // Timing last, deterministic payload first: stream consumers (and the
+  // served-vs-one-shot differential test) byte-compare the prefix up to
+  // "trial_seconds".
+  json.key("trial_seconds");
+  stats_object(json, point.summary.trial_seconds);
+  json.field("wall_seconds", point.summary.wall_seconds);
+  json.end_object();
+}
+
+std::string sweep_point_line(const SweepPoint& point) {
+  JsonWriter json(0);  // compact: one line, no internal newlines
+  append_sweep_point(json, point);
+  return json.str();
+}
+
 std::string sweep_to_json(const SweepResult& result) {
   JsonWriter json;
   json.begin_object()
@@ -68,80 +111,59 @@ std::string sweep_to_json(const SweepResult& result) {
       .field("wall_seconds", result.wall_seconds);
   json.key("points").begin_array();
   for (const SweepPoint& point : result.points) {
-    json.begin_object();
-    json.key("params")
-        .begin_object()
-        .field("n", static_cast<std::uint64_t>(point.config.n))
-        .field("eps", point.config.eps)
-        .field("channel", point.config.channel)
-        .field("schedule", point.config.schedule.describe())
-        .field("churn", point.config.churn.describe())
-        .field("topology", point.config.topology.describe())
-        .end_object();
-    json.field("trials", static_cast<std::uint64_t>(point.summary.trials))
-        .field("successes",
-               static_cast<std::uint64_t>(point.summary.successes));
-    json.key("success_rate")
-        .begin_object()
-        .field("estimate", point.summary.success.estimate)
-        .field("wilson_low", point.summary.success.low)
-        .field("wilson_high", point.summary.success.high)
-        .end_object();
-    json.key("rounds");
-    stats_object(json, point.summary.rounds);
-    json.key("messages");
-    stats_object(json, point.summary.messages);
-    json.key("correct_fraction");
-    stats_object(json, point.summary.correct_fraction);
-    json.key("convergence_rounds");
-    convergence_object(json, point.summary);
-    json.key("trial_seconds");
-    stats_object(json, point.summary.trial_seconds);
-    json.field("wall_seconds", point.summary.wall_seconds);
-    json.end_object();
+    append_sweep_point(json, point);
   }
   json.end_array();
   json.end_object();
   return json.str();
 }
 
-std::string sweep_to_csv(const SweepResult& result) {
+std::string sweep_csv_header() {
+  return "scenario,n,eps,channel,schedule,churn,topology,trials,successes,"
+         "success_rate,"
+         "success_low,success_high,rounds_mean,rounds_stddev,rounds_min,"
+         "rounds_max,messages_mean,messages_stddev,correct_fraction_mean,"
+         "convergence_mean,converged,wall_seconds\n";
+}
+
+std::string sweep_csv_row(const SweepSpec& spec, const SweepPoint& point) {
   // Doubles (including the possibly-NaN convergence mean) render through
   // JsonWriter::number, which maps non-finite values to "null" — never the
   // locale/platform-dependent "nan"/"inf" spellings of raw streams.
-  std::string csv =
-      "scenario,n,eps,channel,schedule,churn,topology,trials,successes,"
-      "success_rate,"
-      "success_low,success_high,rounds_mean,rounds_stddev,rounds_min,"
-      "rounds_max,messages_mean,messages_stddev,correct_fraction_mean,"
-      "convergence_mean,converged,wall_seconds\n";
+  const TrialSummary& s = point.summary;
+  std::string csv;
+  csv += spec.scenario;
+  csv += ',' + std::to_string(point.config.n);
+  csv += ',' + JsonWriter::number(point.config.eps);
+  csv += ',' + point.config.channel;
+  csv += ',' + point.config.schedule.describe();
+  csv += ',' + point.config.churn.describe();
+  // TopologySpec::describe() is comma-free by construction ("ring(k=8)"),
+  // so it needs no CSV quoting.
+  csv += ',' + point.config.topology.describe();
+  csv += ',' + std::to_string(s.trials);
+  csv += ',' + std::to_string(s.successes);
+  csv += ',' + JsonWriter::number(s.success.estimate);
+  csv += ',' + JsonWriter::number(s.success.low);
+  csv += ',' + JsonWriter::number(s.success.high);
+  csv += ',' + JsonWriter::number(s.rounds.mean());
+  csv += ',' + JsonWriter::number(s.rounds.stddev());
+  csv += ',' + JsonWriter::number(s.rounds.min());
+  csv += ',' + JsonWriter::number(s.rounds.max());
+  csv += ',' + JsonWriter::number(s.messages.mean());
+  csv += ',' + JsonWriter::number(s.messages.stddev());
+  csv += ',' + JsonWriter::number(s.correct_fraction.mean());
+  csv += ',' + JsonWriter::number(convergence_mean(s));
+  csv += ',' + std::to_string(s.converged);
+  csv += ',' + JsonWriter::number(s.wall_seconds);
+  csv += '\n';
+  return csv;
+}
+
+std::string sweep_to_csv(const SweepResult& result) {
+  std::string csv = sweep_csv_header();
   for (const SweepPoint& point : result.points) {
-    const TrialSummary& s = point.summary;
-    csv += result.spec.scenario;
-    csv += ',' + std::to_string(point.config.n);
-    csv += ',' + JsonWriter::number(point.config.eps);
-    csv += ',' + point.config.channel;
-    csv += ',' + point.config.schedule.describe();
-    csv += ',' + point.config.churn.describe();
-    // TopologySpec::describe() is comma-free by construction ("ring(k=8)"),
-    // so it needs no CSV quoting.
-    csv += ',' + point.config.topology.describe();
-    csv += ',' + std::to_string(s.trials);
-    csv += ',' + std::to_string(s.successes);
-    csv += ',' + JsonWriter::number(s.success.estimate);
-    csv += ',' + JsonWriter::number(s.success.low);
-    csv += ',' + JsonWriter::number(s.success.high);
-    csv += ',' + JsonWriter::number(s.rounds.mean());
-    csv += ',' + JsonWriter::number(s.rounds.stddev());
-    csv += ',' + JsonWriter::number(s.rounds.min());
-    csv += ',' + JsonWriter::number(s.rounds.max());
-    csv += ',' + JsonWriter::number(s.messages.mean());
-    csv += ',' + JsonWriter::number(s.messages.stddev());
-    csv += ',' + JsonWriter::number(s.correct_fraction.mean());
-    csv += ',' + JsonWriter::number(convergence_mean(s));
-    csv += ',' + std::to_string(s.converged);
-    csv += ',' + JsonWriter::number(point.summary.wall_seconds);
-    csv += '\n';
+    csv += sweep_csv_row(result.spec, point);
   }
   return csv;
 }

@@ -7,9 +7,37 @@
 #include <string>
 
 #include "cli/sweep.hpp"
+#include "util/json_writer.hpp"
 #include "util/table.hpp"
 
 namespace flip::cli {
+
+// --- per-point emitters ---------------------------------------------------
+// The single code path under the pretty --json document, the streamed
+// --csv/--jsonl rows, and the sweep service's per-cell response frames:
+// every format renders a grid point through these, so the document and the
+// stream cannot drift apart (the byte-exact goldens in tests/cli_test.cpp
+// pin the document; the service differential test pins the stream).
+
+/// Appends one grid point's flipsim-sweep-v1 point object at `json`'s
+/// current position (inside the document's points array, or alone for the
+/// single-line form).
+void append_sweep_point(JsonWriter& json, const SweepPoint& point);
+
+/// One grid point as a compact single-line JSON object — the
+/// flipsim-sweep-v1 point payload the service streams (one frame per cell)
+/// and --jsonl writes (one line per cell). Content-identical to the
+/// document's point objects; only whitespace differs. The trailing two
+/// keys (trial_seconds, wall_seconds) are the only nondeterministic
+/// fields, so byte comparisons truncate at `"trial_seconds"`.
+[[nodiscard]] std::string sweep_point_line(const SweepPoint& point);
+
+/// The CSV header line, newline-terminated.
+[[nodiscard]] std::string sweep_csv_header();
+
+/// One newline-terminated CSV row for a grid point.
+[[nodiscard]] std::string sweep_csv_row(const SweepSpec& spec,
+                                        const SweepPoint& point);
 
 /// Pretty-printed "flipsim-sweep-v1" document: sweep-level parameters and
 /// wall-clock, then one entry per grid point with params, success interval,

@@ -145,7 +145,7 @@ std::optional<std::string> validate_topology(
   return std::nullopt;
 }
 
-SweepResult run_sweep(const SweepSpec& spec) {
+SweepResult run_sweep(const SweepSpec& spec, const SweepPointSink& on_point) {
   if (spec.trials == 0) {
     throw std::invalid_argument("run_sweep: trials == 0");
   }
@@ -153,10 +153,16 @@ SweepResult run_sweep(const SweepSpec& spec) {
   // Validates every point (including the scenario name) up front, so a
   // typo fails fast instead of after minutes of simulation.
   const std::vector<ScenarioConfig> grid = expand_grid(spec);
+  if (spec.first_cell > grid.size()) {
+    throw std::invalid_argument(
+        "run_sweep: first_cell " + std::to_string(spec.first_cell) +
+        " is past the " + std::to_string(grid.size()) +
+        "-cell grid (stale checkpoint for a different spec?)");
+  }
 
   // One persistent pool serves every grid cell of every sweep: workers are
   // spawned once per distinct --threads value and then live for the whole
-  // process, so the per-worker BatchEngine scratch (thread_local) survives
+  // process, so the per-worker TrialArena scratch (thread_local) survives
   // across cells and repeated run_sweep calls instead of being torn down
   // and re-allocated with a per-sweep pool.
   ThreadPool* pool =
@@ -164,18 +170,21 @@ SweepResult run_sweep(const SweepSpec& spec) {
 
   SweepResult result;
   result.spec = spec;
-  result.points.reserve(grid.size());
+  if (spec.collect_points) {
+    result.points.reserve(grid.size() - spec.first_cell);
+  }
   const auto sweep_start = std::chrono::steady_clock::now();
-  for (const ScenarioConfig& config : grid) {
+  for (std::size_t cell = spec.first_cell; cell < grid.size(); ++cell) {
     TrialOptions options;
     options.trials = spec.trials;
     options.master_seed = spec.seed;
     options.pool = pool;
     SweepPoint point;
-    point.config = config;
+    point.config = grid[cell];
     point.summary =
-        run_trials(registry.make(spec.scenario, config), options);
-    result.points.push_back(std::move(point));
+        run_trials(registry.make(spec.scenario, point.config), options);
+    if (on_point) on_point(cell, point);
+    if (spec.collect_points) result.points.push_back(std::move(point));
   }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +42,15 @@ struct SweepSpec {
   /// scenario's registered default" — complete for the classic entries, a
   /// preset sparse family for the topology entries.
   std::optional<TopologySpec> topology;
+  /// First cell (index into expand_grid order) to run: cells before it are
+  /// skipped. This is the checkpoint/resume seam — under the counter-keyed
+  /// RNG a cell is a pure key range, so a resumed run's cells are
+  /// bit-identical to the uninterrupted run's.
+  std::size_t first_cell = 0;
+  /// When false, run_sweep does not accumulate SweepPoints in the returned
+  /// result — the per-point sink is the only output. The service sets this
+  /// for streamed requests so a huge grid runs in O(1) result memory.
+  bool collect_points = true;
 };
 
 /// One grid point's resolved parameters and aggregated results. Per-point
@@ -56,12 +66,22 @@ struct SweepResult {
   double wall_seconds = 0.0;  ///< whole sweep
 };
 
+/// Per-cell streaming sink: invoked after each grid cell completes, in
+/// execution order, with the cell's index in the full expanded grid. This
+/// is the shared seam under flipsim's incremental --csv/--jsonl emission
+/// and the sweep service's per-cell response frames. An exception thrown
+/// from the sink aborts the sweep (it propagates out of run_sweep) — the
+/// service uses this to stop a sweep whose client hung up.
+using SweepPointSink =
+    std::function<void(std::size_t cell_index, const SweepPoint& point)>;
+
 /// Expands the grid (cross product, axis order n -> eps -> channel) and
-/// runs every point. Validates the whole grid against the registry before
-/// running anything, so a typo fails fast instead of after minutes of
-/// simulation. Throws std::invalid_argument on unknown scenario/channel or
-/// zero trials.
-SweepResult run_sweep(const SweepSpec& spec);
+/// runs every point from spec.first_cell on. Validates the whole grid
+/// against the registry before running anything, so a typo fails fast
+/// instead of after minutes of simulation. Throws std::invalid_argument on
+/// unknown scenario/channel, zero trials, or first_cell past the grid.
+SweepResult run_sweep(const SweepSpec& spec,
+                      const SweepPointSink& on_point = {});
 
 /// The resolved grid run_sweep would execute, in execution order.
 std::vector<ScenarioConfig> expand_grid(const SweepSpec& spec);

@@ -1,0 +1,315 @@
+#include "cli/wire.hpp"
+
+#include <charconv>
+#include <thread>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "sim/engine.hpp"
+
+namespace flip::cli {
+
+namespace {
+
+const char* command_name(WireCommand command) {
+  switch (command) {
+    case WireCommand::kSweep: return "sweep";
+    case WireCommand::kPing: return "ping";
+    case WireCommand::kShutdown: return "shutdown";
+  }
+  return "sweep";
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  int base = 10;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    base = 16;
+    text.remove_prefix(2);
+  }
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out, base);
+  return ec == std::errc() && ptr == end && !text.empty();
+}
+
+void append_field(std::string& out, std::string_view key,
+                  std::string_view value) {
+  out.append(key);
+  out.push_back('=');
+  out.append(value);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string encode_sweep_request(const SweepRequest& request) {
+  std::string out(kWireProto);
+  out.push_back(' ');
+  out.append(command_name(request.command));
+  out.push_back('\n');
+  if (request.command != WireCommand::kSweep) return out;
+  // Defaulted fields are omitted, so encodings are canonical: two
+  // requests are equivalent iff their encodings are byte-equal (the
+  // checkpoint spec-match rule relies on this).
+  if (!request.scenario.empty()) {
+    append_field(out, "scenario", request.scenario);
+  }
+  if (!request.ns.empty()) append_field(out, "n", request.ns);
+  if (!request.epss.empty()) append_field(out, "eps", request.epss);
+  if (!request.channels.empty()) {
+    append_field(out, "channel", request.channels);
+  }
+  if (request.trials != 32) {
+    append_field(out, "trials", std::to_string(request.trials));
+  }
+  if (request.seed != 0x5eedULL) {
+    append_field(out, "seed", std::to_string(request.seed));
+  }
+  if (request.threads != 0) {
+    append_field(out, "threads", std::to_string(request.threads));
+  }
+  if (request.shards != 1) {
+    append_field(out, "shards", std::to_string(request.shards));
+  }
+  if (request.engine != "batch") append_field(out, "engine", request.engine);
+  if (!request.schedule.empty()) {
+    append_field(out, "schedule", request.schedule);
+  }
+  if (!request.churn.empty()) append_field(out, "churn", request.churn);
+  if (!request.topology.empty()) {
+    append_field(out, "topology", request.topology);
+  }
+  if (request.resume_from != 0) {
+    append_field(out, "resume_from", std::to_string(request.resume_from));
+  }
+  return out;
+}
+
+std::optional<SweepRequest> parse_sweep_request(std::string_view text,
+                                                std::string& error) {
+  SweepRequest request;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      const std::size_t space = line.find(' ');
+      const std::string_view proto = line.substr(0, space);
+      if (proto != kWireProto) {
+        error = "unsupported protocol '" + std::string(proto) +
+                "' (expected " + std::string(kWireProto) + ")";
+        return std::nullopt;
+      }
+      const std::string_view command =
+          space == std::string_view::npos ? "sweep" : line.substr(space + 1);
+      if (command == "sweep") {
+        request.command = WireCommand::kSweep;
+      } else if (command == "ping") {
+        request.command = WireCommand::kPing;
+      } else if (command == "shutdown") {
+        request.command = WireCommand::kShutdown;
+      } else {
+        error = "unknown command '" + std::string(command) + "'";
+        return std::nullopt;
+      }
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      error = "malformed line '" + std::string(line) + "' (expected key=value)";
+      return std::nullopt;
+    }
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+    std::uint64_t number = 0;
+    if (key == "scenario") {
+      request.scenario = value;
+    } else if (key == "n") {
+      request.ns = value;
+    } else if (key == "eps") {
+      request.epss = value;
+    } else if (key == "channel") {
+      request.channels = value;
+    } else if (key == "engine") {
+      request.engine = value;
+    } else if (key == "schedule") {
+      request.schedule = value;
+    } else if (key == "churn") {
+      request.churn = value;
+    } else if (key == "topology") {
+      request.topology = value;
+    } else if (key == "trials" || key == "seed" || key == "threads" ||
+               key == "shards" || key == "resume_from") {
+      if (!parse_u64(value, number)) {
+        error = "bad number '" + std::string(value) + "' for key '" +
+                std::string(key) + "'";
+        return std::nullopt;
+      }
+      if (key == "trials") request.trials = static_cast<std::size_t>(number);
+      if (key == "seed") request.seed = number;
+      if (key == "threads") request.threads = static_cast<std::size_t>(number);
+      if (key == "shards") request.shards = static_cast<std::size_t>(number);
+      if (key == "resume_from") {
+        request.resume_from = static_cast<std::size_t>(number);
+      }
+    } else {
+      error = "unknown key '" + std::string(key) + "'";
+      return std::nullopt;
+    }
+  }
+  if (first) {
+    error = "empty request";
+    return std::nullopt;
+  }
+  return request;
+}
+
+std::optional<std::string> resolve_sweep_request(const SweepRequest& request,
+                                                 SweepSpec& spec) {
+  spec = SweepSpec{};
+  spec.scenario = request.scenario;
+  std::string error;
+  // The validation order is tools/flipsim.cpp's, so CLI and server reject
+  // a bad request with the same message at the same stage.
+  if (!request.ns.empty()) {
+    const auto ns = parse_size_list(request.ns, error);
+    if (!ns) return "--n: " + error;
+    spec.ns = *ns;
+  }
+  if (!request.epss.empty()) {
+    const auto epss = parse_double_list(request.epss, error);
+    if (!epss) return "--eps: " + error;
+    if (const auto eps_error = validate_eps_values(*epss)) return eps_error;
+    spec.epss = *epss;
+  }
+  if (!request.channels.empty()) {
+    spec.channels = split_list(request.channels);
+    if (spec.channels.empty()) return "--channel: empty list";
+  }
+  spec.trials = request.trials;
+  spec.seed = request.seed;
+  if (request.threads != 0) {
+    if (const auto threads_error = validate_threads(
+            request.threads, std::thread::hardware_concurrency())) {
+      return threads_error;
+    }
+    spec.threads = request.threads;
+  }
+  if (request.shards != 1) {
+    if (const auto shards_error = validate_shards(request.shards)) {
+      return shards_error;
+    }
+  }
+  spec.shards = request.shards;
+  if (!request.schedule.empty()) {
+    try {
+      spec.schedule = EnvironmentSchedule::parse(request.schedule);
+    } catch (const std::invalid_argument& e) {
+      return "--schedule: " + std::string(e.what());
+    }
+  }
+  if (!request.churn.empty()) {
+    try {
+      spec.churn = ChurnSpec::parse(request.churn);
+    } catch (const std::invalid_argument& e) {
+      return "--churn: " + std::string(e.what());
+    }
+  }
+  if (!request.topology.empty()) {
+    try {
+      spec.topology = TopologySpec::parse(request.topology);
+    } catch (const std::invalid_argument& e) {
+      return "--topology: " + std::string(e.what());
+    }
+  }
+  if (const auto mode = parse_engine_mode(request.engine)) {
+    spec.engine = *mode;
+  } else {
+    return "--engine: unknown mode '" + request.engine +
+           "' (batch | classic | surrogate)";
+  }
+  if (!request.scenario.empty()) {
+    if (const auto engine_error =
+            validate_engine(request.scenario, spec.engine)) {
+      return engine_error;
+    }
+    if (const auto topology_error = validate_topology(
+            request.scenario, spec.topology, spec.engine)) {
+      return topology_error;
+    }
+  }
+  spec.first_cell = request.resume_from;
+  return std::nullopt;
+}
+
+std::string encode_checkpoint(const SweepRequest& request,
+                              std::size_t next_cell, std::size_t grid_cells) {
+  std::string out(kCheckpointProto);
+  out += " next_cell=" + std::to_string(next_cell) +
+         " grid=" + std::to_string(grid_cells) + "\n";
+  // The request rides along verbatim (resume_from excluded: a checkpoint's
+  // position IS next_cell), so --resume can verify the sweep on the
+  // command line is the sweep the file belongs to.
+  SweepRequest canonical = request;
+  canonical.resume_from = 0;
+  out += encode_sweep_request(canonical);
+  return out;
+}
+
+std::optional<Checkpoint> parse_checkpoint(std::string_view text,
+                                           std::string& error) {
+  std::size_t eol = text.find('\n');
+  if (eol == std::string_view::npos) eol = text.size();
+  const std::string_view head = text.substr(0, eol);
+  std::size_t space = head.find(' ');
+  const std::string_view proto = head.substr(0, space);
+  if (proto != kCheckpointProto) {
+    error = "not a checkpoint file (expected leading '" +
+            std::string(kCheckpointProto) + "')";
+    return std::nullopt;
+  }
+  Checkpoint checkpoint;
+  bool have_next = false;
+  while (space != std::string_view::npos) {
+    const std::size_t start = space + 1;
+    space = head.find(' ', start);
+    const std::string_view token =
+        head.substr(start, space == std::string_view::npos ? std::string_view::npos
+                                                           : space - start);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = token.substr(0, eq);
+    std::uint64_t number = 0;
+    if (!parse_u64(token.substr(eq + 1), number)) {
+      error = "bad checkpoint header token '" + std::string(token) + "'";
+      return std::nullopt;
+    }
+    if (key == "next_cell") {
+      checkpoint.next_cell = static_cast<std::size_t>(number);
+      have_next = true;
+    } else if (key == "grid") {
+      checkpoint.grid_cells = static_cast<std::size_t>(number);
+    } else {
+      error = "unknown checkpoint header key '" + std::string(key) + "'";
+      return std::nullopt;
+    }
+  }
+  if (!have_next) {
+    error = "checkpoint header has no next_cell";
+    return std::nullopt;
+  }
+  const auto request = parse_sweep_request(
+      eol < text.size() ? text.substr(eol + 1) : std::string_view{}, error);
+  if (!request) {
+    error = "checkpoint request: " + error;
+    return std::nullopt;
+  }
+  checkpoint.request = *request;
+  return checkpoint;
+}
+
+}  // namespace flip::cli

@@ -1,0 +1,98 @@
+#pragma once
+// Request (de)serialization for the sweep service and the checkpoint
+// files — the text the flipsvc/1 frames and flipchk/1 files carry.
+//
+// A SweepRequest is the ARGUMENT-layer form of a sweep: the raw
+// comma-lists and spec strings exactly as they appear on the flipsim
+// command line. resolve_sweep_request() turns one into a validated
+// SweepSpec through the SAME parse + validate_* calls tools/flipsim.cpp
+// makes (flipsim itself routes through it), so a request rejected by the
+// CLI is rejected by the server with the same message, and vice versa.
+//
+// Wire text is line-oriented UTF-8: a `flipsvc/1 <command>` first line,
+// then one `key=value` per line (defaulted fields omitted). Unknown keys
+// are errors — the protocol is versioned, not sniffed. See
+// docs/SERVICE.md for the full grammar.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cli/sweep.hpp"
+
+namespace flip::cli {
+
+/// Protocol identifier of the request/checkpoint text grammar.
+inline constexpr std::string_view kWireProto = "flipsvc/1";
+/// First-line identifier of checkpoint files.
+inline constexpr std::string_view kCheckpointProto = "flipchk/1";
+
+/// What a request frame asks the server to do.
+enum class WireCommand { kSweep, kPing, kShutdown };
+
+/// One sweep request in argument-layer (raw string) form. Field spellings
+/// follow the flipsim flags they mirror.
+struct SweepRequest {
+  WireCommand command = WireCommand::kSweep;
+  std::string scenario;
+  std::string ns;        ///< comma list, empty = scenario default
+  std::string epss;      ///< comma list, empty = scenario default
+  std::string channels;  ///< comma list, empty = scenario default
+  std::size_t trials = 32;
+  std::uint64_t seed = 0x5eedULL;
+  std::size_t threads = 0;  ///< 0 = the server/process shared pool
+  std::size_t shards = 1;
+  std::string engine = "batch";
+  std::string schedule;  ///< raw --schedule spec, empty = unset
+  std::string churn;     ///< raw --churn spec, empty = unset
+  std::string topology;  ///< raw --topology spec, empty = unset
+  std::size_t resume_from = 0;  ///< first grid cell to run
+};
+
+/// Renders the request as wire text (first line + key=value lines,
+/// defaulted fields omitted). encode/parse round-trip exactly, so two
+/// requests are equivalent iff their encodings are byte-equal — the
+/// checkpoint spec-match rule.
+[[nodiscard]] std::string encode_sweep_request(const SweepRequest& request);
+
+/// Parses wire text back into a SweepRequest. Returns the error text
+/// (unknown key, bad number, missing/unknown proto line) via `error` and
+/// nullopt on failure.
+[[nodiscard]] std::optional<SweepRequest> parse_sweep_request(
+    std::string_view text, std::string& error);
+
+/// Argument-layer validation + resolution, shared verbatim between
+/// tools/flipsim.cpp and the server's ingest thread: parses the list and
+/// spec strings, runs validate_eps_values / validate_threads /
+/// validate_shards / validate_engine / validate_topology in the CLI's
+/// order, and fills `spec`. On failure returns the error text (without
+/// the "error: " prefix) — the same message flipsim prints. When
+/// `scenario` is empty the scenario-dependent checks are skipped (the
+/// --validate-surrogate path); callers that need a scenario enforce that
+/// themselves.
+[[nodiscard]] std::optional<std::string> resolve_sweep_request(
+    const SweepRequest& request, SweepSpec& spec);
+
+// --- checkpoint files (flipchk/1) -----------------------------------------
+
+/// A parsed checkpoint: the encoded request it belongs to and the next
+/// grid cell to run (== number of cells already completed).
+struct Checkpoint {
+  SweepRequest request;
+  std::size_t next_cell = 0;
+  std::size_t grid_cells = 0;  ///< full grid size when written
+};
+
+/// Renders a checkpoint file: "flipchk/1 next_cell=<k> grid=<total>" then
+/// the request's wire text.
+[[nodiscard]] std::string encode_checkpoint(const SweepRequest& request,
+                                            std::size_t next_cell,
+                                            std::size_t grid_cells);
+
+/// Parses a checkpoint file; error text + nullopt on malformed input.
+[[nodiscard]] std::optional<Checkpoint> parse_checkpoint(
+    std::string_view text, std::string& error);
+
+}  // namespace flip::cli

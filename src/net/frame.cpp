@@ -1,0 +1,181 @@
+#include "net/frame.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace flip::net {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Reads exactly `size` bytes. Returns the byte count delivered before a
+/// failure or EOF, so the caller can tell a clean boundary EOF (0 read of
+/// the length prefix) from a truncated frame.
+std::size_t read_exact(int fd, char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t got = ::read(fd, data + done, size - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return done;
+    }
+    if (got == 0) return done;  // EOF
+    done += static_cast<std::size_t>(got);
+  }
+  return done;
+}
+
+bool write_exact(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    // MSG_NOSIGNAL: a hung-up peer yields EPIPE instead of killing the
+    // process with SIGPIPE — the server must survive clients vanishing
+    // mid-stream.
+    const ssize_t put = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ENOTSOCK) {
+        // Tests drive framing over pipes/socketpairs; fall back to write()
+        // for non-socket fds (SIGPIPE is the test harness's concern there).
+        const ssize_t w = ::write(fd, data + done, size - done);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return false;
+        }
+        done += static_cast<std::size_t>(w);
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameResult read_frame(int fd) {
+  FrameResult result;
+  unsigned char prefix[4];
+  const std::size_t got =
+      read_exact(fd, reinterpret_cast<char*>(prefix), sizeof prefix);
+  if (got == 0) {
+    result.status = FrameStatus::kEof;
+    return result;
+  }
+  if (got < sizeof prefix) {
+    result.error = "truncated frame length prefix";
+    return result;
+  }
+  const std::uint32_t length = (static_cast<std::uint32_t>(prefix[0]) << 24) |
+                               (static_cast<std::uint32_t>(prefix[1]) << 16) |
+                               (static_cast<std::uint32_t>(prefix[2]) << 8) |
+                               static_cast<std::uint32_t>(prefix[3]);
+  if (length > kMaxFrameBytes) {
+    result.error = "frame length " + std::to_string(length) +
+                   " exceeds the " + std::to_string(kMaxFrameBytes) +
+                   "-byte cap";
+    return result;
+  }
+  result.payload.resize(length);
+  if (read_exact(fd, result.payload.data(), length) != length) {
+    result.payload.clear();
+    result.error = "truncated frame payload";
+    return result;
+  }
+  result.status = FrameStatus::kOk;
+  return result;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  // One contiguous buffer, one send: prefix-then-payload as two small
+  // writes makes every frame pay a Nagle/delayed-ACK round-trip, which
+  // dominates small-request latency on loopback.
+  std::string buffer;
+  buffer.reserve(sizeof(std::uint32_t) + payload.size());
+  buffer.push_back(static_cast<char>(length >> 24));
+  buffer.push_back(static_cast<char>(length >> 16));
+  buffer.push_back(static_cast<char>(length >> 8));
+  buffer.push_back(static_cast<char>(length));
+  buffer.append(payload);
+  return write_exact(fd, buffer.data(), buffer.size());
+}
+
+int listen_local(std::uint16_t port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    error = errno_text("bind");
+    close_fd(fd);
+    return -1;
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    error = errno_text("listen");
+    close_fd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::optional<std::uint16_t> local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return std::nullopt;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_local(std::uint16_t port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    error = errno_text("connect");
+    close_fd(fd);
+    return -1;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace flip::net

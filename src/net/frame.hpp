@@ -1,0 +1,68 @@
+#pragma once
+// Length-prefixed framing and loopback socket plumbing for the sweep
+// service. A frame is a 4-byte big-endian payload length followed by that
+// many payload bytes; the payload is UTF-8 text (requests one way,
+// `point`/`done`/`error`/`pong` lines the other — see docs/SERVICE.md).
+//
+// The helpers speak raw POSIX file descriptors so the same code path
+// serves sockets in the daemon and socketpairs in tests. All reads and
+// writes loop over short transfers and retry EINTR; nothing here is
+// non-blocking.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace flip::net {
+
+/// Frames above this are a protocol violation, not a big request: reading
+/// rejects them before allocating, so a stray non-protocol peer cannot
+/// make the server reserve gigabytes from four garbage bytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Outcome of read_frame: a payload, clean end-of-stream (EOF exactly at a
+/// frame boundary), or an error (truncated frame, oversized length, or a
+/// failed read).
+enum class FrameStatus { kOk, kEof, kError };
+
+struct FrameResult {
+  FrameStatus status = FrameStatus::kError;
+  std::string payload;  ///< filled only when status == kOk
+  std::string error;    ///< human-readable cause when status == kError
+};
+
+/// Reads one length-prefixed frame from `fd` (blocking).
+[[nodiscard]] FrameResult read_frame(int fd);
+
+/// Writes one length-prefixed frame to `fd` (blocking). Returns false on
+/// any write failure (including EPIPE from a hung-up peer — callers treat
+/// that as "client went away", not a crash; SIGPIPE is suppressed
+/// per-call).
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+// --- loopback sockets -----------------------------------------------------
+
+/// Binds and listens on 127.0.0.1:<port> (port 0 = kernel-assigned
+/// ephemeral port, read it back with local_port). Returns the listening fd,
+/// or -1 with `error` set.
+[[nodiscard]] int listen_local(std::uint16_t port, std::string& error);
+
+/// The port a listening/bound socket actually holds — the ephemeral port
+/// when listen_local was given 0.
+[[nodiscard]] std::optional<std::uint16_t> local_port(int fd);
+
+/// Connects to 127.0.0.1:<port>. Returns the connected fd, or -1 with
+/// `error` set. TCP_NODELAY is set on the returned socket.
+[[nodiscard]] int connect_local(std::uint16_t port, std::string& error);
+
+/// Disables Nagle on a connected TCP socket (best-effort; a no-op on
+/// non-TCP fds such as the socketpairs tests frame over). Request/response
+/// frames are small and latency-bound, so coalescing hurts.
+void set_nodelay(int fd) noexcept;
+
+/// close() that ignores EINTR/EBADF noise; safe on -1.
+void close_fd(int fd) noexcept;
+
+}  // namespace flip::net

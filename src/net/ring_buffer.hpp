@@ -1,0 +1,79 @@
+#pragma once
+// Bounded MPSC job queue between the sweep service's ingest thread and its
+// runner thread. Deliberately a mutex + condition variable around a fixed
+// circular array, not a lock-free structure: the queue moves a handful of
+// requests per second while each pop'd job runs for seconds of simulation,
+// so contention is nil and the simple invariants are what TSan verifies.
+//
+// Boundedness is the load-shedding policy: try_push fails immediately when
+// the ring is full, and the ingest thread turns that into an `error server
+// busy` frame instead of queueing unbounded work. close() wakes any blocked
+// pop; pop drains what was accepted before returning nullopt, so shutdown
+// never drops an acknowledged job.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace flip::net {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  /// Enqueues without blocking. False when the ring is full or closed —
+  /// the caller owns the rejection policy.
+  [[nodiscard]] bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || count_ == slots_.size()) return false;
+      slots_[(head_ + count_) % slots_.size()] = std::move(value);
+      ++count_;
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a job is available or the buffer is closed AND drained;
+  /// nullopt only in the latter case.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return count_ != 0 || closed_; });
+    if (count_ == 0) return std::nullopt;
+    T value = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    return value;
+  }
+
+  /// Rejects future pushes and wakes blocked pop()s. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace flip::net

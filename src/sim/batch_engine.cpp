@@ -211,31 +211,7 @@ void BatchEngine::finalize_stage2(std::uint64_t phase,
   out.push_back(stats);
 }
 
-namespace {
-
-/// Per-thread stack of persistent engines. Depth 0 is the common case;
-/// deeper entries exist only when the helping ThreadPool wait makes a
-/// thread pick up another trial while its own engine is mid-run.
-struct LocalEngines {
-  std::vector<std::unique_ptr<BatchEngine>> engines;
-  std::size_t depth = 0;
-};
-
-LocalEngines& local_engines() {
-  thread_local LocalEngines engines;
-  return engines;
-}
-
-}  // namespace
-
-BatchEngineLease::BatchEngineLease() {
-  LocalEngines& local = local_engines();
-  if (local.depth == local.engines.size()) {
-    local.engines.push_back(std::make_unique<BatchEngine>());
-  }
-  engine_ = local.engines[local.depth++].get();
-}
-
-BatchEngineLease::~BatchEngineLease() { --local_engines().depth; }
+// BatchEngineLease's constructor/destructor live in sim/trial_arena.cpp:
+// the lease is the engine-only view of the per-thread TrialArena stack.
 
 }  // namespace flip

@@ -94,6 +94,21 @@ struct BreatheFastResult {
   double final_bias = 0.0;
   std::vector<StageOnePhaseStats> stage1;
   std::vector<StageTwoPhaseStats> stage2;
+
+  /// Reinitializes for the next execution, keeping every vector's capacity
+  /// — the TrialArena pooling contract (sim/trial_arena.hpp): a result
+  /// object that cycles through reset()/run_breathe() settles into a
+  /// steady state with zero heap allocations per trial.
+  void reset() noexcept {
+    metrics.clear();
+    protocol_rounds = 0;
+    success = false;
+    opinionated = 0;
+    correct_fraction = 0.0;
+    final_bias = 0.0;
+    stage1.clear();
+    stage2.clear();
+  }
 };
 
 /// Execution knobs for run_breathe(). Agent churn rides in
@@ -782,6 +797,22 @@ class BatchEngine {
                                 const BreatheConfig& config, Channel& channel,
                                 const StreamKey& trial_key, bool stage1_only,
                                 const BreatheRunOptions& options = {}) {
+    BreatheFastResult result;
+    run_breathe(params, config, channel, trial_key, stage1_only, options,
+                result);
+    return result;
+  }
+
+  /// Pooled overload — the warm path of the Monte-Carlo harness and the
+  /// sweep service: fills `result` in place (reset() keeps vector
+  /// capacity), so a per-thread TrialArena recycles the stage stats and
+  /// metrics series across trials instead of reallocating them. The
+  /// value-returning overload above delegates here.
+  template <typename Channel>
+  void run_breathe(const Params& params, const BreatheConfig& config,
+                   Channel& channel, const StreamKey& trial_key,
+                   bool stage1_only, const BreatheRunOptions& options,
+                   BreatheFastResult& result) {
     const StageOneSchedule& s1 = params.stage1();
     const StageTwoSchedule& s2 = params.stage2();
     trial_key_ = trial_key;
@@ -789,7 +820,7 @@ class BatchEngine {
     const auto [stage1_offset, stage1_rounds, total_rounds, budget] =
         breathe_schedule(params, config, stage1_only);
 
-    BreatheFastResult result;
+    result.reset();
     result.protocol_rounds = budget;
     Metrics& metrics = result.metrics;
 
@@ -1005,7 +1036,6 @@ class BatchEngine {
     }
 
     finish_breathe(result, config.correct);
-    return result;
   }
 
  private:

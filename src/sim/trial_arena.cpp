@@ -1,0 +1,47 @@
+#include "sim/trial_arena.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace flip {
+
+namespace {
+
+/// Per-thread stack of persistent arenas. Depth 0 is the common case;
+/// deeper entries exist only when the helping ThreadPool wait makes a
+/// thread pick up another trial while its own arena is mid-run.
+struct LocalArenas {
+  std::vector<std::unique_ptr<TrialArena>> arenas;
+  std::size_t depth = 0;
+};
+
+LocalArenas& local_arenas() {
+  thread_local LocalArenas arenas;
+  return arenas;
+}
+
+}  // namespace
+
+namespace detail {
+
+TrialArena* acquire_arena() {
+  LocalArenas& local = local_arenas();
+  if (local.depth == local.arenas.size()) {
+    local.arenas.push_back(std::make_unique<TrialArena>());
+  }
+  return local.arenas[local.depth++].get();
+}
+
+void release_arena() noexcept { --local_arenas().depth; }
+
+}  // namespace detail
+
+// BatchEngineLease is the engine-only view of the same per-thread stack:
+// one depth counter serves both lease types, so a BatchEngineLease and a
+// TrialArenaLease held simultaneously never alias the same engine.
+BatchEngineLease::BatchEngineLease()
+    : engine_(&detail::acquire_arena()->engine) {}
+
+BatchEngineLease::~BatchEngineLease() { detail::release_arena(); }
+
+}  // namespace flip

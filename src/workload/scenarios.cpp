@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "net/channel.hpp"
@@ -9,6 +10,7 @@
 #include "sim/engine.hpp"
 #include "sim/series.hpp"
 #include "sim/surrogate_engine.hpp"
+#include "sim/trial_arena.hpp"
 
 namespace flip {
 
@@ -205,6 +207,23 @@ struct BreatheEnvironment {
   std::uint64_t adversarial_budget = 0;
 };
 
+/// The environment exclusivity rules both the RunDetail and the pooled
+/// trial paths enforce: at most one of heterogeneous / schedule /
+/// adversarial selects the channel.
+void validate_breathe_env(const BreatheEnvironment& env) {
+  if (env.heterogeneous && env.schedule.enabled()) {
+    throw std::invalid_argument(
+        "breathe scenario: heterogeneous noise and an eps schedule are "
+        "mutually exclusive");
+  }
+  if (env.adversarial_budget != 0 &&
+      (env.heterogeneous || env.schedule.enabled())) {
+    throw std::invalid_argument(
+        "breathe scenario: the adversarial channel excludes heterogeneous "
+        "noise and eps schedules");
+  }
+}
+
 /// One breathe execution on the substrate the caller resolved: the shared
 /// body of run_broadcast / run_majority / run_boost (the former
 /// run_*_fast/run_* twins, deduplicated). `env` selects the channel and
@@ -224,17 +243,7 @@ RunDetail run_breathe_scenario(const Params& params,
         "breathe scenario: the surrogate engine has no per-execution "
         "RunDetail; use the trial-fn adapters");
   }
-  if (env.heterogeneous && env.schedule.enabled()) {
-    throw std::invalid_argument(
-        "breathe scenario: heterogeneous noise and an eps schedule are "
-        "mutually exclusive");
-  }
-  if (env.adversarial_budget != 0 &&
-      (env.heterogeneous || env.schedule.enabled())) {
-    throw std::invalid_argument(
-        "breathe scenario: the adversarial channel excludes heterogeneous "
-        "noise and eps schedules");
-  }
+  validate_breathe_env(env);
   const StreamKey key = trial_stream_key(seed, trial);
   EngineOptions options;
   options.probe_every = probe_every;
@@ -302,6 +311,72 @@ RunDetail run_breathe_scenario(const Params& params,
   detail.convergence_round =
       activation_convergence(detail.metrics, params.n());
   return detail;
+}
+
+/// The warm Monte-Carlo path: one batch fast-path execution through the
+/// calling thread's pooled TrialArena, reduced straight to the
+/// TrialOutcome scalars. No RunDetail is materialized and nothing escapes
+/// the arena, so after one warm-up trial per cell shape the per-trial
+/// heap allocation count is zero on static channels (the trial_arena
+/// tests hold this with a counting allocator; CorrelatedBurstChannel
+/// still materializes its resolved schedule per trial). Returns nullopt
+/// when the fast path does not apply — classic engine, adversarial
+/// channel, unpackable schedule — and the caller falls back to the
+/// RunDetail substrate dispatch above. Identical outcomes either way.
+std::optional<TrialOutcome> pooled_breathe_outcome(
+    const Params& params, const BreatheConfig& config, double eps,
+    const BreatheEnvironment& env, EngineMode engine_mode,
+    std::size_t shards, bool stage1_only, Round probe_every,
+    std::uint64_t seed, std::size_t trial) {
+  if (engine_mode != EngineMode::kBatch || !breathe_fast_supported(params) ||
+      env.adversarial_budget != 0) {
+    return std::nullopt;
+  }
+  const StreamKey key = trial_stream_key(seed, trial);
+  BreatheRunOptions run_options;
+  run_options.engine.probe_every = probe_every;
+  run_options.engine.churn = env.churn;
+  run_options.engine.topology = env.topology;
+  run_options.shards = shards;
+  run_options.pool = shard_pool(shards);
+
+  TrialArenaLease arena;
+  BreatheFastResult& fast = arena->result;
+  if (env.schedule.enabled()) {
+    const Round budget =
+        BatchEngine::breathe_schedule(params, config, stage1_only).budget;
+    CorrelatedBurstChannel channel(env.schedule.resolved(eps, budget));
+    arena->engine.run_breathe(params, config, channel, key, stage1_only,
+                              run_options, fast);
+  } else if (env.heterogeneous) {
+    HeterogeneousChannel channel(eps);
+    arena->engine.run_breathe(params, config, channel, key, stage1_only,
+                              run_options, fast);
+  } else {
+    BinarySymmetricChannel channel(eps);
+    arena->engine.run_breathe(params, config, channel, key, stage1_only,
+                              run_options, fast);
+  }
+
+  TrialOutcome outcome;
+  outcome.success = fast.success;
+  if (stage1_only) {
+    // Stage-I-only success = every agent activated: run_broadcast's
+    // post-processing, applied here so both paths report identically.
+    const std::uint64_t activated =
+        fast.stage1.empty() ? 0 : fast.stage1.back().total_activated;
+    outcome.success = activated == params.n();
+  }
+  outcome.rounds = static_cast<double>(fast.metrics.rounds);
+  outcome.messages = static_cast<double>(fast.metrics.messages_sent);
+  outcome.correct_fraction = fast.correct_fraction;
+  outcome.convergence_round =
+      activation_convergence(fast.metrics, params.n());
+  outcome.delivered = fast.metrics.delivered;
+  outcome.dropped = fast.metrics.dropped;
+  outcome.erased = fast.metrics.erased;
+  outcome.flipped = fast.metrics.flipped;
+  return outcome;
 }
 
 }  // namespace
@@ -443,11 +518,36 @@ RunDetail run_desync(const DesyncScenario& scenario, std::uint64_t seed,
   return detail;
 }
 
+// The exact-engine adapters below hoist everything that depends only on
+// the scenario — Params::calibrated, the BreatheConfig (whose initial
+// seed list is O(n) for boost), the environment — out of the per-trial
+// closure into per-cell state shared read-only across the harness's
+// worker threads. The warm per-trial path then runs through the pooled
+// TrialArena and allocates nothing; scenarios the fast path cannot take
+// fall back to the public RunDetail runners, same outcomes bit for bit.
+
 TrialFn broadcast_trial_fn(BroadcastScenario scenario) {
   if (scenario.engine == EngineMode::kSurrogate) {
     return surrogate_trial_fn(broadcast_surrogate_spec(scenario));
   }
-  return [scenario](std::uint64_t seed, std::size_t trial) {
+  const Params params =
+      Params::calibrated(scenario.n, scenario.eps, scenario.tuning);
+  BreatheEnvironment env;
+  env.heterogeneous = scenario.heterogeneous_noise;
+  env.schedule = scenario.schedule;
+  env.churn = scenario.churn;
+  env.topology = scenario.topology;
+  env.adversarial_budget = scenario.adversarial_budget;
+  validate_breathe_env(env);
+  return [scenario, params, env,
+          config = broadcast_breathe_config(scenario)](
+             std::uint64_t seed, std::size_t trial) {
+    if (const auto outcome = pooled_breathe_outcome(
+            params, config, scenario.eps, env, scenario.engine,
+            scenario.shards, scenario.stage1_only, scenario.probe_every,
+            seed, trial)) {
+      return *outcome;
+    }
     return to_outcome(run_broadcast(scenario, seed, trial));
   };
 }
@@ -456,7 +556,20 @@ TrialFn majority_trial_fn(MajorityScenario scenario) {
   if (scenario.engine == EngineMode::kSurrogate) {
     return surrogate_trial_fn(majority_surrogate_spec(scenario));
   }
-  return [scenario](std::uint64_t seed, std::size_t trial) {
+  const Params params = majority_params(scenario);
+  BreatheEnvironment env;
+  env.schedule = scenario.schedule;
+  env.churn = scenario.churn;
+  env.topology = scenario.topology;
+  return [scenario, params, env,
+          config = majority_breathe_config(params, scenario)](
+             std::uint64_t seed, std::size_t trial) {
+    if (const auto outcome = pooled_breathe_outcome(
+            params, config, scenario.eps, env, scenario.engine,
+            scenario.shards, /*stage1_only=*/false, scenario.probe_every,
+            seed, trial)) {
+      return *outcome;
+    }
     return to_outcome(run_majority(scenario, seed, trial));
   };
 }
@@ -465,7 +578,18 @@ TrialFn boost_trial_fn(BoostScenario scenario) {
   if (scenario.engine == EngineMode::kSurrogate) {
     return surrogate_trial_fn(boost_surrogate_spec(scenario));
   }
-  return [scenario](std::uint64_t seed, std::size_t trial) {
+  const Params params = boost_params(scenario);
+  BreatheEnvironment env;
+  env.topology = scenario.topology;
+  return [scenario, params, env,
+          config = boost_breathe_config(params, scenario)](
+             std::uint64_t seed, std::size_t trial) {
+    if (const auto outcome = pooled_breathe_outcome(
+            params, config, scenario.eps, env, scenario.engine,
+            scenario.shards, /*stage1_only=*/false, /*probe_every=*/0,
+            seed, trial)) {
+      return *outcome;
+    }
     return to_outcome(run_boost(scenario, seed, trial));
   };
 }

@@ -2,21 +2,34 @@
 //
 // Enumerates the workload registry (--list), runs parallel Monte-Carlo
 // sweeps over a (n, eps, channel) grid for one scenario, and emits the
-// results as a human table, CSV, flipsim-sweep-v1 JSON, or the
-// BENCH_*.json trajectory schema from docs/BENCHMARKS.md.
+// results as a human table, CSV, flipsim-sweep-v1 JSON, compact JSON
+// lines, or the BENCH_*.json trajectory schema from docs/BENCHMARKS.md.
+// CSV and JSONL rows stream as each grid cell completes.
+//
+// It is also the sweep service's front end (docs/SERVICE.md): --serve
+// turns the process into a resident daemon whose ThreadPool and per-worker
+// TrialArena scratch stay warm across requests, and --connect submits the
+// same sweep flags to a running daemon, streaming the results back.
 //
 //   flipsim --list
 //   flipsim --scenario broadcast_small --trials 8 --json
 //   flipsim --scenario broadcast --n 1024,4096 --eps 0.2,0.3 --json out.json
+//   flipsim --scenario broadcast --trials 16 --csv out.csv
+//       --checkpoint sweep.chk          # resumable: --resume continues it
+//   flipsim --serve 7447 &              # resident daemon
+//   flipsim --connect 7447 --scenario broadcast_small --trials 8 --jsonl
+//   flipsim --connect 7447 --shutdown
 //   flipsim --scenario broadcast --trials 16
 //       --bench-json bench/results/BENCH_baseline.json
 //       --bench-id baseline --git-rev $(git rev-parse --short HEAD)
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -24,6 +37,8 @@
 #include "cli/args.hpp"
 #include "cli/report.hpp"
 #include "cli/sweep.hpp"
+#include "cli/wire.hpp"
+#include "net/service.hpp"
 #include "util/table.hpp"
 #include "workload/registry.hpp"
 
@@ -49,10 +64,21 @@ struct CliFlags {
   std::string json_path;  // empty with json=true -> stdout
   bool csv = false;
   std::string csv_path;
+  bool jsonl = false;
+  std::string jsonl_path;  // empty with jsonl=true -> stdout
   std::string bench_json_path;
   std::string bench_id = "baseline";
   std::string git_rev = "unknown";
   bool quiet = false;
+  // Service mode (docs/SERVICE.md).
+  bool serve = false;
+  std::string serve_port;  // empty -> ephemeral port, printed on stdout
+  std::string connect_port;
+  bool ping = false;
+  bool shutdown = false;
+  // Checkpoint/resume (flipchk/1 files).
+  std::string checkpoint_path;
+  bool resume = false;
 };
 
 int list_scenarios() {
@@ -109,6 +135,47 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// Atomic checkpoint rewrite: the file always holds a complete flipchk/1
+/// document, even if the process dies mid-write (write the sibling .tmp,
+/// then rename over).
+bool write_checkpoint(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << content;
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<std::uint16_t> parse_port(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t used = 0;
+  unsigned long value = 0;
+  try {
+    value = std::stoul(text, &used);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (used != text.size() || value > 65535) return std::nullopt;
+  return static_cast<std::uint16_t>(value);
+}
+
+/// Opens a per-cell stream target: stdout when `path` is empty, else the
+/// file — appended to under a resumed sweep so the concatenation equals
+/// the uninterrupted run's output. Returns nullptr on open failure.
+std::ostream* open_stream(const std::string& path, bool resuming,
+                          std::ofstream& file) {
+  if (path.empty()) return &std::cout;
+  file.open(path, resuming ? (std::ios::out | std::ios::app) : std::ios::out);
+  if (!file) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return nullptr;
+  }
+  return &file;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,7 +183,9 @@ int main(int argc, char** argv) {
   flip::cli::ArgParser parser(
       "flipsim",
       "Sweep runner over the workload/scenarios registry. Pick a scenario,\n"
-      "optionally a (n, eps, channel) grid, and one or more output formats.");
+      "optionally a (n, eps, channel) grid, and one or more output formats.\n"
+      "--serve turns the process into a resident sweep daemon; --connect\n"
+      "submits the same sweep flags to one (see docs/SERVICE.md).");
   parser.add_flag("--list", "list registered scenarios and exit",
                   &flags.list);
   parser.add_option("--describe", "scenario",
@@ -172,9 +241,13 @@ int main(int argc, char** argv) {
                             "write flipsim-sweep-v1 JSON (no path: stdout)",
                             &flags.json_path, &flags.json);
   parser.add_optional_value("--csv", "path",
-                            "write one CSV row per grid point (no path: "
-                            "stdout)",
+                            "write one CSV row per grid point, streamed as "
+                            "cells complete (no path: stdout)",
                             &flags.csv_path, &flags.csv);
+  parser.add_optional_value("--jsonl", "path",
+                            "stream one compact flipsim-sweep-v1 point JSON "
+                            "line per grid cell (no path: stdout)",
+                            &flags.jsonl_path, &flags.jsonl);
   parser.add_option("--bench-json", "path",
                     "write the docs/BENCHMARKS.md BENCH_*.json trajectory "
                     "schema to <path>",
@@ -186,6 +259,26 @@ int main(int argc, char** argv) {
                     "git revision recorded in --bench-json (default: "
                     "unknown)",
                     &flags.git_rev);
+  parser.add_optional_value("--serve", "port",
+                            "run as a resident sweep daemon on 127.0.0.1 "
+                            "(no port: ephemeral, printed on stdout)",
+                            &flags.serve_port, &flags.serve);
+  parser.add_option("--connect", "port",
+                    "submit this sweep to a daemon on 127.0.0.1:<port> and "
+                    "stream the results (JSON lines)",
+                    &flags.connect_port);
+  parser.add_flag("--ping", "with --connect: probe daemon readiness",
+                  &flags.ping);
+  parser.add_flag("--shutdown", "with --connect: ask the daemon to exit",
+                  &flags.shutdown);
+  parser.add_option("--checkpoint", "file",
+                    "rewrite <file> (flipchk/1) after each grid cell; "
+                    "--resume continues from it",
+                    &flags.checkpoint_path);
+  parser.add_flag("--resume",
+                  "continue the sweep recorded in --checkpoint (fresh start "
+                  "if the file does not exist yet)",
+                  &flags.resume);
   parser.add_flag("--quiet", "suppress the human-readable table",
                   &flags.quiet);
 
@@ -206,118 +299,112 @@ int main(int argc, char** argv) {
 
   if (flags.list) return list_scenarios();
   if (!flags.describe.empty()) return describe_scenario(flags.describe);
+
+  // --serve: the daemon takes its sweeps from the wire, so none of the
+  // sweep flags apply (only --threads, as the server-side worker default).
+  if (flags.serve) {
+    std::uint16_t port = 0;
+    if (!flags.serve_port.empty()) {
+      const auto parsed = parse_port(flags.serve_port);
+      if (!parsed) {
+        std::cerr << "error: --serve: '" << flags.serve_port
+                  << "' is not a port (0..65535)\n";
+        return 2;
+      }
+      port = *parsed;
+    }
+    if (flags.threads) {
+      if (const auto threads_error = flip::cli::validate_threads(
+              *flags.threads, std::thread::hardware_concurrency())) {
+        std::cerr << "error: " << *threads_error << "\n";
+        return 2;
+      }
+    }
+    flip::net::ServiceOptions options;
+    options.port = port;
+    options.threads = flags.threads.value_or(0);
+    flip::net::SweepServer server(options);
+    std::string error;
+    if (!server.start(error)) {
+      std::cerr << "error: --serve: " << error << "\n";
+      return 1;
+    }
+    // The line scripts poll for; flushed so a pipe reader sees it before
+    // the first request lands.
+    std::cout << "flipsim: serving on 127.0.0.1:" << server.port() << "\n"
+              << std::flush;
+    server.wait();
+    return 0;
+  }
+
+  const bool connecting = !flags.connect_port.empty();
+  if ((flags.ping || flags.shutdown) && !connecting) {
+    std::cerr << "error: --ping/--shutdown need --connect <port>\n";
+    return 2;
+  }
+  std::uint16_t connect_port = 0;
+  if (connecting) {
+    const auto parsed = parse_port(flags.connect_port);
+    if (!parsed) {
+      std::cerr << "error: --connect: '" << flags.connect_port
+                << "' is not a port (0..65535)\n";
+      return 2;
+    }
+    connect_port = *parsed;
+    if (flags.ping || flags.shutdown) {
+      flip::net::SweepClient client(connect_port);
+      std::string error;
+      const bool ok = flags.ping ? client.ping(error)
+                                 : client.shutdown_server(error);
+      if (!ok) {
+        std::cerr << "error: " << (flags.ping ? "--ping: " : "--shutdown: ")
+                  << error << "\n";
+        return 1;
+      }
+      if (flags.ping) std::cout << "pong\n";
+      return 0;
+    }
+  }
+
   // --validate-surrogate picks its own scenario set (every supported
   // registry entry) when --scenario is omitted; a sweep always needs one.
   if (flags.scenario.empty() && !flags.validate_surrogate) {
     std::cerr << "error: --scenario is required (or --list / --describe / "
-                 "--validate-surrogate)\n\n"
+                 "--validate-surrogate / --serve / --connect --ping)\n\n"
               << parser.usage();
     return 2;
   }
 
-  flip::cli::SweepSpec spec;
-  spec.scenario = flags.scenario;
-  std::string error;
-  if (!flags.n_list.empty()) {
-    const auto ns = flip::cli::parse_size_list(flags.n_list, error);
-    if (!ns) {
-      std::cerr << "error: --n: " << error << "\n";
-      return 2;
-    }
-    spec.ns = *ns;
-  }
-  if (!flags.eps_list.empty()) {
-    const auto epss = flip::cli::parse_double_list(flags.eps_list, error);
-    if (!epss) {
-      std::cerr << "error: --eps: " << error << "\n";
-      return 2;
-    }
-    // Domain check here at the argument layer, naming the offending value,
-    // instead of deep inside Params::calibrated once the sweep is running.
-    if (const auto eps_error = flip::cli::validate_eps_values(*epss)) {
-      std::cerr << "error: " << *eps_error << "\n";
-      return 2;
-    }
-    spec.epss = *epss;
-  }
-  if (!flags.channel_list.empty()) {
-    spec.channels = flip::cli::split_list(flags.channel_list);
-    if (spec.channels.empty()) {
-      std::cerr << "error: --channel: empty list\n";
-      return 2;
-    }
-  }
-  if (flags.trials) spec.trials = *flags.trials;
-  if (flags.seed) spec.seed = *flags.seed;
-  // Reject out-of-range parallelism knobs here, with the other argument
-  // errors, instead of silently clamping (or crashing) deep in the engine.
-  // The validation lives in cli/sweep (validate_threads / validate_shards)
-  // so it is unit-testable; in particular, hardware_concurrency() == 0
-  // (the runtime cannot tell) falls back to a floor of one worker instead
-  // of rejecting every --threads value against an upper bound of 0.
-  if (flags.threads) {
-    if (const auto threads_error = flip::cli::validate_threads(
-            *flags.threads, std::thread::hardware_concurrency())) {
-      std::cerr << "error: " << *threads_error << "\n";
-      return 2;
-    }
-    spec.threads = *flags.threads;
-  }
-  if (flags.shards) {
-    if (const auto shards_error = flip::cli::validate_shards(*flags.shards)) {
-      std::cerr << "error: " << *shards_error << "\n";
-      return 2;
-    }
-    spec.shards = *flags.shards;
-  }
-  if (!flags.schedule.empty()) {
-    try {
-      spec.schedule = flip::EnvironmentSchedule::parse(flags.schedule);
-    } catch (const std::invalid_argument& e) {
-      std::cerr << "error: --schedule: " << e.what() << "\n";
-      return 2;
-    }
-  }
-  if (!flags.churn.empty()) {
-    try {
-      spec.churn = flip::ChurnSpec::parse(flags.churn);
-    } catch (const std::invalid_argument& e) {
-      std::cerr << "error: --churn: " << e.what() << "\n";
-      return 2;
-    }
-  }
-  if (!flags.topology.empty()) {
-    try {
-      spec.topology = flip::TopologySpec::parse(flags.topology);
-    } catch (const std::invalid_argument& e) {
-      std::cerr << "error: --topology: " << e.what() << "\n";
-      return 2;
-    }
-  }
-  if (const auto mode = flip::parse_engine_mode(flags.engine)) {
-    spec.engine = *mode;
-  } else {
-    std::cerr << "error: --engine: unknown mode '" << flags.engine
-              << "' (batch | classic | surrogate)\n";
+  // The raw flags in wire form; resolve_sweep_request below runs the exact
+  // parse + validate sequence this file used to inline, so the CLI and the
+  // server reject identically.
+  flip::cli::SweepRequest request;
+  request.scenario = flags.scenario;
+  request.ns = flags.n_list;
+  request.epss = flags.eps_list;
+  request.channels = flags.channel_list;
+  if (flags.trials) request.trials = *flags.trials;
+  if (flags.seed) request.seed = *flags.seed;
+  if (flags.threads) request.threads = *flags.threads;
+  if (flags.shards) request.shards = *flags.shards;
+  request.engine = flags.engine;
+  request.schedule = flags.schedule;
+  request.churn = flags.churn;
+  request.topology = flags.topology;
+
+  // "--threads 0" is an explicit request, not "unset" (the wire encodes
+  // unset as 0); keep rejecting it here with the usual message.
+  if (flags.threads && *flags.threads == 0) {
+    std::cerr << "error: "
+              << *flip::cli::validate_threads(
+                     0, std::thread::hardware_concurrency())
+              << "\n";
     return 2;
   }
-  // Engine-scenario compatibility is an argument error, not a mid-sweep
-  // exception: surrogate on a scenario with no mean-field model (and any
-  // scenario typo) is rejected here with the alternatives named.
-  if (!flags.scenario.empty()) {
-    if (const auto engine_error =
-            flip::cli::validate_engine(flags.scenario, spec.engine)) {
-      std::cerr << "error: " << *engine_error << "\n";
-      return 2;
-    }
-    // Topology-scenario and topology-engine compatibility fail here too:
-    // a sparse graph on a scenario that ignores it, or any effective
-    // sparse graph under the surrogate engine, is an argument error.
-    if (const auto topology_error = flip::cli::validate_topology(
-            flags.scenario, spec.topology, spec.engine)) {
-      std::cerr << "error: " << *topology_error << "\n";
-      return 2;
-    }
+  flip::cli::SweepSpec spec;
+  if (const auto reject = flip::cli::resolve_sweep_request(request, spec)) {
+    std::cerr << "error: " << *reject << "\n";
+    return 2;
   }
 
   if (flags.validate_surrogate) {
@@ -358,21 +445,150 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (flags.json && flags.json_path.empty() && flags.csv &&
-      flags.csv_path.empty()) {
+  if (flags.resume && flags.checkpoint_path.empty()) {
+    std::cerr << "error: --resume needs --checkpoint <file>\n";
+    return 2;
+  }
+  if (connecting &&
+      (flags.json || flags.csv || !flags.bench_json_path.empty())) {
+    std::cerr << "error: --connect streams compact JSON lines; --json/--csv/"
+                 "--bench-json apply to one-shot sweeps (use --jsonl)\n";
+    return 2;
+  }
+
+  const bool json_to_stdout = flags.json && flags.json_path.empty();
+  const bool csv_to_stdout = flags.csv && flags.csv_path.empty();
+  const bool jsonl_to_stdout = flags.jsonl && flags.jsonl_path.empty();
+  if (json_to_stdout && csv_to_stdout) {
     std::cerr << "error: bare --json and --csv would interleave two formats "
                  "on stdout; give at least one of them a path\n";
     return 2;
   }
+  if (jsonl_to_stdout && (json_to_stdout || csv_to_stdout)) {
+    std::cerr << "error: bare --jsonl and --json/--csv would interleave two "
+                 "formats on stdout; give at least one of them a path\n";
+    return 2;
+  }
 
   try {
-    const flip::cli::SweepResult result = flip::cli::run_sweep(spec);
+    // Checkpoint/resume. The grid size is fixed by the spec, so it can be
+    // recorded up front; --resume verifies the flags on THIS command line
+    // encode to the same request the file was written for (byte-equal
+    // canonical encodings — see cli/wire.hpp) before trusting next_cell.
+    std::size_t grid_cells = 0;
+    if (!flags.checkpoint_path.empty()) {
+      grid_cells = flip::cli::expand_grid(spec).size();
+      if (flags.resume) {
+        std::ifstream in(flags.checkpoint_path);
+        if (in) {
+          std::ostringstream buffer;
+          buffer << in.rdbuf();
+          std::string error;
+          const auto checkpoint =
+              flip::cli::parse_checkpoint(buffer.str(), error);
+          if (!checkpoint) {
+            std::cerr << "error: --resume: " << flags.checkpoint_path << ": "
+                      << error << "\n";
+            return 2;
+          }
+          if (flip::cli::encode_sweep_request(checkpoint->request) !=
+              flip::cli::encode_sweep_request(request)) {
+            std::cerr << "error: --resume: " << flags.checkpoint_path
+                      << " records a different sweep than these flags; "
+                         "refusing to mix results\n";
+            return 2;
+          }
+          spec.first_cell = checkpoint->next_cell;
+          request.resume_from = checkpoint->next_cell;
+        }
+      }
+    }
+    const bool resuming = spec.first_cell > 0;
 
-    // Bare --json/--csv stream to stdout; suppress the table so the
-    // stream stays parseable.
-    const bool json_to_stdout = flags.json && flags.json_path.empty();
-    const bool csv_to_stdout = flags.csv && flags.csv_path.empty();
-    if (!flags.quiet && !json_to_stdout && !csv_to_stdout) {
+    // --connect: the daemon runs the sweep; this process streams the
+    // per-cell lines it sends back (and keeps the checkpoint, so a resumed
+    // --connect sweep behaves exactly like a resumed one-shot).
+    if (connecting) {
+      std::ofstream jsonl_file;
+      std::ostream* jsonl_out =
+          open_stream(flags.jsonl_path, resuming, jsonl_file);
+      if (jsonl_out == nullptr) return 1;
+      flip::net::SweepClient client(connect_port);
+      std::size_t cells_done = 0;
+      const std::string done = client.run_sweep(
+          request, [&](std::size_t cell, const std::string& line) {
+            *jsonl_out << line << '\n';
+            jsonl_out->flush();
+            ++cells_done;
+            if (!flags.checkpoint_path.empty() &&
+                !write_checkpoint(flags.checkpoint_path,
+                                  flip::cli::encode_checkpoint(
+                                      request, cell + 1, grid_cells))) {
+              throw std::runtime_error("cannot write checkpoint " +
+                                       flags.checkpoint_path);
+            }
+          });
+      if (!flags.quiet && !flags.jsonl_path.empty()) {
+        std::cout << "flipsim: served sweep, " << cells_done
+                  << " grid point(s), " << done << "\n";
+      }
+      return 0;
+    }
+
+    // One-shot sweep. CSV and JSONL rows stream from the per-cell sink as
+    // the sweep runs; the JSON document and the bench trajectory need the
+    // whole grid, so points are only accumulated when one of those (or the
+    // table) will read them.
+    std::ofstream csv_file;
+    std::ostream* csv_out = nullptr;
+    if (flags.csv) {
+      csv_out = open_stream(flags.csv_path, resuming, csv_file);
+      if (csv_out == nullptr) return 1;
+    }
+    std::ofstream jsonl_file;
+    std::ostream* jsonl_out = nullptr;
+    if (flags.jsonl) {
+      jsonl_out = open_stream(flags.jsonl_path, resuming, jsonl_file);
+      if (jsonl_out == nullptr) return 1;
+    }
+    // A resumed sweep appends rows; the header came with cell 0.
+    if (csv_out != nullptr && !resuming) {
+      *csv_out << flip::cli::sweep_csv_header();
+      csv_out->flush();
+    }
+
+    const bool need_table =
+        !flags.quiet && !json_to_stdout && !csv_to_stdout && !jsonl_to_stdout;
+    spec.collect_points =
+        flags.json || !flags.bench_json_path.empty() || need_table;
+
+    flip::cli::SweepPointSink sink;
+    if (csv_out != nullptr || jsonl_out != nullptr ||
+        !flags.checkpoint_path.empty()) {
+      sink = [&](std::size_t cell, const flip::cli::SweepPoint& point) {
+        if (csv_out != nullptr) {
+          *csv_out << flip::cli::sweep_csv_row(spec, point);
+          csv_out->flush();
+        }
+        if (jsonl_out != nullptr) {
+          *jsonl_out << flip::cli::sweep_point_line(point) << '\n';
+          jsonl_out->flush();
+        }
+        if (!flags.checkpoint_path.empty() &&
+            !write_checkpoint(flags.checkpoint_path,
+                              flip::cli::encode_checkpoint(request, cell + 1,
+                                                           grid_cells))) {
+          throw std::runtime_error("cannot write checkpoint " +
+                                   flags.checkpoint_path);
+        }
+      };
+    }
+
+    const flip::cli::SweepResult result = flip::cli::run_sweep(spec, sink);
+
+    // Bare --json/--csv/--jsonl stream to stdout; suppress the table so
+    // the stream stays parseable.
+    if (need_table) {
       std::cout << "flipsim: " << spec.scenario << ", "
                 << result.points.size() << " grid point(s) x " << spec.trials
                 << " trial(s), " << flip::format_fixed(result.wall_seconds, 2)
@@ -384,14 +600,6 @@ int main(int argc, char** argv) {
       if (json_to_stdout) {
         std::cout << json << '\n';
       } else if (!write_file(flags.json_path, json)) {
-        return 1;
-      }
-    }
-    if (flags.csv) {
-      const std::string csv = flip::cli::sweep_to_csv(result);
-      if (csv_to_stdout) {
-        std::cout << csv;
-      } else if (!write_file(flags.csv_path, csv)) {
         return 1;
       }
     }
