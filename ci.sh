@@ -6,13 +6,41 @@ set -eu
 
 BUILD_DIR="${1:-build}"
 
+# Determinism lint gate, before anything compiles: zero findings over the
+# tree, and the linter's own unit suite (seeded violations per rule class)
+# must hold. ctest registers the same two checks when a Python interpreter
+# is found at configure time; here in the CI mirror the interpreter is a
+# hard requirement so the gate cannot silently vanish.
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/flip_lint.py
+  python3 tools/flip_lint_test.py
+else
+  echo "python3 is required for the flip_lint gate" >&2
+  exit 1
+fi
+
 # FLIP_BUILD_BENCH is forced ON because the perf gate below needs
-# bench_engine_perf (a stale cache could have it disabled).
-cmake -B "$BUILD_DIR" -S . -DFLIP_WERROR=ON -DFLIP_BUILD_BENCH=ON
+# bench_engine_perf (a stale cache could have it disabled). FLIP_FUZZ adds
+# the fuzz/ harnesses and their per-target corpus-replay smoke to ctest.
+cmake -B "$BUILD_DIR" -S . -DFLIP_WERROR=ON -DFLIP_BUILD_BENCH=ON \
+  -DFLIP_FUZZ=ON
 cmake --build "$BUILD_DIR" -j
 # Note: pass -j an explicit value — bare `ctest -j` swallows the next
 # argument as the job count on CMake < 3.29.
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+# Curated clang-tidy profile (.clang-tidy at the repo root) over the
+# exported compile database. Self-skips when the toolchain has no
+# clang-tidy (the reference CI container is GCC-only); environments that
+# do ship it — developer machines, editor integrations — get the full
+# pass. docs/TOOLING.md describes what this layer catches.
+if command -v clang-tidy >/dev/null 2>&1 && \
+   [ -f "$BUILD_DIR/compile_commands.json" ]; then
+  find src tools -name '*.cpp' -print | \
+    xargs clang-tidy -p "$BUILD_DIR" --quiet
+else
+  echo "clang-tidy not found (or no compile database); skipping tidy pass" >&2
+fi
 
 # Smoke sweeps: flipsim must enumerate the registry and emit schema-valid
 # JSON for a small static sweep, a dynamic-environment one (correlated
@@ -202,4 +230,55 @@ if [ "${FLIP_SKIP_TSAN:-0}" != "1" ]; then
     -R 'BatchEngineTest|SweepDeterminismTest|ThreadPoolTest|PropertyDifferentialTest|SimdDifferentialTest|SimdKernelsTest|ServiceTest|RingBufferTest|FrameTest|TrialArenaTest|RegistryTest.TopologyEntriesRunBitEqualAcrossSubstratesAndShards')
 else
   echo "skipping ThreadSanitizer pass (FLIP_SKIP_TSAN=1)"
+fi
+
+# AddressSanitizer + UndefinedBehaviorSanitizer pass: the FULL ctest suite
+# (the 21-second suite is cheap even instrumented; the builds dominate) in
+# BOTH FLIP_SIMD settings — the packed SoA paths, the SIMD stack buffers,
+# and the arena lease stack are exactly where a one-past-the-end write
+# hides from the scalar build — plus the fuzz harnesses' corpus smoke and
+# the live daemon smoke (serve/ping/sweep/shutdown, asserting the served
+# stream under instrumentation). halt_on_error + detect_leaks: any report
+# is a hard failure. Skip with FLIP_SKIP_ASAN=1 (e.g. toolchains without
+# the runtimes). TSan is mutually exclusive with ASan (CMake enforces it),
+# hence the separate trees.
+if [ "${FLIP_SKIP_ASAN:-0}" != "1" ]; then
+  ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:check_initialization_order=1:detect_stack_use_after_return=1"
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export ASAN_OPTIONS UBSAN_OPTIONS
+  for SIMD in ON OFF; do
+    ASAN_DIR="${BUILD_DIR}-asan"
+    [ "$SIMD" = "OFF" ] && ASAN_DIR="${BUILD_DIR}-asan-scalar"
+    cmake -B "$ASAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DFLIP_ASAN=ON -DFLIP_UBSAN=ON -DFLIP_SIMD="$SIMD" -DFLIP_FUZZ=ON \
+      -DFLIP_WERROR=ON -DFLIP_BUILD_BENCH=OFF -DFLIP_BUILD_EXAMPLES=OFF
+    cmake --build "$ASAN_DIR" -j
+    (cd "$ASAN_DIR" && ctest --output-on-failure -j "$(nproc)")
+  done
+
+  # Daemon smoke under ASan+UBSan: the resident service is the one
+  # component whose lifetime outlives a test binary — leases, ring buffer,
+  # framing and shutdown all run instrumented here.
+  ASAN_DIR="${BUILD_DIR}-asan"
+  "$ASAN_DIR/tools/flipsim" --serve 0 > "$ASAN_DIR/flipsim_serve.log" &
+  ASAN_SERVE_PID=$!
+  trap 'kill "$ASAN_SERVE_PID" 2>/dev/null || true' EXIT
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^flipsim: serving on 127\.0\.0\.1://p' "$ASAN_DIR/flipsim_serve.log")"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "ASan flipsim --serve never reported its port" >&2; exit 1; }
+  "$ASAN_DIR/tools/flipsim" --connect "$PORT" --ping >/dev/null
+  "$ASAN_DIR/tools/flipsim" --connect "$PORT" --scenario broadcast_small \
+    --trials 4 --jsonl "$ASAN_DIR/flipsim_served.jsonl" --quiet
+  [ -s "$ASAN_DIR/flipsim_served.jsonl" ] || {
+    echo "ASan served sweep streamed nothing" >&2; exit 1; }
+  "$ASAN_DIR/tools/flipsim" --connect "$PORT" --shutdown
+  wait "$ASAN_SERVE_PID"
+  trap - EXIT
+  unset ASAN_OPTIONS UBSAN_OPTIONS
+else
+  echo "skipping ASan+UBSan pass (FLIP_SKIP_ASAN=1)"
 fi

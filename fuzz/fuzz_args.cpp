@@ -1,0 +1,92 @@
+// Fuzz target: the declarative CLI parser (src/cli/args.cpp) and the
+// comma-list helpers every grid flag routes through.
+//
+// The input is whitespace-tokenized into an argv and thrown at an
+// ArgParser registered with a flipsim-shaped option set (flags, valued
+// options, optional-value options, typed size/double/uint64 options).
+// Contract under arbitrary argv:
+//
+//   * parse() never crashes and is single-shot safe;
+//   * parse() == false  =>  help was requested or error() is non-empty
+//     (a silent false would make every caller print nothing and exit 2);
+//   * parse() == true   =>  error() is empty;
+//   * usage() always renders.
+//
+// parse_size_list / parse_double_list / split_list run on the raw input
+// too: nullopt must always carry an error message, and split_list's
+// pieces must be non-empty comma-free spans, at most commas + 1 of them.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "fuzz_assert.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Tokenize on whitespace, bounded: hostile argv is about token SHAPE
+  // (empty "--", "--=v", lone dashes, huge numbers), not token count.
+  std::vector<std::string> tokens;
+  tokens.emplace_back("fuzz_args");  // argv[0]
+  std::string current;
+  for (const char c : text) {
+    if (c == ' ' || c == '\n' || c == '\t' || c == '\0') {
+      if (!current.empty()) tokens.push_back(current);
+      current.clear();
+      if (tokens.size() >= 64) break;
+    } else if (current.size() < 256) {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty() && tokens.size() < 64) tokens.push_back(current);
+
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size());
+  for (const std::string& token : tokens) argv.push_back(token.c_str());
+
+  bool list_flag = false;
+  std::string scenario;
+  std::string json_path;
+  bool json_present = false;
+  std::optional<std::size_t> trials;
+  std::optional<double> eps;
+  std::optional<std::uint64_t> seed;
+  flip::cli::ArgParser parser("fuzz_args", "argv fuzz harness");
+  parser.add_flag("--list", "list scenarios", &list_flag);
+  parser.add_option("--scenario", "NAME", "scenario name", &scenario);
+  parser.add_optional_value("--json", "PATH", "emit JSON", &json_path,
+                            &json_present);
+  parser.add_size("--trials", "trial count", &trials);
+  parser.add_double("--eps", "bias", &eps);
+  parser.add_uint64("--seed", "base seed", &seed);
+
+  const bool ok =
+      parser.parse(static_cast<int>(argv.size()), argv.data());
+  if (ok) {
+    FUZZ_ASSERT(parser.error().empty());
+  } else {
+    FUZZ_ASSERT(parser.help_requested() || !parser.error().empty());
+  }
+  FUZZ_ASSERT(!parser.usage().empty());
+
+  std::string error;
+  if (!flip::cli::parse_size_list(text, error)) FUZZ_ASSERT(!error.empty());
+  error.clear();
+  if (!flip::cli::parse_double_list(text, error)) FUZZ_ASSERT(!error.empty());
+  // split_list drops empty pieces, so the bound is <= commas + 1 and each
+  // surviving piece is a non-empty, comma-free span of the input.
+  const std::vector<std::string> pieces = flip::cli::split_list(text);
+  const std::size_t commas = static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), ','));
+  FUZZ_ASSERT(pieces.size() <= commas + 1);
+  for (const std::string& piece : pieces) {
+    FUZZ_ASSERT(!piece.empty());
+    FUZZ_ASSERT(piece.find(',') == std::string::npos);
+  }
+  return 0;
+}

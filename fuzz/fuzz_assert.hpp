@@ -1,0 +1,17 @@
+#pragma once
+// Always-fatal invariant check for the fuzz harnesses. assert() would be
+// compiled out under the RelWithDebInfo/NDEBUG builds the sanitizer
+// presets use — and a fuzz target whose invariants silently vanish is a
+// smoke machine, not a fuzzer.
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUZZ_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s (%s:%d)\n", #cond,  \
+                   __FILE__, __LINE__);                                \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)

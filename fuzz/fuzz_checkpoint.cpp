@@ -1,0 +1,40 @@
+// Fuzz target: flipchk/1 checkpoint files (src/cli/wire.cpp).
+//
+// Checkpoints are read back from disk across process restarts — the one
+// input surface where "the same program wrote this" is NOT guaranteed
+// (truncated writes, editor mangling, a stale file from an older grid).
+// parse_checkpoint must reject arbitrary bytes with an error, and accepted
+// files must round-trip: re-encoding the parsed checkpoint and parsing it
+// again yields the identical request encoding, next_cell, and grid size.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cli/wire.hpp"
+#include "fuzz_assert.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  std::string error;
+  std::optional<flip::cli::Checkpoint> checkpoint =
+      flip::cli::parse_checkpoint(text, error);
+  if (!checkpoint) {
+    FUZZ_ASSERT(!error.empty());
+    return 0;
+  }
+
+  const std::string encoded = flip::cli::encode_checkpoint(
+      checkpoint->request, checkpoint->next_cell, checkpoint->grid_cells);
+  std::string error2;
+  std::optional<flip::cli::Checkpoint> reparsed =
+      flip::cli::parse_checkpoint(encoded, error2);
+  FUZZ_ASSERT(reparsed.has_value());
+  FUZZ_ASSERT(reparsed->next_cell == checkpoint->next_cell);
+  FUZZ_ASSERT(reparsed->grid_cells == checkpoint->grid_cells);
+  FUZZ_ASSERT(flip::cli::encode_sweep_request(reparsed->request) ==
+              flip::cli::encode_sweep_request(checkpoint->request));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fuzz target: flipsvc frame decode (src/net/frame.cpp).
+//
+// The input bytes are fed to read_frame() through a socketpair — the same
+// fd plumbing the daemon and the tests use — and every decoded payload is
+// re-framed with write_frame() and decoded again. Invariants:
+//
+//   * read_frame never crashes, hangs, or over-reads on arbitrary bytes;
+//   * a decoded payload is bounded by kMaxFrameBytes (an oversize length
+//     prefix must be rejected BEFORE any allocation happens — under ASan a
+//     16 MiB+ reserve from four garbage bytes would show up as OOM/quota);
+//   * the stream terminates in kEof exactly when the bytes end on a frame
+//     boundary, kError otherwise (truncated prefix or payload);
+//   * write_frame(read_frame(x)) round-trips byte-for-byte.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "fuzz_assert.hpp"
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace {
+
+// A blocking socketpair write from the same thread that will read it back
+// deadlocks once the kernel buffer fills; stay far below the default
+// buffer so the whole input always fits.
+constexpr std::size_t kMaxFuzzBytes = 60000;
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n <= 0) return;  // cannot happen below the buffer size; bail anyway
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxFuzzBytes) return 0;
+
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return 0;
+  write_all(fds[1], data, size);
+  flip::net::close_fd(fds[1]);  // EOF after the last input byte
+
+  std::size_t consumed_payload = 0;
+  for (;;) {
+    flip::net::FrameResult frame = flip::net::read_frame(fds[0]);
+    if (frame.status == flip::net::FrameStatus::kEof) {
+      // Clean EOF is only legal on a frame boundary; every byte before it
+      // was length prefixes + payloads.
+      break;
+    }
+    if (frame.status == flip::net::FrameStatus::kError) {
+      FUZZ_ASSERT(!frame.error.empty());
+      break;
+    }
+    FUZZ_ASSERT(frame.payload.size() <= flip::net::kMaxFrameBytes);
+    consumed_payload += frame.payload.size();
+    FUZZ_ASSERT(consumed_payload <= size);
+
+    // Round-trip: what write_frame emits, read_frame must hand back.
+    int echo[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, echo) == 0) {
+      const bool wrote = flip::net::write_frame(echo[1], frame.payload);
+      FUZZ_ASSERT(wrote);
+      (void)wrote;
+      flip::net::close_fd(echo[1]);
+      flip::net::FrameResult back = flip::net::read_frame(echo[0]);
+      FUZZ_ASSERT(back.status == flip::net::FrameStatus::kOk);
+      FUZZ_ASSERT(back.payload == frame.payload);
+      FUZZ_ASSERT(flip::net::read_frame(echo[0]).status ==
+             flip::net::FrameStatus::kEof);
+      flip::net::close_fd(echo[0]);
+    }
+  }
+  flip::net::close_fd(fds[0]);
+  return 0;
+}

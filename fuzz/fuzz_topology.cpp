@@ -1,0 +1,56 @@
+// Fuzz target: the --topology spec grammar (src/core/topology.cpp).
+//
+// TopologySpec::parse is reachable from the daemon's wire surface (a
+// request's topology= line goes straight into it via
+// resolve_sweep_request), so it must map EVERY string to either a parsed
+// spec or std::invalid_argument — no other exception type, no crash. On
+// acceptance:
+//
+//   * validate() holds (parse promises a validated spec);
+//   * describe() produces a non-empty, comma-free string (the CSV-cell
+//     contract);
+//   * ResolvedTopology::resolve either binds the spec to a small
+//     population or rejects it with std::invalid_argument — and a
+//     successful resolve yields a sane degree (>= 1, < n).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/topology.hpp"
+#include "fuzz_assert.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Specs are short CLI tokens; oversized inputs only slow the loop down.
+  if (size > 512) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  flip::TopologySpec spec;
+  try {
+    spec = flip::TopologySpec::parse(text);
+  } catch (const std::invalid_argument&) {
+    return 0;  // rejected: the only legal failure mode
+  }
+
+  spec.validate();  // must not throw on a spec parse() accepted
+
+  const std::string described = spec.describe();
+  FUZZ_ASSERT(!described.empty());
+  FUZZ_ASSERT(described.find(',') == std::string::npos);
+
+  for (const std::size_t n : {2u, 16u, 36u, 1024u}) {
+    try {
+      const flip::ResolvedTopology resolved =
+          flip::ResolvedTopology::resolve(spec, n);
+      FUZZ_ASSERT(resolved.degree() >= 1);
+      FUZZ_ASSERT(resolved.degree() < n);
+      FUZZ_ASSERT(resolved.draw_bound() == resolved.degree());
+    } catch (const std::invalid_argument&) {
+      // The family does not fit this n (k > n-2, grid factorization):
+      // a legal, message-bearing rejection.
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Driver for the fuzz/ harnesses on toolchains without libFuzzer (GCC).
+//
+// Every harness exports the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+// When the compiler is Clang, fuzz/CMakeLists.txt links -fsanitize=fuzzer
+// and this file is not built. Otherwise this main() supplies a
+// deterministic corpus-replay + mutation loop:
+//
+//   fuzz_<target> [--rounds N] [--seed S] <corpus-file-or-dir>...
+//
+// Replay: every corpus input runs once, unmutated (this is the CI smoke —
+// committed crash regressions stay fatal forever). Mutation: N additional
+// inputs are derived from the corpus by a seeded xorshift stream — byte
+// flips, truncations, insertions, duplications, and two-parent splices —
+// so the harness still explores beyond the seeds, reproducibly: the same
+// (corpus, seed, rounds) triple always runs the same inputs.
+//
+// Exit code 0 = survived; any crash/sanitizer abort kills the process with
+// the offending round number on stderr (re-run with the printed seed and
+// --rounds <round> to land on the same input).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// Mutated inputs are capped so a lucky length-byte mutation cannot turn
+// the loop into an allocation benchmark; harnesses cap harder when their
+// surface needs it (fuzz_frame's socketpair buffer).
+constexpr std::size_t kMaxInputBytes = 1 << 16;
+
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void run(const std::vector<std::uint8_t>& input) {
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+}
+
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& base,
+                                 const std::vector<std::uint8_t>& other,
+                                 std::uint64_t& rng) {
+  std::vector<std::uint8_t> out = base;
+  const int edits = 1 + static_cast<int>(xorshift(rng) % 4);
+  for (int e = 0; e < edits; ++e) {
+    switch (xorshift(rng) % 6) {
+      case 0:  // flip one byte
+        if (!out.empty()) out[xorshift(rng) % out.size()] ^=
+            static_cast<std::uint8_t>(xorshift(rng));
+        break;
+      case 1:  // truncate
+        if (!out.empty()) out.resize(xorshift(rng) % out.size());
+        break;
+      case 2: {  // insert a random byte
+        const std::size_t at = out.empty() ? 0 : xorshift(rng) % out.size();
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                   static_cast<std::uint8_t>(xorshift(rng)));
+        break;
+      }
+      case 3: {  // duplicate a chunk (grows structure: repeated k=v lines)
+        if (out.empty()) break;
+        const std::size_t from = xorshift(rng) % out.size();
+        const std::size_t len =
+            1 + xorshift(rng) % (out.size() - from < 32 ? out.size() - from
+                                                        : 32);
+        out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(from),
+                   out.begin() + static_cast<std::ptrdiff_t>(from + len));
+        break;
+      }
+      case 4: {  // overwrite with an interesting boundary byte
+        if (out.empty()) break;
+        static constexpr std::uint8_t kMagic[] = {0x00, 0xff, 0x7f, 0x80,
+                                                  '\n', '=',  ':',  ' '};
+        out[xorshift(rng) % out.size()] =
+            kMagic[xorshift(rng) % sizeof(kMagic)];
+        break;
+      }
+      case 5: {  // splice a prefix of another corpus entry onto a prefix
+        if (other.empty()) break;
+        const std::size_t keep = out.empty() ? 0 : xorshift(rng) % out.size();
+        out.resize(keep);
+        const std::size_t take = xorshift(rng) % (other.size() + 1);
+        out.insert(out.end(), other.begin(),
+                   other.begin() + static_cast<std::ptrdiff_t>(take));
+        break;
+      }
+    }
+  }
+  if (out.size() > kMaxInputBytes) out.resize(kMaxInputBytes);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 0x5eedf1195eedf119ULL;
+  std::uint64_t rounds = 256;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      rounds = std::strtoull(argv[++i], nullptr, 0);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const auto& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // replay order is part of repro
+      for (const auto& file : files) corpus.push_back(read_file(file));
+    } else {
+      corpus.push_back(read_file(path));
+    }
+  }
+  if (corpus.empty()) corpus.push_back({});  // still probe the empty input
+
+  std::fprintf(stderr, "standalone fuzz driver: %zu corpus inputs, %llu "
+               "mutation rounds, seed 0x%llx\n", corpus.size(),
+               static_cast<unsigned long long>(rounds),
+               static_cast<unsigned long long>(seed));
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) run(corpus[i]);
+
+  std::uint64_t rng = seed ? seed : 1;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const auto& base = corpus[xorshift(rng) % corpus.size()];
+    const auto& other = corpus[xorshift(rng) % corpus.size()];
+    const auto input = mutate(base, other, rng);
+    // The round number is the repro handle: --rounds r+1 with the same
+    // seed replays rounds 0..r, ending on this exact input.
+    run(input);
+  }
+  std::fprintf(stderr, "standalone fuzz driver: ok\n");
+  return 0;
+}

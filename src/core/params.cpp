@@ -60,11 +60,11 @@ std::uint64_t StageTwoSchedule::phase_start(std::uint64_t phase) const {
 
 std::uint64_t StageTwoSchedule::total_rounds() const { return k * m + m_final; }
 
-std::uint64_t StageTwoSchedule::phase_of_round(std::uint64_t r) const {
-  if (r >= total_rounds()) {
+std::uint64_t StageTwoSchedule::phase_of_round(std::uint64_t round) const {
+  if (round >= total_rounds()) {
     throw std::out_of_range("StageTwoSchedule: round past stage end");
   }
-  return std::min(r / m, k);
+  return std::min(round / m, k);
 }
 
 std::uint64_t StageTwoSchedule::half_length(std::uint64_t phase) const {

@@ -62,7 +62,7 @@ struct StageOneSchedule {
   [[nodiscard]] std::uint64_t total_rounds() const;
   /// Phase containing round r (rounds counted from the start of Stage I).
   /// Precondition: r < total_rounds().
-  [[nodiscard]] std::uint64_t phase_of_round(std::uint64_t r) const;
+  [[nodiscard]] std::uint64_t phase_of_round(std::uint64_t round) const;
 };
 
 /// Stage II phase layout: k boost phases of m rounds, one final phase.
@@ -79,7 +79,7 @@ struct StageTwoSchedule {
   [[nodiscard]] std::uint64_t phase_length(std::uint64_t phase) const;
   [[nodiscard]] std::uint64_t phase_start(std::uint64_t phase) const;
   [[nodiscard]] std::uint64_t total_rounds() const;
-  [[nodiscard]] std::uint64_t phase_of_round(std::uint64_t r) const;
+  [[nodiscard]] std::uint64_t phase_of_round(std::uint64_t round) const;
   /// Success threshold and majority-subset size for a phase: half its length.
   [[nodiscard]] std::uint64_t half_length(std::uint64_t phase) const;
 };

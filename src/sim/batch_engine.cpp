@@ -122,6 +122,8 @@ void BatchEngine::finish_breathe(BreatheFastResult& result,
   result.final_bias = pop_.bias(correct);
 }
 
+// flip-lint: noalloc — phase-boundary work runs inside the warm round
+// loop; the out vectors keep their capacity across trials (reset()).
 void BatchEngine::finalize_stage1(std::uint64_t phase, Opinion correct,
                                   std::vector<StageOnePhaseStats>& out) {
   // Phase-end work is O(#newly activated): run it sequentially, shard by
@@ -210,6 +212,7 @@ void BatchEngine::finalize_stage2(std::uint64_t phase,
   stats.bias = pop_.bias(config.correct);
   out.push_back(stats);
 }
+// flip-lint: end-noalloc
 
 // BatchEngineLease's constructor/destructor live in sim/trial_arena.cpp:
 // the lease is the engine-only view of the per-thread TrialArena stack.

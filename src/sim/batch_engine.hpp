@@ -849,6 +849,13 @@ class BatchEngine {
     std::uint64_t* const __restrict__ acc = acc_.data();
     std::uint64_t* const __restrict__ slot = slot_.data();
 
+    // flip-lint: noalloc — the warm-trial round loop. Everything here must
+    // run out of the scratch prepare_breathe() sized: tests/
+    // trial_arena_test.cpp proves warm trials allocation-free at shards
+    // 1/8, churn on/off with a counting global allocator, and the lint
+    // region keeps explicit allocations from creeping in on the paths that
+    // test doesn't execute. push_back into capacity-kept vectors is the
+    // sanctioned idiom (capacity survives across trials via reset()).
     for (Round r = 0; r < budget; ++r) {
       const bool in_s1 = r < stage1_rounds;
       const StreamKey route_key =
@@ -1034,6 +1041,7 @@ class BatchEngine {
 
       if (r + 1 >= total_rounds) break;
     }
+    // flip-lint: end-noalloc
 
     finish_breathe(result, config.correct);
   }

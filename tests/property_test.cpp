@@ -65,9 +65,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(std::size_t{64}, std::size_t{4096},
                                          std::size_t{1} << 18),
                        ::testing::Values(0.05, 0.15, 0.25, 0.4)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_eps" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    [](const auto& name_info) {
+      return "n" + std::to_string(std::get<0>(name_info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(name_info.param) * 100));
     });
 
 // ---------------------------------------------------------------------
@@ -97,11 +97,11 @@ INSTANTIATE_TEST_SUITE_P(
                                          std::uint64_t{200}),
                        ::testing::Values(0.05, 0.2, 0.45),
                        ::testing::Values(0.0, 0.001, 0.05, 0.25, 0.5)),
-    [](const auto& info) {
-      return "r" + std::to_string(std::get<0>(info.param)) + "_e" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+    [](const auto& name_info) {
+      return "r" + std::to_string(std::get<0>(name_info.param)) + "_e" +
+             std::to_string(static_cast<int>(std::get<1>(name_info.param) * 100)) +
              "_d" +
-             std::to_string(static_cast<int>(std::get<2>(info.param) * 1000));
+             std::to_string(static_cast<int>(std::get<2>(name_info.param) * 1000));
     });
 
 // ---------------------------------------------------------------------
@@ -174,9 +174,9 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, BroadcastGridTest,
     ::testing::Combine(::testing::Values(std::size_t{256}, std::size_t{1024}),
                        ::testing::Values(0.2, 0.3, 0.45)),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_eps" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    [](const auto& name_info) {
+      return "n" + std::to_string(std::get<0>(name_info.param)) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(name_info.param) * 100));
     });
 
 // ---------------------------------------------------------------------
@@ -228,9 +228,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          Round{64}),
                        ::testing::Values(Attribution::kLocalWindow,
                                          Attribution::kOracle)),
-    [](const auto& info) {
-      return "D" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) == Attribution::kOracle ? "_oracle"
+    [](const auto& name_info) {
+      return "D" + std::to_string(std::get<0>(name_info.param)) +
+             (std::get<1>(name_info.param) == Attribution::kOracle ? "_oracle"
                                                               : "_local");
     });
 
@@ -258,12 +258,12 @@ INSTANTIATE_TEST_SUITE_P(
                                          Stage1Pick::kFirstMessage),
                        ::testing::Values(Stage2Subset::kUniformSubset,
                                          Stage2Subset::kPrefixSubset)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param) ==
+    [](const auto& name_info) {
+      return std::string(std::get<0>(name_info.param) ==
                                  Stage1Pick::kFirstMessage
                              ? "first"
                              : "uniform") +
-             (std::get<1>(info.param) == Stage2Subset::kPrefixSubset
+             (std::get<1>(name_info.param) == Stage2Subset::kPrefixSubset
                   ? "_prefix"
                   : "_uniformsub");
     });

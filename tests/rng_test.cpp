@@ -173,6 +173,18 @@ TEST(HypergeometricTest, MeanMatchesTakeTimesFraction) {
 // golden expectation, and cross-machine reproduction silently changes with
 // them. Never "fix" these constants to match new code — fix the code.
 
+// The RngPurpose lane space is pinned HERE, next to the goldens that hold
+// each lane's derivation: round_stream_key packs the purpose into 3 bits,
+// so a new lane is a packing-contract change and cannot land without new
+// golden vectors in this file plus a bump of this marker (which
+// tools/flip_lint.py cross-checks against the enum in src/util/rng.hpp).
+// flip-lint: rng-lane-count=8
+TEST(CounterRngTest, RngPurposeLaneSpaceIsPinned) {
+  EXPECT_EQ(static_cast<std::uint64_t>(RngPurpose::kTopology), 7u);
+  // 3 purpose bits -> at most 8 lanes; kTopology took the last free value.
+  static_assert(static_cast<std::uint64_t>(RngPurpose::kTopology) < 8);
+}
+
 TEST(CounterRngTest, TrialKeyGoldenVectors) {
   constexpr StreamKey k0 = trial_stream_key(0x5eed, 0);
   EXPECT_EQ(k0.hi, 0x3b2089626aaae50fULL);

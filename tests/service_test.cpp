@@ -294,6 +294,112 @@ TEST(FrameTest, TruncatedPayloadIsAnError) {
   EXPECT_NE(result.error.find("truncated"), std::string::npos);
 }
 
+// Hand-seeded hostile inputs (fuzz_frame explores around these; the named
+// cases stay as permanent regression anchors regardless of fuzz findings).
+
+TEST(FrameTest, MalformedFrameTruncatedLengthPrefixIsAnError) {
+  // EOF in the middle of the 4-byte prefix is a torn frame, not a clean
+  // end-of-stream: kEof is reserved for exact frame boundaries.
+  FdPair pair;
+  const unsigned char half[2] = {0, 0};
+  ASSERT_EQ(::send(pair.a, half, 2, 0), 2);
+  net::close_fd(pair.a);
+  pair.a = -1;
+  const net::FrameResult result = net::read_frame(pair.b);
+  EXPECT_EQ(result.status, net::FrameStatus::kError);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(FrameTest, MalformedFrameGarbageAfterValidFrameIsContained) {
+  // A well-formed frame followed by torn trailing bytes: the good frame
+  // must come through intact before the stream errors.
+  FdPair pair;
+  ASSERT_TRUE(net::write_frame(pair.a, "intact"));
+  const unsigned char torn[3] = {0x00, 0x00, 0x00};
+  ASSERT_EQ(::send(pair.a, torn, 3, 0), 3);
+  net::close_fd(pair.a);
+  pair.a = -1;
+  net::FrameResult first = net::read_frame(pair.b);
+  ASSERT_EQ(first.status, net::FrameStatus::kOk) << first.error;
+  EXPECT_EQ(first.payload, "intact");
+  EXPECT_EQ(net::read_frame(pair.b).status, net::FrameStatus::kError);
+}
+
+TEST(FrameTest, MalformedFrameLengthCapBoundaryIsExact) {
+  // kMaxFrameBytes itself is legal (truncated here, since no payload
+  // follows); one byte above is the oversize protocol violation.
+  FdPair at_cap;
+  const unsigned char cap[4] = {0x01, 0x00, 0x00, 0x00};  // 16 MiB exactly
+  ASSERT_EQ(::send(at_cap.a, cap, 4, 0), 4);
+  net::close_fd(at_cap.a);
+  at_cap.a = -1;
+  const net::FrameResult truncated = net::read_frame(at_cap.b);
+  EXPECT_EQ(truncated.status, net::FrameStatus::kError);
+  EXPECT_NE(truncated.error.find("truncated"), std::string::npos);
+
+  FdPair above;
+  const unsigned char over[4] = {0x01, 0x00, 0x00, 0x01};  // 16 MiB + 1
+  ASSERT_EQ(::send(above.a, over, 4, 0), 4);
+  const net::FrameResult oversize = net::read_frame(above.b);
+  EXPECT_EQ(oversize.status, net::FrameStatus::kError);
+  EXPECT_NE(oversize.error.find("cap"), std::string::npos);
+}
+
+TEST(WireTest, HostileRequestTextIsRejectedWithoutCrashing) {
+  std::string error;
+  // CRLF line endings: the \r lands in the command token — rejected, not
+  // silently folded into a value.
+  EXPECT_FALSE(
+      cli::parse_sweep_request("flipsvc/1 sweep\r\nscenario=x\r\n", error)
+          .has_value());
+  // Empty key ("=1") is an unknown key, not an accepted empty field.
+  EXPECT_FALSE(cli::parse_sweep_request("flipsvc/1 sweep\n=1\n", error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+  // Empty numeric value.
+  EXPECT_FALSE(cli::parse_sweep_request("flipsvc/1 sweep\ntrials=\n", error)
+                   .has_value());
+  EXPECT_NE(error.find("bad number"), std::string::npos);
+  // A 21-digit trials value must overflow-reject, not wrap.
+  EXPECT_FALSE(cli::parse_sweep_request(
+                   "flipsvc/1 sweep\ntrials=99999999999999999999\n", error)
+                   .has_value());
+  EXPECT_NE(error.find("bad number"), std::string::npos);
+  // An embedded NUL rides through the string fields without truncating
+  // the parse; the resolve layer then rejects the garbage scenario.
+  std::string nul_request = "flipsvc/1 sweep\nscenario=bad";
+  nul_request.push_back('\0');
+  nul_request += "name\n";
+  const auto parsed = cli::parse_sweep_request(nul_request, error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->scenario.size(), 8u);  // "bad\0name", NUL preserved
+  SweepSpec spec;
+  EXPECT_TRUE(cli::resolve_sweep_request(*parsed, spec).has_value());
+}
+
+TEST(CheckpointTest, TruncatedCheckpointIsRejected) {
+  std::string error;
+  // Header only, request body missing (the classic torn write).
+  EXPECT_FALSE(
+      cli::parse_checkpoint("flipchk/1 next_cell=3 grid=9\n", error)
+          .has_value());
+  EXPECT_NE(error.find("checkpoint request"), std::string::npos);
+  // Header without even the trailing newline.
+  EXPECT_FALSE(cli::parse_checkpoint("flipchk/1 next_cell=3 grid=9", error)
+                   .has_value());
+  // Request body cut mid-line: the torn line has no '=', so the request
+  // parser inside the checkpoint parser rejects it.
+  EXPECT_FALSE(cli::parse_checkpoint(
+                   "flipchk/1 next_cell=3 grid=9\nflipsvc/1 sweep\nscenar",
+                   error)
+                   .has_value());
+  // Unknown header keys are a version skew signal, not ignorable noise.
+  EXPECT_FALSE(cli::parse_checkpoint(
+                   "flipchk/1 next_cell=3 bogus=1\nflipsvc/1 sweep\n", error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown checkpoint header key"), std::string::npos);
+}
+
 // --- the server over loopback ---------------------------------------------
 
 class ServiceTest : public ::testing::Test {

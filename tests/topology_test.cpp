@@ -95,6 +95,37 @@ TEST(TopologySpecTest, ParseRejectsMalformedSpecs) {
                  {"dynamic", "rewire probability", "[0, 1]"});
 }
 
+// Hand-seeded hostile grammar (fuzz_topology explores around these; the
+// named cases stay as permanent regression anchors regardless of fuzz
+// findings). Every one must throw std::invalid_argument — no other
+// exception type, no acceptance.
+TEST(TopologySpecTest, HostileGrammarIsRejectedWithInvalidArgument) {
+  const char* hostile[] = {
+      "",                       // empty spec
+      ":",                      // bare separator
+      "ring:",                  // trailing colon, empty count
+      "ring:4:",                // trailing colon after a valid count
+      "RING:4",                 // case matters: kinds are lowercase tokens
+      " ring",                  // leading whitespace is not trimmed
+      "ring :4",                // embedded whitespace
+      "ring:+4",                // from_chars takes no sign on counts
+      "ring:-4",
+      "ring: 4",
+      "ring:4x",                // trailing junk after the number
+      "ring:18446744073709551616",   // 2^64: count overflow
+      "smallworld:8:1e999",     // double overflow
+      "smallworld:8:nan",       // NaN must not sneak past the [0, 1] check
+      "smallworld:8:-0.0001",
+      "dynamic:8:inf",
+      "complete:",              // complete takes no parameters, even empty
+      "grid:1:1:1",
+  };
+  for (const char* spec : hostile) {
+    EXPECT_THROW(TopologySpec::parse(spec), std::invalid_argument)
+        << "accepted: '" << spec << "'";
+  }
+}
+
 TEST(TopologySpecTest, DescribeStringsAreStableAndCommaFree) {
   EXPECT_EQ(TopologySpec::parse("complete").describe(), "complete");
   EXPECT_EQ(TopologySpec::parse("ring:8").describe(), "ring(k=8)");
